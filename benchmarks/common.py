@@ -1,0 +1,74 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures.  The default
+parameters are laptop-scale (a few minutes for the whole suite); set
+``REPRO_BENCH_FULL=1`` to run paper-scale grids and sample sizes (hours, as
+in the original study).  EXPERIMENTS.md records both configurations.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.sweep import SweepConfig, paper_grid
+
+__all__ = [
+    "full_fidelity",
+    "sweep_config",
+    "banner",
+    "RESULTS_NOTE",
+]
+
+RESULTS_NOTE = (
+    "NOTE: laptop-scale run (see EXPERIMENTS.md); "
+    "set REPRO_BENCH_FULL=1 for the paper's full grids"
+)
+
+
+def full_fidelity() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def sweep_config(
+    mu_bits: tuple[float, ...],
+    mu_bss: tuple[float, ...],
+    p: int,
+    q: int,
+    seed: int = 20060427,
+) -> SweepConfig:
+    """The bench's sweep settings, upgraded to paper scale when requested."""
+    if full_fidelity():
+        grid_bits, grid_bss = paper_grid()
+        return SweepConfig(
+            mu_bits=grid_bits, mu_bss=grid_bss, p=300, q=300, seed=seed
+        )
+    return SweepConfig(mu_bits=mu_bits, mu_bss=mu_bss, p=p, q=q, seed=seed)
+
+
+def banner(title: str) -> str:
+    line = "=" * len(title)
+    return f"\n{line}\n{title}\n{line}"
+
+
+def run_sweep_bench(benchmark, name: str, dag, config: SweepConfig):
+    """Run one figure's sweep under the benchmark and print its series."""
+    from repro.analysis.report import render_sweep, render_sweep_series
+    from repro.analysis.sweep import METRICS, ratio_sweep
+    from repro.core.prio import prio_schedule
+
+    order = prio_schedule(dag).schedule
+
+    def sweep():
+        return ratio_sweep(dag, order, config, name)
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(banner(f"{name}: PRIO/FIFO ratio sweep ({RESULTS_NOTE})"))
+    for metric in METRICS:
+        print(render_sweep_series(result, metric))
+        print()
+    print(render_sweep(result))
+    from repro.analysis.crossover import advantage_regions, render_regions
+
+    print()
+    print(render_regions(advantage_regions(result)))
+    return result

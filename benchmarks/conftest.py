@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration.
+
+Prints are the product here: each bench emits the rows/series of the paper
+artifact it regenerates, so ``-s`` is forced on for this directory.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `common` importable when pytest is invoked from the repo root.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,76 @@
+"""Ablation — does the greedy max-min-priority combine (Step 6) matter?
+
+Compares the full heuristic against a variant that emits building blocks in
+plain topological (detachment) order, on the dags where block order is
+load-bearing.  Metric: the eligibility advantage over FIFO (the area under
+E(t) across the whole run) and the simulated execution-time ratio at the
+headline operating point.
+"""
+
+import numpy as np
+
+from common import banner
+from repro.core.fifo import fifo_schedule
+from repro.core.prio import prio_schedule
+from repro.sim.engine import SimParams
+from repro.sim.replication import policy_factory, run_replications
+from repro.theory.eligibility import eligibility_profile
+from repro.workloads.airsn import airsn
+from repro.workloads.inspiral import inspiral
+
+
+def eligibility_auc(dag, schedule) -> float:
+    """Mean eligible count across the execution (higher = better)."""
+    return float(eligibility_profile(dag, schedule).mean())
+
+
+def test_ablation_greedy_vs_topological_combine(benchmark):
+    dag = airsn(250)
+
+    def both():
+        greedy = prio_schedule(dag, combine="greedy")
+        topo = prio_schedule(dag, combine="topological")
+        return greedy, topo
+
+    greedy, topo = benchmark(both)
+    fifo = fifo_schedule(dag)
+
+    rows = {
+        "greedy combine (full prio)": eligibility_auc(dag, greedy.schedule),
+        "topological combine": eligibility_auc(dag, topo.schedule),
+        "FIFO baseline": eligibility_auc(dag, fifo),
+    }
+    print(banner("Ablation: combine phase (AIRSN-250, mean eligible jobs)"))
+    for name, auc in rows.items():
+        print(f"  {name:<28s} {auc:8.2f}")
+
+    # Both prio variants must beat FIFO; greedy must not lose to topological.
+    assert rows["greedy combine (full prio)"] >= rows["topological combine"]
+    assert rows["greedy combine (full prio)"] > rows["FIFO baseline"]
+
+
+def test_ablation_combine_execution_time(benchmark):
+    dag = inspiral(n_segments=96, n_groups=24)
+    params = SimParams(mu_bit=1.0, mu_bs=64.0)
+    orders = {
+        "greedy": prio_schedule(dag, combine="greedy").schedule,
+        "topological": prio_schedule(dag, combine="topological").schedule,
+    }
+
+    def run():
+        means = {}
+        for name, order in orders.items():
+            metrics = run_replications(
+                dag, policy_factory("oblivious", order=order), params, 24, seed=3
+            )
+            means[name] = float(metrics.execution_time.mean())
+        fifo = run_replications(dag, policy_factory("fifo"), params, 24, seed=3)
+        means["fifo"] = float(fifo.execution_time.mean())
+        return means
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(banner("Ablation: combine phase (Inspiral-96, mean exec time)"))
+    for name, value in means.items():
+        print(f"  {name:<14s} {value:8.2f}")
+    assert means["greedy"] <= means["fifo"] * 1.05

@@ -1,0 +1,64 @@
+"""Extension — the deterministic batched regime of companion paper [15].
+
+With exactly b workers per round (all jobs of a round completing
+together), an order induces a unique round count; PRIO vs FIFO round
+ratios are the noise-free skeleton of the Fig. 6-9 sweeps.  This bench
+prints that table for the four workloads and checks the same qualitative
+shape: PRIO never needs more rounds, wins in the mid-range, ties at the
+extremes.
+"""
+
+import pytest
+
+from common import banner, full_fidelity
+from repro.core.fifo import fifo_schedule
+from repro.core.prio import prio_schedule
+from repro.theory.batched import min_rounds, rounds_profile
+from repro.workloads import airsn, inspiral, montage, sdss
+
+BATCH_SIZES = [1, 4, 16, 64, 256, 1024, 8192]
+
+CASES = [
+    ("AIRSN", lambda: airsn(250)),
+    ("Inspiral", lambda: inspiral()),
+    ("Montage", lambda: montage()),
+    (
+        "SDSS",
+        lambda: sdss() if full_fidelity() else sdss(n_fields=1500, n_catalogs=300),
+    ),
+]
+
+
+@pytest.mark.parametrize("name,factory", CASES, ids=[c[0] for c in CASES])
+def test_batched_round_counts(benchmark, name, factory):
+    dag = factory()
+    prio = prio_schedule(dag).schedule
+    fifo = fifo_schedule(dag)
+
+    def rounds():
+        return (
+            rounds_profile(dag, prio, BATCH_SIZES),
+            rounds_profile(dag, fifo, BATCH_SIZES),
+        )
+
+    prio_rounds, fifo_rounds = benchmark.pedantic(rounds, rounds=1, iterations=1)
+    bounds = [min_rounds(dag, b) for b in BATCH_SIZES]
+
+    print(banner(f"{name}: deterministic rounds, b workers per round"))
+    print(f"{'b':>6s} {'PRIO':>8s} {'FIFO':>8s} {'bound':>8s} {'ratio':>7s}")
+    for b, p, f, lo in zip(BATCH_SIZES, prio_rounds, fifo_rounds, bounds):
+        print(f"{b:>6d} {p:>8d} {f:>8d} {lo:>8d} {p / f:>7.3f}")
+
+    assert all(p <= f for p, f in zip(prio_rounds, fifo_rounds))
+    assert all(p >= lo for p, lo in zip(prio_rounds, bounds))
+    # Sequential extreme ties exactly.
+    assert prio_rounds[0] == fifo_rounds[0] == dag.n
+    # Finding: in this *deterministic* regime only the dags whose serial
+    # spine starves wide covers (AIRSN's handle; Montage's bgmodel) show a
+    # strict round win; Inspiral's and SDSS's advantage in Figs. 7-8 is
+    # purely stochastic (utilization under lost workers), and here they
+    # tie — rounds saturate every batch either way.
+    if name in ("AIRSN", "Montage"):
+        assert any(p < f for p, f in zip(prio_rounds[1:-1], fifo_rounds[1:-1]))
+    else:
+        assert prio_rounds == fifo_rounds

@@ -1,0 +1,47 @@
+"""Methodology — what replication budget certifies the headline claim?
+
+The paper certified ">= 13% faster with 95% confidence" from p = q = 300
+(90,000 simulations per algorithm per cell, on clusters).  This bench
+calibrates the budget on a laptop: at the headline cell
+(AIRSN-250, mu_BIT = 1, mu_BS = 2^4), double q until the ratio CI lies
+entirely below 1 — certifying the *direction* — and report the trajectory
+and the budget at which it happened.
+"""
+
+from common import banner
+from repro.analysis.calibrate import calibrate_cell
+from repro.core.prio import prio_schedule
+from repro.sim.engine import SimParams
+from repro.workloads.airsn import airsn
+
+
+def test_calibrate_headline_cell(benchmark):
+    dag = airsn(250)
+    order = prio_schedule(dag).schedule
+
+    def run():
+        return calibrate_cell(
+            dag,
+            order,
+            SimParams(mu_bit=1.0, mu_bs=16.0),
+            target_width=0.0,
+            p=20,
+            max_q=32,
+            seed=2006,
+            stop_when_excludes_one=True,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner("Calibration: AIRSN-250 at mu_BIT=1, mu_BS=16"))
+    print(result.render())
+    print(
+        "(paper budget: 90,000 runs/algorithm/cell at p=q=300 — the "
+        "direction certifies orders of magnitude cheaper)"
+    )
+
+    # The effect direction must certify within the laptop budget, and the
+    # certified median should be in the paper's ballpark (< 0.9).
+    assert result.converged
+    assert result.final.stats.ci_high < 1.0
+    assert result.final.stats.median < 0.95
+    assert result.runs_needed <= 20 * 32

@@ -1,0 +1,53 @@
+"""Extension — worker churn (the paper's out-of-scope 'worker temporarily
+quitting the computation' model).
+
+With probability p an assigned worker quits partway and the job must be
+reassigned.  The PRIO advantage should survive — churn adds delay to both
+algorithms but does not change which eligible pool is richer.
+"""
+
+import numpy as np
+
+from common import banner
+from repro.core.prio import prio_schedule
+from repro.sim.engine import SimParams
+from repro.sim.replication import policy_factory, run_replications
+from repro.workloads.airsn import airsn
+
+N_RUNS = 32
+FAILURE_PROBS = (0.0, 0.1, 0.3)
+
+
+def test_churn_sweep(benchmark):
+    dag = airsn(100)
+    order = prio_schedule(dag).schedule
+
+    def run_all():
+        rows = {}
+        for p in FAILURE_PROBS:
+            params = SimParams(mu_bit=1.0, mu_bs=16.0, failure_prob=p)
+            prio = run_replications(
+                dag, policy_factory("oblivious", order=order), params,
+                N_RUNS, seed=11,
+            )
+            fifo = run_replications(
+                dag, policy_factory("fifo"), params, N_RUNS, seed=12
+            )
+            rows[p] = (
+                float(prio.execution_time.mean()),
+                float(fifo.execution_time.mean()),
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print(banner("Worker churn: AIRSN-100, mu_BIT=1, mu_BS=16"))
+    print(f"{'p(fail)':>8s} {'PRIO':>9s} {'FIFO':>9s} {'ratio':>7s}")
+    for p, (prio_t, fifo_t) in rows.items():
+        print(f"{p:>8.2f} {prio_t:>9.2f} {fifo_t:>9.2f} {prio_t / fifo_t:>7.3f}")
+
+    # Churn slows everyone down...
+    assert rows[0.3][0] > rows[0.0][0]
+    assert rows[0.3][1] > rows[0.0][1]
+    # ...but the advantage survives at every churn level.
+    for p, (prio_t, fifo_t) in rows.items():
+        assert prio_t < fifo_t

@@ -1,0 +1,51 @@
+"""Fig. 5 — the prioritized AIRSN dag and its bottleneck job.
+
+Regenerates the figure's content as structure analysis: the black-framed
+bottleneck job (the last handle job) carries priority 753 = 773 - 20; its
+ancestors (the handle) outrank every fringe parent; and the DOT rendering
+used for the figure is produced.  The benchmark times prio on the full
+AIRSN-250 dag.
+"""
+
+from repro.core.prio import prio_schedule
+from repro.dag.io_dot import to_dot
+from repro.workloads.airsn import AIRSN_HANDLE_LENGTH, airsn
+
+
+def test_fig5_airsn_bottleneck(benchmark):
+    dag = airsn(250)
+    result = benchmark(prio_schedule, dag)
+
+    bottleneck = dag.id_of(f"prep{AIRSN_HANDLE_LENGTH - 1:02d}")
+    bottleneck_priority = result.priorities[bottleneck]
+    fringe_priorities = [
+        result.priorities[dag.id_of(f"hdr{i:04d}")] for i in range(250)
+    ]
+    handle_priorities = [
+        result.priorities[dag.id_of(f"prep{i:02d}")]
+        for i in range(AIRSN_HANDLE_LENGTH)
+    ]
+
+    print("\nFig. 5 — AIRSN width 250 prioritized by prio")
+    print(f"jobs: {dag.n}; bottleneck job: {dag.label(bottleneck)}")
+    print(f"bottleneck priority: {bottleneck_priority} (paper: 753)")
+    print(
+        f"handle priorities: {max(handle_priorities)}..{min(handle_priorities)}; "
+        f"fringe priorities: {max(fringe_priorities)}..{min(fringe_priorities)}"
+    )
+    dot = to_dot(
+        dag,
+        priorities=result.priorities,
+        highlight={bottleneck},
+        name="AIRSN",
+    )
+    print(f"DOT rendering: {len(dot.splitlines())} lines (first 3 shown)")
+    print("\n".join(dot.splitlines()[:3]))
+
+    # The figure's facts.
+    assert bottleneck_priority == 753
+    assert min(handle_priorities) > max(fringe_priorities)
+    # The bottleneck's children (the first cover) have both parents ranked
+    # below the handle: dark children cannot run before the black-framed job.
+    for child in dag.children(bottleneck):
+        assert result.priorities[child] < bottleneck_priority

@@ -1,0 +1,46 @@
+"""Fig. 6 — performance gains for PRIO vs FIFO on AIRSN of width 250.
+
+Regenerates the figure's three panels as median + 95% CI series over the
+(mu_BIT, mu_BS) grid.  Headline claims reproduced in shape:
+
+* at mu_BIT = 1, mu_BS = 2^4 the execution-time ratio median is < 0.9
+  (the paper reports < 0.85: >= 13% faster with 95% confidence);
+* ratios approach 1 for very frequent arrivals, unit batches and huge
+  batches;
+* in the advantage region the stalling ratio is < 1 and the utilization
+  ratio is > 1.
+"""
+
+from common import run_sweep_bench, sweep_config
+from repro.workloads.airsn import airsn
+
+
+def test_fig6_airsn_sweep(benchmark):
+    dag = airsn(250)
+    config = sweep_config(
+        mu_bits=(0.01, 0.1, 1.0, 10.0),
+        mu_bss=(1.0, 4.0, 16.0, 32.0, 64.0, 256.0, 4096.0),
+        p=20,
+        q=5,
+    )
+    result = run_sweep_bench(benchmark, "AIRSN-250 (Fig. 6)", dag, config)
+
+    headline = result.cell(1.0, 16.0).ratios
+    assert headline["execution_time"].median < 0.9
+    assert headline["utilization"].median > 1.0
+    stall = headline["stalling_probability"]
+    assert stall is None or stall.median < 1.0
+
+    # Degenerate regimes tie (ratio ~= 1).
+    unit_batches = result.cell(1.0, 1.0).ratios["execution_time"]
+    assert abs(unit_batches.median - 1.0) < 0.1
+    huge_batches = result.cell(1.0, 4096.0).ratios["execution_time"]
+    assert abs(huge_batches.median - 1.0) < 0.1
+    frequent = result.cell(0.01, 16.0).ratios["execution_time"]
+    assert abs(frequent.median - 1.0) < 0.1
+
+    # Within the mu_BIT = 1 section the advantage peaks at a mid-range
+    # batch size (paper: ~2^5).
+    row = [c for c in result.cells if c.mu_bit == 1.0]
+    best = min(row, key=lambda c: c.ratios["execution_time"].median)
+    assert 2 <= best.mu_bs <= 256

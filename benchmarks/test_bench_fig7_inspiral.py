@@ -1,0 +1,30 @@
+"""Fig. 7 — performance gains for PRIO vs FIFO on Inspiral (2,988 jobs).
+
+The paper finds the Inspiral advantage maximized around mu_BS ~= 2^9 and
+generally milder than AIRSN's; ratios again approach 1 for very frequent
+arrivals and for extreme batch sizes.
+"""
+
+from common import run_sweep_bench, sweep_config
+from repro.workloads.inspiral import inspiral
+
+
+def test_fig7_inspiral_sweep(benchmark):
+    dag = inspiral()
+    config = sweep_config(
+        mu_bits=(0.1, 1.0, 10.0),
+        mu_bss=(1.0, 16.0, 128.0, 512.0, 2048.0, 16384.0),
+        p=10,
+        q=4,
+    )
+    result = run_sweep_bench(benchmark, "Inspiral (Fig. 7)", dag, config)
+
+    # Mid-range advantage exists...
+    best = result.best_cell("execution_time")
+    assert best.ratios["execution_time"].median < 0.97
+    assert 16 <= best.mu_bs <= 2048
+    # ...and extremes tie.
+    unit = result.cell(1.0, 1.0).ratios["execution_time"]
+    assert abs(unit.median - 1.0) < 0.1
+    huge = result.cell(1.0, 16384.0).ratios["execution_time"]
+    assert abs(huge.median - 1.0) < 0.15

@@ -1,0 +1,34 @@
+"""Fig. 8 — performance gains for PRIO vs FIFO on SDSS.
+
+The paper's SDSS dag (48,013 jobs) shows its advantage at large batch sizes
+(peak around mu_BS ~= 2^13, i.e. a sizeable fraction of its huge width).
+Simulating the full dag thousands of times is cluster work, so the laptop
+default uses the 1500-field scaled variant (13,806 jobs, identical shape:
+the (s,3)-W target stage dominating the width); its advantage peaks at the
+correspondingly scaled batch size.  REPRO_BENCH_FULL=1 runs the 48,013-job
+original on the paper's grid.
+"""
+
+from common import full_fidelity, run_sweep_bench, sweep_config
+from repro.workloads.sdss import sdss
+
+
+def test_fig8_sdss_sweep(benchmark):
+    if full_fidelity():
+        dag = sdss()
+    else:
+        dag = sdss(n_fields=1500, n_catalogs=300)
+    config = sweep_config(
+        mu_bits=(1.0, 10.0),
+        mu_bss=(4.0, 64.0, 512.0, 2048.0, 8192.0),
+        p=8,
+        q=3,
+    )
+    result = run_sweep_bench(
+        benchmark, f"SDSS[{dag.n} jobs] (Fig. 8)", dag, config
+    )
+
+    best = result.best_cell("execution_time")
+    assert best.ratios["execution_time"].median < 0.98
+    # The advantage sits at large batches for this wide dag.
+    assert best.mu_bs >= 64

@@ -1,0 +1,25 @@
+"""Fig. 9 — performance gains for PRIO vs FIFO on Montage (7,881 jobs).
+
+The paper finds Montage's gains the weakest of the four dags (its ratio
+panel spans only ~0.94-1.06), with the advantage around mu_BS ~= 2^7.
+"""
+
+from common import run_sweep_bench, sweep_config
+from repro.workloads.montage import montage
+
+
+def test_fig9_montage_sweep(benchmark):
+    dag = montage()
+    config = sweep_config(
+        mu_bits=(1.0, 10.0),
+        mu_bss=(4.0, 32.0, 128.0, 512.0, 4096.0),
+        p=8,
+        q=3,
+    )
+    result = run_sweep_bench(benchmark, "Montage (Fig. 9)", dag, config)
+
+    best = result.best_cell("execution_time")
+    # Weakest gains of the four dags, but PRIO should still not lose.
+    assert best.ratios["execution_time"].median < 1.0
+    extremes = result.cell(1.0, 4096.0).ratios["execution_time"]
+    assert abs(extremes.median - 1.0) < 0.15

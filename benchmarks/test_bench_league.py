@@ -1,0 +1,56 @@
+"""Extension — a full policy league at the headline operating point.
+
+Every scheduling variant the library implements, side by side on AIRSN-250
+under common random numbers, with paired sign tests against FIFO: the
+paper's PRIO-vs-FIFO comparison generalized to the whole design space
+(greedy vs topological combine, catalog on/off, exact-bipartite solver,
+random baseline).
+"""
+
+from common import banner
+from repro.analysis.league import Entrant, league, render_league
+from repro.core.prio import prio_schedule
+from repro.sim.engine import SimParams
+from repro.workloads.airsn import airsn
+
+
+def test_policy_league(benchmark):
+    dag = airsn(250)
+    entrants = [
+        Entrant.from_schedule("prio", prio_schedule(dag).schedule),
+        Entrant.from_schedule(
+            "prio-exact-bipartite",
+            prio_schedule(dag, exact_bipartite_limit=12).schedule,
+        ),
+        Entrant.from_schedule(
+            "prio-no-catalog",
+            prio_schedule(dag, use_catalog=False).schedule,
+        ),
+        Entrant.from_schedule(
+            "prio-topological",
+            prio_schedule(dag, combine="topological").schedule,
+        ),
+        Entrant("random", "random"),
+        Entrant("fifo", "fifo"),
+    ]
+
+    def run():
+        return league(
+            dag,
+            entrants,
+            SimParams(mu_bit=1.0, mu_bs=16.0),
+            n_runs=40,
+            seed=17,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner("Policy league: AIRSN-250, mu_BIT=1, mu_BS=16"))
+    print(render_league(rows))
+
+    by_name = {r.name: r for r in rows}
+    fifo = by_name["fifo"].mean_execution_time
+    # Every prio variant beats FIFO here; the full heuristic significantly.
+    for name, row in by_name.items():
+        if name.startswith("prio"):
+            assert row.mean_execution_time < fifo
+    assert by_name["prio"].p_beats_baseline < 0.05

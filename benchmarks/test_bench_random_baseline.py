@@ -1,0 +1,43 @@
+"""Extension — a RANDOM-order baseline alongside PRIO and FIFO.
+
+The paper compares PRIO only against FIFO (DAGMan's behaviour).  A random
+eligible-job policy separates two effects: how much of FIFO's deficit is
+its specific order (breadth-first burn of banked sources) versus merely
+not being PRIO.  On AIRSN, FIFO is *worse than random*: randomness
+sometimes defers the fringes, FIFO never does.
+"""
+
+import numpy as np
+
+from common import banner
+from repro.core.prio import prio_schedule
+from repro.sim.engine import SimParams
+from repro.sim.replication import policy_factory, run_replications
+from repro.workloads.airsn import airsn
+
+N_RUNS = 48
+
+
+def test_random_baseline(benchmark):
+    dag = airsn(100)
+    order = prio_schedule(dag).schedule
+    params = SimParams(mu_bit=1.0, mu_bs=16.0)
+
+    def run():
+        out = {}
+        for name, factory in [
+            ("prio", policy_factory("oblivious", order=order)),
+            ("fifo", policy_factory("fifo")),
+            ("random", policy_factory("random")),
+        ]:
+            metrics = run_replications(dag, factory, params, N_RUNS, seed=21)
+            out[name] = float(metrics.execution_time.mean())
+        return out
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner("Random baseline: AIRSN-100, mu_BIT=1, mu_BS=16"))
+    for name, t in means.items():
+        print(f"  {name:<8s} mean execution time {t:8.2f}")
+
+    assert means["prio"] < means["random"]
+    assert means["prio"] < means["fifo"]

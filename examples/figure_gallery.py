@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Terminal figure gallery: the paper's plots, drawn in ASCII.
+
+Renders scaled versions of the two figure shapes the paper uses — the
+Fig. 4 eligibility curves and a Fig. 6-style confidence-interval panel —
+entirely in the terminal, plus the advantage-region summary.
+
+Run:  python examples/figure_gallery.py [workload] [width_or_default]
+e.g.  python examples/figure_gallery.py airsn-small
+"""
+
+import sys
+
+from repro import SweepConfig, eligibility_curves, prio_schedule, ratio_sweep
+from repro.analysis.crossover import advantage_regions, render_regions
+from repro.analysis.figures import ascii_curve, ascii_interval_panel
+from repro.workloads import get_workload
+
+
+def main(name: str = "airsn-small") -> None:
+    dag = get_workload(name)
+    result = prio_schedule(dag)
+
+    # --- Fig. 4 style ------------------------------------------------------
+    curves = eligibility_curves(dag, name, prio_result=result)
+    print(
+        ascii_curve(
+            {"E_PRIO": curves.e_prio, "E_FIFO": curves.e_fifo},
+            title=f"{name}: eligible jobs vs executed steps (Fig. 4 style)",
+            width=68,
+            height=14,
+        )
+    )
+    print()
+    print(
+        ascii_curve(
+            {"difference": curves.difference},
+            title=f"{name}: E_PRIO(t) - E_FIFO(t)",
+            width=68,
+            height=8,
+        )
+    )
+
+    # --- Fig. 6 style ------------------------------------------------------
+    config = SweepConfig(
+        mu_bits=(1.0, 10.0),
+        mu_bss=(1.0, 4.0, 16.0, 64.0, 256.0),
+        p=10,
+        q=3,
+    )
+    print(f"\nsweeping {len(config.mu_bits) * len(config.mu_bss)} cells ...")
+    sweep = ratio_sweep(dag, result.schedule, config, name)
+    print()
+    print(ascii_interval_panel(sweep, "execution_time"))
+    print()
+    print(render_regions(advantage_regions(sweep)))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "airsn-small")

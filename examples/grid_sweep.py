@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Evaluation harness walkthrough: a PRIO-vs-FIFO sweep on any workload.
+
+Runs the paper's Sec. 4 methodology end to end on a chosen workload
+(default: the scaled Inspiral) over a small (mu_BIT, mu_BS) grid, and
+prints the figure-style report: per-mu_BIT sections of median ratios with
+95% confidence intervals for all three metrics.
+
+Run:  python examples/grid_sweep.py [workload] [p] [q]
+e.g.  python examples/grid_sweep.py airsn-small 12 4
+"""
+
+import sys
+
+from repro import SweepConfig, prio_schedule, ratio_sweep
+from repro.analysis.report import render_sweep, render_sweep_series
+from repro.workloads import get_workload, workload_names
+
+
+def main(name: str = "inspiral-small", p: int = 8, q: int = 3) -> None:
+    try:
+        dag = get_workload(name)
+    except KeyError:
+        print(f"unknown workload {name!r}; choose from {workload_names()}")
+        raise SystemExit(2)
+    print(f"workload {name}: {dag.n} jobs; scheduling with prio ...")
+    order = prio_schedule(dag).schedule
+
+    config = SweepConfig(
+        mu_bits=(0.1, 1.0, 10.0),
+        mu_bss=(1.0, 4.0, 16.0, 64.0, 256.0),
+        p=p,
+        q=q,
+    )
+    total = len(config.mu_bits) * len(config.mu_bss)
+    print(
+        f"sweep: {total} cells x 2 algorithms x {p * q} simulations "
+        f"(p={p}, q={q})"
+    )
+    result = ratio_sweep(
+        dag,
+        order,
+        config,
+        name,
+        progress=lambda d, t: print(f"  cell {d}/{t}", end="\r", flush=True),
+    )
+    print()
+    for metric in ("execution_time", "stalling_probability", "utilization"):
+        print(render_sweep_series(result, metric))
+        print()
+    print(render_sweep(result))
+
+    best = result.best_cell("execution_time")
+    print(
+        f"\nbest cell: mu_BIT={best.mu_bit:g}, mu_BS={best.mu_bs:g} -> "
+        f"{best.ratios['execution_time']}"
+    )
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(
+        args[0] if len(args) > 0 else "inspiral-small",
+        int(args[1]) if len(args) > 1 else 8,
+        int(args[2]) if len(args) > 2 else 3,
+    )

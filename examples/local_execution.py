@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""End to end on real processes: export, prioritize, execute, rescue.
+
+The full life of a workflow, with actual subprocesses as jobs:
+
+1. export a scaled AIRSN dag as a DAGMan tree whose jobs are `touch`
+   commands (one output file per job);
+2. run the prio tool on the files;
+3. execute the workflow with the local engine (priority-driven dispatch,
+   4 concurrent workers) and confirm every output file exists;
+4. sabotage one stage, re-run, and show the rescue dag + resumed run.
+
+Run:  python examples/local_execution.py [workdir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core.tool import prioritize_dagman_file
+from repro.dagman.parser import parse_dagman_file, parse_dagman_text
+from repro.dagman.runner import JobState, SubprocessExecutor, run_workflow
+from repro.workloads import airsn, export_workflow
+
+JSDF = """\
+universe = vanilla
+executable = /usr/bin/touch
+arguments = out/$(JOB).done
+queue
+"""
+
+
+def main(workdir: str | None = None) -> None:
+    root = Path(workdir) if workdir else Path(tempfile.mkdtemp(prefix="prio_"))
+    dag = airsn(8)
+
+    # 1-2. export + prioritize.
+    dag_path, _ = export_workflow(dag, root, jsdf_template=JSDF)
+    (root / "out").mkdir(exist_ok=True)
+    result = prioritize_dagman_file(dag_path, instrument_jsdfs=True)
+    print(f"exported and prioritized: {result.summary()}")
+
+    # 3. execute for real.
+    executor = SubprocessExecutor(root)
+    run = run_workflow(
+        parse_dagman_file(dag_path),
+        executor,
+        max_workers=4,
+        run_script=executor.run_script,
+    )
+    outputs = sorted((root / "out").glob("*.done"))
+    print(
+        f"executed {run.n_done}/{len(run.outcomes)} jobs "
+        f"({len(outputs)} output files); first dispatched: "
+        f"{', '.join(run.dispatch_order[:5])} ..."
+    )
+    assert run.succeeded and len(outputs) == dag.n
+
+    # 4. sabotage the snr stage and demonstrate rescue.
+    (root / "snr.sub").write_text("executable = /bin/false\nqueue\n")
+    broken = run_workflow(parse_dagman_file(dag_path), SubprocessExecutor(root))
+    print(
+        f"\nwith a broken snr stage: {broken.n_done} done, "
+        f"{len(broken.failed_jobs())} failed, rescue dag generated"
+    )
+    rescue_path = root / "rescue.dag"
+    rescue_path.write_text(broken.rescue_text())
+    # "Fix" the stage and resume from the rescue file.
+    (root / "snr.sub").write_text(JSDF)
+    resumed = run_workflow(
+        parse_dagman_file(rescue_path), SubprocessExecutor(root)
+    )
+    rerun = sum(1 for o in resumed.outcomes.values() if o.attempts > 0)
+    print(
+        f"resumed from rescue: re-ran only {rerun} of {dag.n} jobs "
+        f"-> success={resumed.succeeded}"
+    )
+    print(f"\nworkflow directory kept at: {root}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: prioritize a small workflow and see why it helps.
+
+Builds the paper's Fig. 3 example (five jobs: a->b, c->d, c->e), runs the
+prio heuristic and the FIFO baseline, compares their eligibility profiles,
+and simulates one grid execution of each.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    DagBuilder,
+    SimParams,
+    eligibility_profile,
+    fifo_schedule,
+    make_policy,
+    prio_schedule,
+    simulate,
+)
+
+
+def main() -> None:
+    # 1. Describe the workflow: jobs and dependencies.
+    builder = DagBuilder()
+    for job in "abcde":
+        builder.add_job(job)
+    builder.add_dependency("a", "b")
+    builder.add_dependency("c", "d")
+    builder.add_dependency("c", "e")
+    dag = builder.build()
+
+    # 2. Prioritize with the prio heuristic.
+    result = prio_schedule(dag)
+    print("PRIO schedule :", ", ".join(dag.label(u) for u in result.schedule))
+    print(
+        "priorities    :",
+        {dag.label(u): result.priorities[u] for u in range(dag.n)},
+    )
+
+    # 3. Compare eligible-job counts with DAGMan's FIFO order.
+    fifo = fifo_schedule(dag)
+    print("FIFO schedule :", ", ".join(dag.label(u) for u in fifo))
+    print("E_PRIO(t)     :", eligibility_profile(dag, result.schedule).tolist())
+    print("E_FIFO(t)     :", eligibility_profile(dag, fifo).tolist())
+    print("(after one step PRIO has 3 eligible jobs, FIFO only 2)")
+
+    # 4. Simulate a grid execution of each (batched workers, lost if idle).
+    params = SimParams(mu_bit=1.0, mu_bs=2.0)
+    for name, policy in [
+        ("PRIO", make_policy("oblivious", order=result.schedule)),
+        ("FIFO", make_policy("fifo")),
+    ]:
+        sim = simulate(dag, policy, params, np.random.default_rng(0))
+        print(
+            f"{name} simulation: finished in {sim.execution_time:.2f}, "
+            f"utilization {sim.utilization:.2f}, "
+            f"stalling {sim.stalling_probability:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

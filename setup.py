@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package
+(this sandbox has setuptools 65 but no network and no wheel); all real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""Where does prio help? Advantage regions and crossovers of a sweep.
+
+The paper's discussion of Figs. 6-9 is about *regions*: PRIO ties when
+batches are tiny, huge or too frequent, and wins in a mid-range whose
+location depends on the dag (AIRSN ~2^5, Inspiral ~2^9, Montage ~2^7,
+SDSS ~2^13).  This module condenses a :class:`~repro.analysis.sweep.SweepResult`
+into exactly those statements: per mu_BIT, the peak-gain batch size, the
+confident-win cells (CI entirely below 1) and the batch size where the
+advantage fades back to parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .sweep import SweepResult
+
+__all__ = ["AdvantageRegion", "advantage_regions", "render_regions"]
+
+
+@dataclass(frozen=True)
+class AdvantageRegion:
+    """The PRIO advantage profile along one mu_BIT row."""
+
+    mu_bit: float
+    #: batch size with the smallest median execution-time ratio
+    peak_mu_bs: float
+    peak_median: float
+    #: batch sizes where the 95% CI lies entirely below 1 ("confident win")
+    confident_mu_bss: tuple[float, ...]
+    #: smallest batch size after the peak whose CI re-straddles 1
+    fade_mu_bs: float | None
+
+    @property
+    def has_confident_win(self) -> bool:
+        return bool(self.confident_mu_bss)
+
+
+def advantage_regions(
+    result: SweepResult, metric: str = "execution_time"
+) -> list[AdvantageRegion]:
+    """One :class:`AdvantageRegion` per mu_BIT row of the sweep."""
+    regions: list[AdvantageRegion] = []
+    for mu_bit in result.config.mu_bits:
+        row = [c for c in result.cells if c.mu_bit == mu_bit]
+        row.sort(key=lambda c: c.mu_bs)
+        scored = [c for c in row if c.ratios.get(metric) is not None]
+        if not scored:
+            continue
+        peak = min(scored, key=lambda c: c.ratios[metric].median)
+        confident = tuple(
+            c.mu_bs for c in scored if c.ratios[metric].interval_below(1.0)
+        )
+        fade = None
+        for c in scored:
+            if c.mu_bs <= peak.mu_bs:
+                continue
+            stats = c.ratios[metric]
+            if stats.ci_low <= 1.0 <= stats.ci_high or stats.median >= 1.0:
+                fade = c.mu_bs
+                break
+        regions.append(
+            AdvantageRegion(
+                mu_bit=mu_bit,
+                peak_mu_bs=peak.mu_bs,
+                peak_median=peak.ratios[metric].median,
+                confident_mu_bss=confident,
+                fade_mu_bs=fade,
+            )
+        )
+    return regions
+
+
+def render_regions(regions: list[AdvantageRegion]) -> str:
+    """Human-readable 'who wins where' summary."""
+    lines = ["PRIO advantage regions (execution-time ratio)"]
+    for r in regions:
+        win = (
+            f"confident wins at mu_BS in {list(r.confident_mu_bss)}"
+            if r.has_confident_win
+            else "no cell with CI fully below 1"
+        )
+        fade = f"; parity again from mu_BS ~ {r.fade_mu_bs:g}" if r.fade_mu_bs else ""
+        lines.append(
+            f"  mu_BIT={r.mu_bit:<8g} peak at mu_BS={r.peak_mu_bs:g} "
+            f"(median {r.peak_median:.3f}); {win}{fade}"
+        )
+    return "\n".join(lines)

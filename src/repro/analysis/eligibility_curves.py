@@ -1,0 +1,86 @@
+"""Eligible-job curves: the data behind Fig. 4 (and Sec. 3.4).
+
+For a dag, compute ``E_PRIO(t)`` and ``E_FIFO(t)`` — the number of eligible
+jobs after the first *t* jobs of each schedule execute — and their
+difference, both absolute and normalized by the dag size (the two columns
+of Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.fifo import fifo_schedule
+from ..core.prio import PrioResult, prio_schedule
+from ..dag.graph import Dag
+from ..theory.eligibility import eligibility_profile
+
+__all__ = ["EligibilityCurves", "eligibility_curves"]
+
+
+@dataclass(frozen=True)
+class EligibilityCurves:
+    """PRIO vs FIFO eligibility profiles for one dag."""
+
+    name: str
+    n_jobs: int
+    e_prio: np.ndarray
+    e_fifo: np.ndarray
+
+    @property
+    def difference(self) -> np.ndarray:
+        """``E_PRIO(t) - E_FIFO(t)`` (the right column of Fig. 4)."""
+        return self.e_prio - self.e_fifo
+
+    @property
+    def normalized_steps(self) -> np.ndarray:
+        """Step axis ``t / n`` (the left column of Fig. 4)."""
+        return np.arange(self.n_jobs + 1) / max(self.n_jobs, 1)
+
+    @property
+    def max_difference(self) -> int:
+        return int(self.difference.max())
+
+    @property
+    def mean_difference(self) -> float:
+        return float(self.difference.mean())
+
+    @property
+    def min_difference(self) -> int:
+        return int(self.difference.min())
+
+    @property
+    def fraction_nonnegative(self) -> float:
+        """Fraction of steps where PRIO has at least as many eligible jobs
+        ("typically, at every step ... at least that produced by FIFO")."""
+        return float((self.difference >= 0).mean())
+
+    def summary_row(self) -> str:
+        return (
+            f"{self.name:<10s} n={self.n_jobs:<6d} "
+            f"max(E_PRIO-E_FIFO)={self.max_difference:<5d} "
+            f"mean={self.mean_difference:8.2f} "
+            f"min={self.min_difference:<4d} "
+            f"steps with PRIO>=FIFO: {self.fraction_nonnegative:6.1%}"
+        )
+
+
+def eligibility_curves(
+    dag: Dag,
+    name: str = "dag",
+    *,
+    prio_result: PrioResult | None = None,
+) -> EligibilityCurves:
+    """Compute the Fig. 4 curves for *dag*.
+
+    Pass a precomputed :class:`~repro.core.prio.PrioResult` to avoid
+    re-running the scheduler on large dags.
+    """
+    prio = prio_result if prio_result is not None else prio_schedule(dag)
+    e_prio = eligibility_profile(dag, prio.schedule)
+    e_fifo = eligibility_profile(dag, fifo_schedule(dag))
+    return EligibilityCurves(
+        name=name, n_jobs=dag.n, e_prio=e_prio, e_fifo=e_fifo
+    )

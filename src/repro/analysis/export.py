@@ -1,0 +1,120 @@
+"""Exporting experiment results to CSV / JSON.
+
+The benches print the paper's rows; anyone re-plotting the figures in
+their own toolchain wants machine-readable output.  These helpers
+serialize sweeps and eligibility curves with one row per data point and
+stable column names.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+from .eligibility_curves import EligibilityCurves
+from .sweep import METRICS, SweepResult
+
+__all__ = [
+    "sweep_to_rows",
+    "sweep_to_csv",
+    "sweep_to_json",
+    "curves_to_csv",
+]
+
+_SWEEP_COLUMNS = (
+    "workload",
+    "mu_bit",
+    "mu_bs",
+    "metric",
+    "median",
+    "mean",
+    "std",
+    "ci_low",
+    "ci_high",
+)
+
+
+def sweep_to_rows(result: SweepResult) -> list[dict[str, Any]]:
+    """One dict per (cell, metric); missing ratios yield null statistics."""
+    rows: list[dict[str, Any]] = []
+    for cell in result.cells:
+        for metric in METRICS:
+            stats = cell.ratios.get(metric)
+            rows.append(
+                {
+                    "workload": result.workload,
+                    "mu_bit": cell.mu_bit,
+                    "mu_bs": cell.mu_bs,
+                    "metric": metric,
+                    "median": None if stats is None else stats.median,
+                    "mean": None if stats is None else stats.mean,
+                    "std": None if stats is None else stats.std,
+                    "ci_low": None if stats is None else stats.ci_low,
+                    "ci_high": None if stats is None else stats.ci_high,
+                }
+            )
+    return rows
+
+
+def sweep_to_csv(result: SweepResult, path: str | Path | None = None) -> str:
+    """CSV text of a sweep (also written to *path* when given)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=_SWEEP_COLUMNS, lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in sweep_to_rows(result):
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def sweep_to_json(result: SweepResult, path: str | Path | None = None) -> str:
+    """JSON text of a sweep, including the configuration used."""
+    payload = {
+        "format": "repro-sweep-v1",
+        "workload": result.workload,
+        "config": {
+            "mu_bits": list(result.config.mu_bits),
+            "mu_bss": list(result.config.mu_bss),
+            "p": result.config.p,
+            "q": result.config.q,
+            "seed": result.config.seed,
+            "batch_size_dist": result.config.batch_size_dist,
+            "paired": result.config.paired,
+        },
+        "rows": sweep_to_rows(result),
+    }
+    text = json.dumps(payload, indent=2)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text
+
+
+def curves_to_csv(
+    curves: EligibilityCurves, path: str | Path | None = None
+) -> str:
+    """Fig. 4 series as CSV: t, E_PRIO, E_FIFO, difference, t/n."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["t", "e_prio", "e_fifo", "difference", "t_normalized"])
+    steps = curves.normalized_steps
+    for t in range(curves.n_jobs + 1):
+        writer.writerow(
+            [
+                t,
+                int(curves.e_prio[t]),
+                int(curves.e_fifo[t]),
+                int(curves.difference[t]),
+                float(steps[t]),
+            ]
+        )
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

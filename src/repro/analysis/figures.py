@@ -1,0 +1,128 @@
+"""Plain-text renderings of the paper's plots.
+
+The repository is matplotlib-free; these renderers draw the two figure
+shapes the paper uses directly in the terminal:
+
+* :func:`ascii_curve` — a line plot of one or two series (Fig. 4's
+  eligible-job curves);
+* :func:`ascii_interval_panel` — a confidence-interval panel: one column
+  per mu_BS with a bar spanning the 95% CI and a marker at the median,
+  sections per mu_BIT (Figs. 6-9's panels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sweep import SweepResult
+
+__all__ = ["ascii_curve", "ascii_interval_panel"]
+
+
+def _resample(values: np.ndarray, width: int) -> np.ndarray:
+    """Downsample (or stretch) a series to *width* points."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == width:
+        return values
+    x_new = np.linspace(0, values.size - 1, width)
+    return np.interp(x_new, np.arange(values.size), values)
+
+
+def ascii_curve(
+    series: dict[str, np.ndarray],
+    *,
+    width: int = 64,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Line plot of up to a handful of equally long series.
+
+    Each series gets its own glyph (``*``, ``o``, ``+`` ...); overlapping
+    points show the later series' glyph.  The y-axis is shared and shown
+    on the left.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    glyphs = "*o+x#@"
+    arrays = {name: np.asarray(v, dtype=np.float64) for name, v in series.items()}
+    lo = min(float(a.min()) for a in arrays.values())
+    hi = max(float(a.max()) for a in arrays.values())
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for gi, (name, values) in enumerate(arrays.items()):
+        glyph = glyphs[gi % len(glyphs)]
+        resampled = _resample(values, width)
+        rows = ((hi - resampled) / span * (height - 1)).round().astype(int)
+        for col, row in enumerate(rows):
+            grid[int(row)][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = hi if i == 0 else (lo if i == height - 1 else None)
+        prefix = f"{label:8.1f} |" if label is not None else "         |"
+        lines.append(prefix + "".join(row))
+    lines.append("         +" + "-" * width)
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(arrays)
+    )
+    lines.append("           " + legend)
+    return "\n".join(lines)
+
+
+def ascii_interval_panel(
+    result: SweepResult,
+    metric: str = "execution_time",
+    *,
+    height: int = 14,
+) -> str:
+    """The paper's CI panels as text: per mu_BIT section, one column per
+    mu_BS showing the 95% interval (``|``) and the median (``o``); a ruled
+    line marks ratio 1.0.  Missing cells (no interval) show ``x``."""
+    cells = [
+        (c, c.ratios.get(metric))
+        for c in result.cells
+    ]
+    present = [s for _, s in cells if s is not None]
+    if not present:
+        raise ValueError(f"no cell has a ratio for {metric!r}")
+    lo = min(min(s.ci_low for s in present), 1.0)
+    hi = max(max(s.ci_high for s in present), 1.0)
+    span = hi - lo or 1.0
+
+    def row_of(value: float) -> int:
+        return int(round((hi - value) / span * (height - 1)))
+
+    lines = [f"{metric} ratio (o median, | 95% CI, ---- ratio 1.0)"]
+    col_w = 7
+    for mu_bit in result.config.mu_bits:
+        row_cells = [c for c in result.cells if c.mu_bit == mu_bit]
+        row_cells.sort(key=lambda c: c.mu_bs)
+        grid = [[" " * col_w for _ in row_cells] for _ in range(height)]
+        for j, cell in enumerate(row_cells):
+            stats = cell.ratios.get(metric)
+            if stats is None:
+                grid[height // 2][j] = "x".center(col_w)
+                continue
+            top, bottom = row_of(stats.ci_high), row_of(stats.ci_low)
+            for r in range(top, bottom + 1):
+                grid[r][j] = "|".center(col_w)
+            grid[row_of(stats.median)][j] = "o".center(col_w)
+        one_row = row_of(1.0)
+        lines.append(f"-- mu_BIT = {mu_bit:g}")
+        for r in range(height):
+            body = "".join(grid[r])
+            if r == one_row:
+                body = "".join(
+                    ch if ch != " " else "-" for ch in body
+                )
+                lines.append(f"{1.0:6.2f} {body}")
+            else:
+                label = hi if r == 0 else (lo if r == height - 1 else None)
+                prefix = f"{label:6.2f} " if label is not None else "       "
+                lines.append(prefix + body)
+        axis = "".join(
+            f"{c.mu_bs:g}".center(col_w) for c in row_cells
+        )
+        lines.append("mu_BS: " + axis)
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Policy league tables: any set of schedules/policies, one operating
+point, common random numbers.
+
+The paper compares two algorithms; the library has more (PRIO, FIFO,
+RANDOM, topological-combine PRIO, catalog-less PRIO, exact-bipartite
+PRIO...).  A league run measures them side by side under identical worker
+arrivals and reports means with paired-difference significance against a
+chosen baseline (the sign test of :mod:`repro.stats.tests`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..dag.graph import Dag
+from ..sim.compile import CompiledDag
+from ..sim.engine import SimParams
+from ..sim.replication import policy_factory, run_replications
+from ..stats.tests import sign_test
+
+__all__ = ["Entrant", "LeagueRow", "league", "render_league"]
+
+
+@dataclass(frozen=True)
+class Entrant:
+    """One competitor: a policy kind plus (for oblivious) its order."""
+
+    name: str
+    kind: str  # "oblivious" | "fifo" | "random"
+    order: tuple[int, ...] | None = None
+
+    @classmethod
+    def from_schedule(cls, name: str, schedule: Sequence[int]) -> "Entrant":
+        return cls(name=name, kind="oblivious", order=tuple(schedule))
+
+
+@dataclass(frozen=True)
+class LeagueRow:
+    """One entrant's results."""
+
+    name: str
+    mean_execution_time: float
+    mean_utilization: float
+    mean_stalling: float
+    #: one-sided sign-test p-value that this entrant beats the baseline
+    #: on matched runs (None for the baseline itself)
+    p_beats_baseline: float | None
+
+
+def league(
+    dag: Dag,
+    entrants: Sequence[Entrant],
+    params: SimParams,
+    *,
+    n_runs: int = 32,
+    seed: int = 0,
+    baseline: str | None = None,
+) -> list[LeagueRow]:
+    """Run every entrant over the same *n_runs* seed streams.
+
+    *baseline* names the entrant paired comparisons are made against
+    (default: the last entrant, conventionally FIFO).  Rows come back
+    sorted by mean execution time, best first.
+    """
+    if not entrants:
+        raise ValueError("need at least one entrant")
+    names = [e.name for e in entrants]
+    if len(set(names)) != len(names):
+        raise ValueError("entrant names must be unique")
+    baseline = baseline if baseline is not None else names[-1]
+    if baseline not in names:
+        raise ValueError(f"unknown baseline {baseline!r}")
+    compiled = CompiledDag.from_dag(dag)
+    metrics = {}
+    for e in entrants:
+        factory = policy_factory(
+            e.kind, order=list(e.order) if e.order else None
+        )
+        metrics[e.name] = run_replications(
+            compiled, factory, params, n_runs, seed=seed
+        )
+    base_times = metrics[baseline].execution_time
+    rows = []
+    for e in entrants:
+        m = metrics[e.name]
+        p_value = None
+        if e.name != baseline:
+            p_value = sign_test(m.execution_time, base_times).p_value
+        rows.append(
+            LeagueRow(
+                name=e.name,
+                mean_execution_time=float(m.execution_time.mean()),
+                mean_utilization=float(m.utilization.mean()),
+                mean_stalling=float(m.stalling_probability.mean()),
+                p_beats_baseline=p_value,
+            )
+        )
+    rows.sort(key=lambda r: r.mean_execution_time)
+    return rows
+
+
+def render_league(rows: list[LeagueRow]) -> str:
+    """Text table, best execution time first."""
+    lines = [
+        f"{'entrant':<22s} {'exec time':>10s} {'util':>7s} {'stall':>7s} "
+        f"{'p(beats base)':>14s}"
+    ]
+    for r in rows:
+        p = "baseline" if r.p_beats_baseline is None else f"{r.p_beats_baseline:.4f}"
+        lines.append(
+            f"{r.name:<22s} {r.mean_execution_time:>10.2f} "
+            f"{r.mean_utilization:>7.3f} {r.mean_stalling:>7.3f} {p:>14s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""One-shot reproduction report: every experiment at a chosen scale.
+
+``full_report`` runs the whole evaluation story for a set of workloads —
+shape statistics, the Fig. 4 eligibility summary, the Sec. 3.6 overhead
+row, a ratio sweep with advantage regions — and renders a single text
+report.  The CLI exposes it as ``prio report``; the default scale finishes
+in about a minute on the small workload variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.prio import prio_schedule
+from ..dag.graph import Dag
+from ..dag.metrics import dag_shape
+from .crossover import advantage_regions, render_regions
+from .eligibility_curves import eligibility_curves
+from .overhead import OverheadRecord, measure_overhead, render_overhead_table
+from .report import render_sweep_series
+from .sweep import SweepConfig, SweepResult, ratio_sweep
+
+__all__ = ["WorkloadReport", "full_report", "render_report"]
+
+
+@dataclass
+class WorkloadReport:
+    """All experiment outputs for one workload."""
+
+    name: str
+    shape_row: str
+    curves_row: str
+    overhead: OverheadRecord
+    sweep: SweepResult
+    regions_text: str
+    families: dict[str, int] = field(default_factory=dict)
+
+
+def full_report(
+    workloads: dict[str, Dag],
+    config: SweepConfig | None = None,
+    *,
+    progress=None,
+) -> list[WorkloadReport]:
+    """Run every experiment for each workload; returns one report each."""
+    config = config or SweepConfig(
+        mu_bits=(1.0,), mu_bss=(1.0, 4.0, 16.0, 64.0, 256.0), p=8, q=2
+    )
+    reports: list[WorkloadReport] = []
+    for i, (name, dag) in enumerate(workloads.items()):
+        if progress is not None:
+            progress(name, i, len(workloads))
+        overhead, prio_result = measure_overhead(dag, name)
+        curves = eligibility_curves(dag, name, prio_result=prio_result)
+        sweep = ratio_sweep(dag, prio_result.schedule, config, name)
+        regions = advantage_regions(sweep)
+        reports.append(
+            WorkloadReport(
+                name=name,
+                shape_row=dag_shape(dag).row(name),
+                curves_row=curves.summary_row(),
+                overhead=overhead,
+                sweep=sweep,
+                regions_text=render_regions(regions),
+                families=prio_result.families_used,
+            )
+        )
+    return reports
+
+
+def render_report(reports: list[WorkloadReport]) -> str:
+    """The combined text report."""
+    lines = ["=" * 72, "prio reproduction report", "=" * 72, ""]
+    lines.append("-- workload shapes " + "-" * 40)
+    lines.extend(r.shape_row for r in reports)
+    lines.append("")
+    lines.append("-- eligible jobs, PRIO vs FIFO (Fig. 4) " + "-" * 20)
+    lines.extend(r.curves_row for r in reports)
+    lines.append("")
+    lines.append("-- prio pipeline overhead (Sec. 3.6) " + "-" * 23)
+    lines.append(render_overhead_table([r.overhead for r in reports]))
+    lines.append("")
+    for r in reports:
+        lines.append(f"-- {r.name}: sweep (Figs. 6-9 style) " + "-" * 20)
+        lines.append(f"building blocks: {dict(sorted(r.families.items()))}")
+        for metric in ("execution_time", "stalling_probability", "utilization"):
+            lines.append(render_sweep_series(r.sweep, metric))
+        lines.append(r.regions_text)
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""The (mu_BIT, mu_BS) performance sweep behind Figs. 6-9.
+
+For every grid cell the three metrics (execution time, stalling
+probability, utilization) are measured for PRIO and FIFO over ``p * q``
+simulations each, folded into empirical sampling distributions (*p* means
+of *q* runs) and compared as trimmed ratio distributions with 95%
+confidence intervals — the methodology of Sec. 4.2.
+
+Paper grids: ``mu_BIT`` in powers of 10 from 1e-3 to 1e3 (7 values) and
+``mu_BS`` in powers of 2 from 1 to 65,536 (17 values), with p = q = 300.
+Those take cluster time; :func:`quick_grid` and the p/q defaults shrink the
+experiment to laptop scale while keeping every qualitative feature
+(EXPERIMENTS.md records the exact settings per run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..dag.graph import Dag
+from ..sim.compile import CompiledDag
+from ..sim.engine import SimParams
+from ..sim.replication import policy_factory, run_replications
+from ..stats.ratio import RatioStatistics, ratio_statistics
+from ..stats.sampling import sampling_distribution_from_values
+
+__all__ = [
+    "METRICS",
+    "SweepConfig",
+    "CellResult",
+    "SweepResult",
+    "ratio_sweep",
+    "paper_grid",
+    "quick_grid",
+]
+
+#: Metric names, in the order the figures present them (panels a, b, c).
+METRICS = ("execution_time", "stalling_probability", "utilization")
+
+
+def paper_grid() -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """The full grids of Sec. 4.2: 7 interarrival means x 17 batch sizes."""
+    mu_bits = tuple(10.0 ** e for e in range(-3, 4))
+    mu_bss = tuple(float(2 ** e) for e in range(0, 17))
+    return mu_bits, mu_bss
+
+
+def quick_grid() -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """A reduced grid covering the same regimes (frequent/rare arrivals,
+    small/medium/large batches) at laptop cost."""
+    mu_bits = (0.01, 0.1, 1.0, 10.0, 100.0)
+    mu_bss = tuple(float(2 ** e) for e in (0, 2, 4, 6, 8, 10))
+    return mu_bits, mu_bss
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Sweep settings (defaults: quick grid, laptop-scale p and q)."""
+
+    mu_bits: tuple[float, ...] = field(default_factory=lambda: quick_grid()[0])
+    mu_bss: tuple[float, ...] = field(default_factory=lambda: quick_grid()[1])
+    p: int = 12
+    q: int = 4
+    seed: int = 20060427
+    batch_size_dist: str = "geometric"
+    runtime_mean: float = 1.0
+    runtime_std: float = 0.1
+    #: Common random numbers: give PRIO and FIFO identical seed streams
+    #: (identical batch arrivals) and compare *matched* samples x_i / y_i
+    #: instead of the paper's all-pairs x_i / y_j (all-pairs would destroy
+    #: the pairing).  Sharply narrows the CIs at small p*q; the paper's
+    #: own methodology (the default) uses independent streams.
+    paired: bool = False
+
+    @classmethod
+    def paper(cls, **overrides) -> "SweepConfig":
+        """The paper's full configuration (p = q = 300, full grids)."""
+        mu_bits, mu_bss = paper_grid()
+        defaults = dict(mu_bits=mu_bits, mu_bss=mu_bss, p=300, q=300)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """PRIO/FIFO ratio statistics for one (mu_bit, mu_bs) cell.
+
+    ``ratios[metric]`` is ``None`` when no interval can be reported (a
+    denominator sample was zero — common for the stalling probability in
+    easy regimes, shown as missing segments in the paper's figures).
+    """
+
+    mu_bit: float
+    mu_bs: float
+    ratios: dict[str, RatioStatistics | None]
+
+    def ratio(self, metric: str) -> RatioStatistics | None:
+        return self.ratios[metric]
+
+
+@dataclass
+class SweepResult:
+    """All cells of one dag's sweep, row-major over (mu_bit, mu_bs)."""
+
+    workload: str
+    config: SweepConfig
+    cells: list[CellResult]
+
+    def cell(self, mu_bit: float, mu_bs: float) -> CellResult:
+        for c in self.cells:
+            if c.mu_bit == mu_bit and c.mu_bs == mu_bs:
+                return c
+        raise KeyError(f"no cell for mu_bit={mu_bit}, mu_bs={mu_bs}")
+
+    def best_cell(self, metric: str = "execution_time") -> CellResult:
+        """The cell where PRIO helps most (smallest median ratio)."""
+        scored = [
+            c for c in self.cells if c.ratios.get(metric) is not None
+        ]
+        if not scored:
+            raise ValueError(f"no cell has a ratio for {metric!r}")
+        return min(scored, key=lambda c: c.ratios[metric].median)
+
+
+def _paired_ratio_statistics(s_num, s_den) -> RatioStatistics | None:
+    """Matched-sample ratios x_i / y_i (common-random-numbers mode)."""
+    import numpy as np
+
+    from ..stats.ratio import trimmed_interval
+
+    num = np.asarray(s_num, dtype=np.float64)
+    den = np.asarray(s_den, dtype=np.float64)
+    if np.any(den == 0.0):
+        return None
+    ratios = num / den
+    lo, hi = trimmed_interval(ratios)
+    return RatioStatistics(
+        mean=float(ratios.mean()),
+        std=float(ratios.std(ddof=0)),
+        median=float(np.median(ratios)),
+        ci_low=lo,
+        ci_high=hi,
+    )
+
+
+def ratio_sweep(
+    dag: Dag,
+    prio_order: Sequence[int],
+    config: SweepConfig = SweepConfig(),
+    workload: str = "dag",
+    *,
+    progress=None,
+) -> SweepResult:
+    """Run the PRIO-vs-FIFO sweep for one dag.
+
+    ``prio_order`` is the PRIO schedule (from
+    :func:`repro.core.prio.prio_schedule`); FIFO needs no order.
+    *progress*, when given, is called with ``(done_cells, total_cells)``
+    after each cell.
+    """
+    compiled = CompiledDag.from_dag(dag)
+    root = np.random.SeedSequence(config.seed)
+    cells: list[CellResult] = []
+    total = len(config.mu_bits) * len(config.mu_bss)
+    count = config.p * config.q
+    prio_factory = policy_factory("oblivious", order=list(prio_order))
+    fifo_factory = policy_factory("fifo")
+    done = 0
+    for mu_bit in config.mu_bits:
+        for mu_bs in config.mu_bss:
+            params = SimParams(
+                mu_bit=mu_bit,
+                mu_bs=mu_bs,
+                runtime_mean=config.runtime_mean,
+                runtime_std=config.runtime_std,
+                batch_size_dist=config.batch_size_dist,
+            )
+            if config.paired:
+                seed_prio = seed_fifo = root.spawn(1)[0]
+            else:
+                seed_prio, seed_fifo = root.spawn(2)
+            prio_metrics = run_replications(
+                compiled, prio_factory, params, count, seed_prio
+            )
+            fifo_metrics = run_replications(
+                compiled, fifo_factory, params, count, seed_fifo
+            )
+            ratios: dict[str, RatioStatistics | None] = {}
+            for metric in METRICS:
+                s_prio = sampling_distribution_from_values(
+                    prio_metrics.metric(metric), config.p, config.q
+                )
+                s_fifo = sampling_distribution_from_values(
+                    fifo_metrics.metric(metric), config.p, config.q
+                )
+                if config.paired:
+                    ratios[metric] = _paired_ratio_statistics(s_prio, s_fifo)
+                else:
+                    ratios[metric] = ratio_statistics(s_prio, s_fifo)
+            cells.append(CellResult(mu_bit=mu_bit, mu_bs=mu_bs, ratios=ratios))
+            done += 1
+            if progress is not None:
+                progress(done, total)
+    return SweepResult(workload=workload, config=config, cells=cells)

@@ -1,0 +1,568 @@
+"""Command-line interface: the prio tool and the evaluation harness.
+
+Subcommands::
+
+    prio      instrument a DAGMan input file with jobpriority macros
+    schedule  print the PRIO (or FIFO) schedule of a workload or .dag file
+    decompose show the building blocks and recognized families of a dag
+    dot       export a dag (with PRIO priorities) as Graphviz DOT
+    curves    Fig. 4: eligible-job difference curves, PRIO vs FIFO
+    simulate  run one simulated execution and print the three metrics
+    sweep     Figs. 6-9: the (mu_BIT, mu_BS) ratio sweep
+    regions   summarize where PRIO wins (advantage regions of a sweep)
+    overhead  Sec. 3.6: pipeline running time and memory per workload
+    run       execute a DAGMan workflow locally (priority-driven dispatch)
+    report    one-shot reproduction report over several workloads
+
+``python -m repro.cli <subcommand> --help`` documents each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis.eligibility_curves import eligibility_curves
+from .analysis.overhead import measure_overhead, render_overhead_table
+from .analysis.report import render_curves_table, render_sweep
+from .analysis.sweep import SweepConfig, paper_grid, ratio_sweep
+from .core.fifo import fifo_schedule
+from .core.prio import prio_schedule
+from .core.tool import prioritize_dagman_file
+from .dag.graph import Dag
+from .dagman.parser import parse_dagman_file
+from .sim.engine import SimParams, make_policy, simulate
+from .workloads.registry import get_workload, workload_names
+
+__all__ = ["main"]
+
+
+def _load_dag(spec: str) -> tuple[Dag, str]:
+    """Resolve a workload name or a .dag file path to a dag."""
+    if spec.endswith(".dag"):
+        return parse_dagman_file(spec).to_dag(), spec
+    return get_workload(spec), spec
+
+
+def _add_dag_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "dag",
+        help=(
+            "workload name (one of: %s) or path to a DAGMan .dag file"
+            % ", ".join(workload_names())
+        ),
+    )
+
+
+def _cmd_prio(args: argparse.Namespace) -> int:
+    result = prioritize_dagman_file(
+        args.dagfile,
+        output=args.output,
+        instrument_jsdfs=args.jsdfs,
+        respect_done=args.rescue,
+    )
+    print(result.summary())
+    if args.verbose:
+        dag = result.dagman.to_dag()
+        order = sorted(result.priorities, key=result.priorities.get, reverse=True)
+        print("PRIO schedule:", ", ".join(order))
+        print("families:", result.prio.families_used)
+        del dag
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    dag, name = _load_dag(args.dag)
+    if args.algorithm == "fifo":
+        order = fifo_schedule(dag)
+    else:
+        order = prio_schedule(dag).schedule
+    labels = (dag.label(u) for u in order)
+    print("\n".join(labels) if args.one_per_line else ", ".join(labels))
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    dag, name = _load_dag(args.dag)
+    result = prio_schedule(dag)
+    dec = result.decomposition
+    print(f"{name}: {dag.n} jobs -> {dec.n_components} building blocks")
+    if result.shortcuts_removed:
+        print(f"shortcut arcs removed: {len(result.shortcuts_removed)}")
+    print("families:")
+    for family, count in sorted(result.families_used.items()):
+        print(f"  {family:<24s} x{count}")
+    by_size = sorted(
+        dec.components, key=lambda c: c.size, reverse=True
+    )[: args.top]
+    print(f"largest {len(by_size)} blocks:")
+    for comp in by_size:
+        kind = "bipartite" if comp.is_bipartite else "non-bipartite"
+        print(
+            f"  block {comp.index:>6d}: {comp.size:>6d} jobs "
+            f"({len(comp.nonsinks)} scheduled, "
+            f"{len(comp.shared_sinks)} shared sinks) [{kind}]"
+        )
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from .dag.io_dot import to_dot
+
+    dag, name = _load_dag(args.dag)
+    priorities = None
+    if not args.no_priorities:
+        priorities = prio_schedule(dag).priorities
+    text = to_dot(dag, name=name, priorities=priorities)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_regions(args: argparse.Namespace) -> int:
+    from .analysis.crossover import advantage_regions, render_regions
+
+    dag, name = _load_dag(args.dag)
+    order = prio_schedule(dag).schedule
+    config = SweepConfig(
+        mu_bits=tuple(args.mu_bit),
+        mu_bss=tuple(args.mu_bs),
+        p=args.p,
+        q=args.q,
+        seed=args.seed,
+    )
+    result = ratio_sweep(dag, order, config, name)
+    print(render_regions(advantage_regions(result)))
+    return 0
+
+
+def _cmd_curves(args: argparse.Namespace) -> int:
+    curves = []
+    for spec in args.dag:
+        dag, name = _load_dag(spec)
+        curves.append(eligibility_curves(dag, name))
+    print(render_curves_table(curves))
+    if args.plot:
+        from .analysis.figures import ascii_curve
+
+        for c in curves:
+            print()
+            print(
+                ascii_curve(
+                    {"E_PRIO": c.e_prio, "E_FIFO": c.e_fifo},
+                    title=f"{c.name}: eligible jobs over executed steps",
+                )
+            )
+    if args.dump:
+        for c in curves:
+            print(f"\n# {c.name}: t, E_PRIO, E_FIFO, diff")
+            for t in range(c.n_jobs + 1):
+                print(f"{t} {c.e_prio[t]} {c.e_fifo[t]} {c.difference[t]}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    dag, name = _load_dag(args.dag)
+    params = SimParams(mu_bit=args.mu_bit, mu_bs=args.mu_bs)
+    rng = np.random.default_rng(args.seed)
+    if args.algorithm == "prio":
+        policy = make_policy("oblivious", order=prio_schedule(dag).schedule)
+    else:
+        policy = make_policy(args.algorithm, rng=rng)
+    result = simulate(dag, policy, params, rng)
+    print(f"workload            : {name} ({dag.n} jobs)")
+    print(f"algorithm           : {args.algorithm}")
+    print(f"execution time      : {result.execution_time:.3f}")
+    print(f"stalling probability: {result.stalling_probability:.4f}")
+    print(f"utilization         : {result.utilization:.4f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    dag, name = _load_dag(args.dag)
+    if args.paper_grid:
+        mu_bits, mu_bss = paper_grid()
+    else:
+        mu_bits = tuple(args.mu_bit)
+        mu_bss = tuple(args.mu_bs)
+    config = SweepConfig(
+        mu_bits=mu_bits, mu_bss=mu_bss, p=args.p, q=args.q, seed=args.seed
+    )
+    order = prio_schedule(dag).schedule
+
+    def progress(done: int, total: int) -> None:
+        print(f"\r  cell {done}/{total}", end="", file=sys.stderr, flush=True)
+
+    result = ratio_sweep(dag, order, config, name, progress=progress)
+    print(file=sys.stderr)
+    print(render_sweep(result))
+    if args.csv:
+        from .analysis.export import sweep_to_csv
+
+        sweep_to_csv(result, args.csv)
+        print(f"wrote {args.csv}", file=sys.stderr)
+    if args.json:
+        from .analysis.export import sweep_to_json
+
+        sweep_to_json(result, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.plot:
+        from .analysis.figures import ascii_interval_panel
+
+        for metric in ("execution_time", "stalling_probability", "utilization"):
+            print()
+            try:
+                print(ascii_interval_panel(result, metric))
+            except ValueError:
+                print(f"({metric}: no reportable intervals)")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .workloads.export import export_workflow
+
+    dag, name = _load_dag(args.dag)
+    dag_path, dagman = export_workflow(
+        dag, args.directory, dag_name=f"{name.replace('/', '_')}.dag"
+    )
+    n_jsdfs = len({d.submit_file for d in dagman.jobs.values()})
+    print(f"wrote {dag_path} ({dag.n} jobs) and {n_jsdfs} stage JSDFs")
+    if args.prioritize:
+        result = prioritize_dagman_file(dag_path, instrument_jsdfs=True)
+        print("prio:", result.summary())
+    return 0
+
+
+def _cmd_league(args: argparse.Namespace) -> int:
+    from .analysis.league import Entrant, league, render_league
+    from .sim.engine import SimParams
+
+    dag, name = _load_dag(args.dag)
+    entrants = [
+        Entrant.from_schedule("prio", prio_schedule(dag).schedule),
+        Entrant.from_schedule(
+            "prio-topological",
+            prio_schedule(dag, combine="topological").schedule,
+        ),
+        Entrant("random", "random"),
+        Entrant("fifo", "fifo"),
+    ]
+    rows = league(
+        dag,
+        entrants,
+        SimParams(mu_bit=args.mu_bit, mu_bs=args.mu_bs),
+        n_runs=args.runs,
+        seed=args.seed,
+    )
+    print(f"policy league: {name} (mu_BIT={args.mu_bit:g}, "
+          f"mu_BS={args.mu_bs:g}, {args.runs} runs each)")
+    print(render_league(rows))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .dagman.lint import lint_dagman
+
+    path = Path(args.dagfile)
+    dagman = parse_dagman_file(path)
+    findings = lint_dagman(
+        dagman, root=path.parent if args.check_jsdfs else None
+    )
+    for finding in findings:
+        print(finding)
+    errors = sum(1 for f in findings if f.severity == "error")
+    if not findings:
+        print(f"{path.name}: clean ({len(dagman.jobs)} jobs)")
+    return 1 if errors else 0
+
+
+def _cmd_rounds(args: argparse.Namespace) -> int:
+    from .core.fifo import fifo_schedule as _fifo
+    from .theory.batched import min_rounds, rounds_profile
+
+    dag, name = _load_dag(args.dag)
+    prio_order = prio_schedule(dag).schedule
+    fifo_order = _fifo(dag)
+    batch_sizes = [int(b) for b in args.batch_sizes]
+    prio_rounds = rounds_profile(dag, prio_order, batch_sizes)
+    fifo_rounds = rounds_profile(dag, fifo_order, batch_sizes)
+    print(f"{name}: deterministic rounds with b workers per round")
+    print(f"{'b':>8s} {'PRIO':>8s} {'FIFO':>8s} {'bound':>8s} {'ratio':>7s}")
+    for b, p, f in zip(batch_sizes, prio_rounds, fifo_rounds):
+        print(
+            f"{b:>8d} {p:>8d} {f:>8d} {min_rounds(dag, b):>8d} "
+            f"{p / f:>7.3f}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .dagman.runner import JobState, SubprocessExecutor, run_workflow
+    from .dagman.splice import flatten_dagman_file
+
+    path = Path(args.dagfile)
+    dagman = parse_dagman_file(path)
+    if dagman.splices:
+        dagman = flatten_dagman_file(path)
+    if args.prioritize:
+        from .core.tool import prioritize_dagman
+
+        prioritize_dagman(dagman, respect_done=True)
+    executor = SubprocessExecutor(path.parent, timeout=args.timeout)
+    run = run_workflow(
+        dagman,
+        executor,
+        max_workers=args.max_workers,
+        use_priorities=not args.no_priorities,
+        run_script=executor.run_script,
+    )
+    print(f"jobs done: {run.n_done}/{len(run.outcomes)}")
+    if run.succeeded:
+        print("workflow completed successfully")
+        return 0
+    for name in run.failed_jobs():
+        outcome = run.outcomes[name]
+        print(
+            f"FAILED {name} (attempts {outcome.attempts}, "
+            f"exit {outcome.return_code})"
+        )
+    cancelled = [
+        n for n, o in run.outcomes.items() if o.state is JobState.CANCELLED
+    ]
+    if cancelled:
+        print(f"cancelled downstream: {len(cancelled)} jobs")
+    rescue_path = path.with_suffix(path.suffix + ".rescue")
+    rescue_path.write_text(run.rescue_text())
+    print(f"rescue dag written: {rescue_path}")
+    return 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report_all import full_report, render_report
+
+    workloads = {}
+    for spec in args.dag:
+        dag, name = _load_dag(spec)
+        workloads[name] = dag
+    config = SweepConfig(
+        mu_bits=tuple(args.mu_bit),
+        mu_bss=tuple(args.mu_bs),
+        p=args.p,
+        q=args.q,
+        seed=args.seed,
+    )
+
+    def progress(name: str, i: int, total: int) -> None:
+        print(f"[{i + 1}/{total}] {name} ...", file=sys.stderr, flush=True)
+
+    text = render_report(full_report(workloads, config, progress=progress))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    records = []
+    for spec in args.dag:
+        dag, name = _load_dag(spec)
+        record, _ = measure_overhead(dag, name)
+        records.append(record)
+        print(record.row(), file=sys.stderr)
+    print(render_overhead_table(records))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prio",
+        description=(
+            "Prioritize DAGMan jobs to maximize eligible-job counts "
+            "(reproduction of Malewicz/Foster/Rosenberg/Wilde 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("prio", help="instrument a DAGMan input file")
+    p.add_argument("dagfile", help="DAGMan input file to prioritize")
+    p.add_argument("-o", "--output", help="write here instead of in place")
+    p.add_argument(
+        "--jsdfs",
+        action="store_true",
+        help="also instrument referenced job-submit description files",
+    )
+    p.add_argument(
+        "--rescue",
+        action="store_true",
+        help="treat DONE jobs as executed and re-prioritize the remnant",
+    )
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_prio)
+
+    p = sub.add_parser("schedule", help="print a schedule")
+    _add_dag_argument(p)
+    p.add_argument(
+        "-a", "--algorithm", choices=("prio", "fifo"), default="prio"
+    )
+    p.add_argument("-1", "--one-per-line", action="store_true")
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("decompose", help="building blocks and families")
+    _add_dag_argument(p)
+    p.add_argument("--top", type=int, default=5, help="blocks to list")
+    p.set_defaults(func=_cmd_decompose)
+
+    p = sub.add_parser("dot", help="export Graphviz DOT")
+    _add_dag_argument(p)
+    p.add_argument("-o", "--output", help="write to a file instead of stdout")
+    p.add_argument(
+        "--no-priorities",
+        action="store_true",
+        help="skip running prio; plain structure only",
+    )
+    p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser("regions", help="where PRIO wins (sweep summary)")
+    _add_dag_argument(p)
+    p.add_argument("--mu-bit", type=float, nargs="+", default=[1.0])
+    p.add_argument(
+        "--mu-bs", type=float, nargs="+", default=[1.0, 4.0, 16.0, 64.0, 256.0]
+    )
+    p.add_argument("-p", type=int, default=10)
+    p.add_argument("-q", type=int, default=3)
+    p.add_argument("--seed", type=int, default=20060427)
+    p.set_defaults(func=_cmd_regions)
+
+    p = sub.add_parser("curves", help="Fig. 4 eligible-job curves")
+    p.add_argument("dag", nargs="+")
+    p.add_argument("--dump", action="store_true", help="print full series")
+    p.add_argument("--plot", action="store_true", help="ASCII line plot")
+    p.set_defaults(func=_cmd_curves)
+
+    p = sub.add_parser("simulate", help="one simulated execution")
+    _add_dag_argument(p)
+    p.add_argument(
+        "-a",
+        "--algorithm",
+        choices=("prio", "fifo", "random"),
+        default="prio",
+    )
+    p.add_argument("--mu-bit", type=float, default=1.0)
+    p.add_argument("--mu-bs", type=float, default=16.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="Figs. 6-9 ratio sweep")
+    _add_dag_argument(p)
+    p.add_argument("--mu-bit", type=float, nargs="+", default=[0.1, 1.0, 10.0])
+    p.add_argument(
+        "--mu-bs", type=float, nargs="+", default=[1.0, 4.0, 16.0, 64.0, 256.0]
+    )
+    p.add_argument("--paper-grid", action="store_true", help="full 7x17 grid")
+    p.add_argument("-p", type=int, default=12, help="sampling-dist samples")
+    p.add_argument("-q", type=int, default=4, help="measurements per sample")
+    p.add_argument("--seed", type=int, default=20060427)
+    p.add_argument("--plot", action="store_true", help="ASCII CI panels")
+    p.add_argument("--csv", help="also write the cells as CSV")
+    p.add_argument("--json", help="also write the cells as JSON")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("overhead", help="Sec. 3.6 overhead table")
+    p.add_argument("dag", nargs="+")
+    p.set_defaults(func=_cmd_overhead)
+
+    p = sub.add_parser("export", help="write a workload as a DAGMan tree")
+    _add_dag_argument(p)
+    p.add_argument("directory", help="target directory for the workflow")
+    p.add_argument(
+        "--prioritize", action="store_true", help="instrument after export"
+    )
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("league", help="compare all policies side by side")
+    _add_dag_argument(p)
+    p.add_argument("--mu-bit", type=float, default=1.0)
+    p.add_argument("--mu-bs", type=float, default=16.0)
+    p.add_argument("--runs", type=int, default=24)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_league)
+
+    p = sub.add_parser("lint", help="check a DAGMan file for problems")
+    p.add_argument("dagfile")
+    p.add_argument(
+        "--check-jsdfs",
+        action="store_true",
+        help="also verify referenced submit description files exist",
+    )
+    p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "rounds", help="deterministic b-workers-per-round table"
+    )
+    _add_dag_argument(p)
+    p.add_argument(
+        "--batch-sizes",
+        nargs="+",
+        default=["1", "4", "16", "64", "256"],
+        help="worker counts per round",
+    )
+    p.set_defaults(func=_cmd_rounds)
+
+    p = sub.add_parser("run", help="execute a DAGMan workflow locally")
+    p.add_argument("dagfile", help="DAGMan input file to execute")
+    p.add_argument(
+        "--prioritize",
+        action="store_true",
+        help="run prio first (respecting DONE markers)",
+    )
+    p.add_argument("--no-priorities", action="store_true")
+    p.add_argument("-j", "--max-workers", type=int, default=1)
+    p.add_argument("--timeout", type=float, help="per-job timeout (seconds)")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("report", help="one-shot reproduction report")
+    p.add_argument(
+        "dag",
+        nargs="*",
+        default=["airsn-small", "inspiral-small", "montage-small", "sdss-small"],
+    )
+    p.add_argument("--mu-bit", type=float, nargs="+", default=[1.0])
+    p.add_argument(
+        "--mu-bs", type=float, nargs="+", default=[1.0, 4.0, 16.0, 64.0, 256.0]
+    )
+    p.add_argument("-p", type=int, default=8)
+    p.add_argument("-q", type=int, default=2)
+    p.add_argument("--seed", type=int, default=20060427)
+    p.add_argument("-o", "--output", help="write the report to a file")
+    p.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

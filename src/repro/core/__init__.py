@@ -1,0 +1,30 @@
+"""The paper's contribution: the prio scheduling heuristic and baselines."""
+
+from .component import ScheduledComponent, outdegree_order, schedule_component
+from .decompose import Component, Decomposition, decompose
+from .fifo import fifo_schedule
+from .greedy import CombineResult, greedy_combine, topological_combine
+from .prio import PrioResult, prio_schedule, priorities_from_schedule
+from .rescheduling import RemnantResult, reprioritize_remnant
+from .tool import PrioToolResult, prioritize_dagman, prioritize_dagman_file
+
+__all__ = [
+    "RemnantResult",
+    "reprioritize_remnant",
+    "PrioToolResult",
+    "prioritize_dagman",
+    "prioritize_dagman_file",
+    "CombineResult",
+    "Component",
+    "Decomposition",
+    "PrioResult",
+    "ScheduledComponent",
+    "decompose",
+    "fifo_schedule",
+    "greedy_combine",
+    "outdegree_order",
+    "prio_schedule",
+    "priorities_from_schedule",
+    "schedule_component",
+    "topological_combine",
+]

@@ -1,0 +1,154 @@
+"""Per-component schedules and eligibility profiles (Step 3).
+
+Each building block receives a schedule over its *non-sinks*:
+
+* if the block matches a Fig. 2 family
+  (:func:`repro.theory.recognize.recognize_bipartite_family`), the family's
+  explicit IC-optimal source order is used;
+* otherwise jobs run in order of descending out-degree (the paper's
+  fallback, which automatically leaves sinks last), realized as a
+  priority-driven topological sort so precedence always holds.
+
+The block's eligibility profile ``E(x)`` for ``x = 0 .. s_i`` (computed on
+the component's induced subgraph, sinks included) feeds the priority
+relation of the combine phase.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dag.graph import Dag
+from ..theory.eligibility import partial_profile
+from ..theory.recognize import recognize_bipartite_family
+from .decompose import Component
+
+__all__ = ["ScheduledComponent", "schedule_component", "outdegree_order"]
+
+
+@dataclass(frozen=True)
+class ScheduledComponent:
+    """A building block with its schedule and eligibility profile.
+
+    ``schedule`` lists the component's non-sinks (original job ids) in
+    execution order; ``profile[x]`` is the eligible-job count inside the
+    block after the first *x* of them executed.  ``family`` names the
+    matched catalog family, or ``None`` when the out-degree fallback was
+    used.
+    """
+
+    component: Component
+    schedule: tuple[int, ...]
+    profile: np.ndarray = field(hash=False, compare=False)
+    family: str | None
+
+    @property
+    def index(self) -> int:
+        return self.component.index
+
+    @property
+    def profile_key(self) -> bytes:
+        return np.asarray(self.profile, dtype=np.int64).tobytes()
+
+
+def outdegree_order(
+    subdag: Dag, *, weight: list[int] | None = None
+) -> list[int]:
+    """Topological order of *subdag*'s non-sinks by descending out-degree.
+
+    *weight* overrides the out-degree per local node (used to rank by
+    out-degree in the full dag rather than within the block).  Ties break on
+    node id, so the order is deterministic.
+    """
+    if weight is None:
+        weight = [subdag.out_degree(u) for u in range(subdag.n)]
+    indeg = [subdag.in_degree(u) for u in range(subdag.n)]
+    heap = [
+        (-weight[u], u)
+        for u in range(subdag.n)
+        if indeg[u] == 0 and not subdag.is_sink(u)
+    ]
+    heapq.heapify(heap)
+    order: list[int] = []
+    while heap:
+        _, u = heapq.heappop(heap)
+        order.append(u)
+        for v in subdag.children(u):
+            indeg[v] -= 1
+            if indeg[v] == 0 and not subdag.is_sink(v):
+                heapq.heappush(heap, (-weight[v], v))
+    return order
+
+
+def schedule_component(
+    dag: Dag,
+    component: Component,
+    *,
+    use_catalog: bool = True,
+    outdegree_scope: str = "global",
+    exact_bipartite_limit: int = 0,
+) -> ScheduledComponent:
+    """Schedule one building block and compute its eligibility profile.
+
+    Parameters
+    ----------
+    dag:
+        The full (shortcut-free) dag the component was detached from.
+    use_catalog:
+        When false, skip family recognition and always use the out-degree
+        fallback (the ablation knob of DESIGN.md).
+    outdegree_scope:
+        ``"global"`` ranks fallback jobs by their out-degree in *dag*
+        (children outside the block also benefit from early execution);
+        ``"local"`` uses the out-degree within the block only.
+    exact_bipartite_limit:
+        When positive, unrecognized *bipartite* blocks with at most this
+        many sources get an exact IC-optimal source order from
+        :mod:`repro.theory.bipartite_exact` (extension beyond the paper's
+        catalog; 0 disables).  Blocks the exact solver proves unschedulable
+        fall back to the out-degree heuristic.
+    """
+    if outdegree_scope not in ("global", "local"):
+        raise ValueError(f"unknown outdegree_scope: {outdegree_scope!r}")
+    nodes = component.nodes
+    subdag, mapping = dag.induced_subgraph(nodes)
+    family: str | None = None
+    local_order: list[int] | None = None
+    if use_catalog:
+        rec = recognize_bipartite_family(subdag)
+        if rec is not None:
+            family = rec.family
+            local_order = rec.source_order
+    if (
+        local_order is None
+        and exact_bipartite_limit > 0
+        and 0 < len(component.nonsinks) <= exact_bipartite_limit
+        and subdag.is_bipartite_two_level()
+    ):
+        from ..theory.bipartite_exact import exact_bipartite_schedule
+
+        exact = exact_bipartite_schedule(
+            subdag, limit=exact_bipartite_limit
+        )
+        if exact is not None:
+            family = "<exact-bipartite>"
+            local_order = exact
+    if local_order is None:
+        weight = None
+        if outdegree_scope == "global":
+            weight = [dag.out_degree(orig) for orig in mapping]
+        local_order = outdegree_order(subdag, weight=weight)
+    profile = partial_profile(subdag, local_order)
+    schedule = tuple(mapping[u] for u in local_order)
+    expected = set(component.nonsinks)
+    if set(schedule) != expected:
+        raise AssertionError(
+            f"component {component.index}: schedule covers {len(schedule)} "
+            f"jobs, expected the {len(expected)} non-sinks"
+        )
+    return ScheduledComponent(
+        component=component, schedule=schedule, profile=profile, family=family
+    )

@@ -1,0 +1,253 @@
+"""Generalized dag decomposition into building blocks (Step 2).
+
+The theoretical algorithm decomposes a shortcut-free dag into *maximal
+connected bipartite* building blocks detached from the source end, and fails
+when none exists.  The heuristic generalizes it so it never fails: for any
+source *s* of the current remnant, ``C(s)`` is the smallest subgraph that
+
+1. contains *s*;
+2. contains every child of each remnant *source* it contains;
+3. contains every parent of each job it contains.
+
+Each iteration detaches a containment-minimal ``C(s)`` by removing its
+non-sinks (which the final schedule will execute as a unit, in the
+component's own order) and those of its sinks that are sinks of the whole
+dag (executed in the final all-sinks phase).  Sinks shared with the rest of
+the dag stay behind and become sources of later components.
+
+Engineering (Sec. 3.5 of the paper): bipartite closures are automatically
+containment-minimal, so they are detached as soon as they are discovered and
+the expensive minimality comparison only runs for the non-bipartite
+leftovers.  This is what reduced the 48,013-job SDSS decomposition from days
+to minutes in the original C++ tool.
+
+Two invariants the rest of the pipeline relies on (asserted in tests):
+
+* every child of an alive node is alive — so remnant sinks are exactly the
+  dag's sinks, and each node is removed (hence scheduled) exactly once;
+* the superdag induced by cross-component arcs of the original dag is
+  acyclic and compatible with detachment order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dag.graph import Dag
+
+__all__ = ["Component", "Decomposition", "decompose"]
+
+
+@dataclass(frozen=True)
+class Component:
+    """One building block detached from the dag.
+
+    ``nonsinks`` are the jobs this component schedules (removed at detach
+    time); ``shared_sinks`` are sinks handed over to later components;
+    ``global_sinks`` are sinks of the whole dag that the final all-sinks
+    phase will execute.  ``nodes`` is their union, in a deterministic order
+    (sorted ids), and induces the component subgraph.
+    """
+
+    index: int
+    nonsinks: tuple[int, ...]
+    shared_sinks: tuple[int, ...]
+    global_sinks: tuple[int, ...]
+    is_bipartite: bool
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        return self.nonsinks + self.shared_sinks + self.global_sinks
+
+    @property
+    def size(self) -> int:
+        return len(self.nonsinks) + len(self.shared_sinks) + len(self.global_sinks)
+
+
+@dataclass
+class Decomposition:
+    """Result of decomposing a (shortcut-free) dag.
+
+    ``comp_of[u]`` is the index of the component that *schedules* job *u*
+    (where *u* is a non-sink), or ``-1`` for sinks of the dag.
+    ``super_children``/``super_parents`` give the superdag adjacency over
+    component indices; an arc ``i -> j`` exists whenever some job scheduled
+    by component *i* is a parent of some job scheduled by component *j*.
+    """
+
+    dag: Dag
+    components: list[Component]
+    comp_of: list[int]
+    super_children: list[list[int]] = field(default_factory=list)
+    super_parents: list[list[int]] = field(default_factory=list)
+
+    @property
+    def n_components(self) -> int:
+        return len(self.components)
+
+
+def decompose(dag: Dag) -> Decomposition:
+    """Decompose *dag* into building blocks plus their superdag.
+
+    The input is expected to be shortcut-free (apply
+    :func:`repro.dag.remove_shortcuts` first); shortcuts do not break the
+    algorithm but degrade the block structure, exactly as the paper warns.
+    """
+    n = dag.n
+    alive = bytearray(b"\x01" * n)
+    apc = [dag.in_degree(u) for u in range(n)]  # alive-parent count
+    source_set = {u for u in range(n) if apc[u] == 0}
+    components: list[Component] = []
+    comp_of = [-1] * n
+    removed = 0
+
+    def bipartite_block(s: int) -> tuple[set[int], set[int]] | None:
+        """The bipartite C(s), or ``None`` as soon as that is impossible.
+
+        Grows the block source-by-source, aborting the moment any pulled
+        job has an alive non-source parent — so sources whose closure is
+        deep cost O(1) instead of a full graph traversal.  This is the
+        paper's Sec. 3.5 engineering: bipartite blocks are containment-
+        minimal automatically, and the expensive general search runs only
+        when no bipartite block exists at all.
+        """
+        S = {s}
+        T: set[int] = set()
+        src_stack = [s]
+        while src_stack:
+            x = src_stack.pop()
+            for c in dag.children(x):
+                if c in T:
+                    continue
+                for p in dag.parents(c):
+                    if alive[p] and apc[p] != 0:
+                        return None  # non-source parent: not bipartite
+                T.add(c)
+                for p in dag.parents(c):
+                    if alive[p] and p not in S:
+                        S.add(p)
+                        src_stack.append(p)
+        return S, T
+
+    def closure(s: int) -> tuple[set[int], set[int], bool]:
+        """C(s) on the current remnant: (sources S, other jobs T, bipartite?).
+
+        The block is bipartite exactly when every T-job's alive parents are
+        all remnant sources, i.e. no arcs run inside T.
+        """
+        S = {s}
+        T: set[int] = set()
+        src_stack = [s]
+        t_stack: list[int] = []
+        bipartite = True
+        while src_stack or t_stack:
+            if src_stack:
+                x = src_stack.pop()
+                for c in dag.children(x):
+                    # children of alive nodes are alive (invariant)
+                    if c not in T and c not in S:
+                        T.add(c)
+                        t_stack.append(c)
+            else:
+                t = t_stack.pop()
+                for p in dag.parents(t):
+                    if not alive[p] or p in S:
+                        continue
+                    if p in T:
+                        # An arc inside T: the block is multi-level.
+                        bipartite = False
+                        continue
+                    if apc[p] == 0:
+                        S.add(p)
+                        src_stack.append(p)
+                    else:
+                        bipartite = False
+                        T.add(p)
+                        t_stack.append(p)
+        return S, T, bipartite
+
+    def detach(S: set[int], T: set[int], bipartite: bool) -> None:
+        nonlocal removed
+        members = S | T
+        nonsinks: list[int] = []
+        shared: list[int] = []
+        globals_: list[int] = []
+        for u in sorted(members):
+            has_child_inside = any(c in members for c in dag.children(u))
+            if has_child_inside:
+                nonsinks.append(u)
+            elif dag.is_sink(u):
+                globals_.append(u)
+            else:
+                shared.append(u)  # stays alive for a later component
+        index = len(components)
+        for u in nonsinks:
+            comp_of[u] = index
+        to_remove = nonsinks + globals_
+        for u in to_remove:
+            alive[u] = 0
+            source_set.discard(u)
+            removed += 1
+        for u in to_remove:
+            for c in dag.children(u):
+                if alive[c]:
+                    apc[c] -= 1
+                    if apc[c] == 0:
+                        source_set.add(c)
+        if nonsinks or shared or globals_:
+            components.append(
+                Component(
+                    index=index,
+                    nonsinks=tuple(nonsinks),
+                    shared_sinks=tuple(shared),
+                    global_sinks=tuple(globals_),
+                    is_bipartite=bipartite,
+                )
+            )
+
+    while removed < n:
+        # Fast path: detach every bipartite block discovered this round.
+        # bipartite_block aborts in O(1) on deep-closure sources, so rounds
+        # dominated by bipartite structure never pay for general closures.
+        progressed = False
+        for s in sorted(source_set):
+            if not alive[s] or apc[s] != 0:
+                continue  # consumed by an earlier detach this round
+            block = bipartite_block(s)
+            if block is not None:
+                detach(block[0], block[1], True)
+                progressed = True
+        if progressed:
+            continue
+        # General path (no bipartite block exists anywhere): compute the
+        # full C(s) closures and detach a containment-minimal one — any
+        # smallest closure is minimal, since containment implies a strictly
+        # smaller node count.
+        candidates = [
+            closure(s)[:2] + (s,)
+            for s in sorted(source_set)
+            if alive[s] and apc[s] == 0
+        ]
+        S, T, _ = min(candidates, key=lambda e: (len(e[0]) + len(e[1]), e[2]))
+        detach(S, T, False)
+
+    # Superdag: cross-component dependencies between scheduled jobs.
+    k = len(components)
+    super_children: list[list[int]] = [[] for _ in range(k)]
+    super_parents: list[list[int]] = [[] for _ in range(k)]
+    seen_arcs: set[tuple[int, int]] = set()
+    for u, v in dag.arcs():
+        ci, cj = comp_of[u], comp_of[v]
+        if ci == -1 or cj == -1 or ci == cj:
+            continue
+        if (ci, cj) not in seen_arcs:
+            seen_arcs.add((ci, cj))
+            super_children[ci].append(cj)
+            super_parents[cj].append(ci)
+    return Decomposition(
+        dag=dag,
+        components=components,
+        comp_of=comp_of,
+        super_children=super_children,
+        super_parents=super_parents,
+    )

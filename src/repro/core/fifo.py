@@ -1,0 +1,33 @@
+"""The FIFO baseline: DAGMan's order of assignment.
+
+DAGMan forwards jobs to the Condor queue in the order they become eligible
+("FIFO order").  As a deterministic total order this is the breadth-first
+sequence: initially the sources (in input-file order, i.e. ascending id),
+then, as each job executes, its newly eligible children are appended in
+adjacency order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..dag.graph import Dag
+
+__all__ = ["fifo_schedule"]
+
+
+def fifo_schedule(dag: Dag) -> list[int]:
+    """The FIFO schedule of *dag* (a valid topological order)."""
+    remaining = [dag.in_degree(u) for u in range(dag.n)]
+    queue = deque(u for u in range(dag.n) if remaining[u] == 0)
+    order: list[int] = []
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in dag.children(u):
+            remaining[v] -= 1
+            if remaining[v] == 0:
+                queue.append(v)
+    if len(order) != dag.n:
+        raise ValueError("dag contains a cycle")
+    return order

@@ -1,0 +1,166 @@
+"""Greedy combine phase (Step 6): emit blocks by maximum minimum priority.
+
+At each round the candidates are the *sources* of the remnant superdag.
+Candidate ``C_i`` is scored by ``p_i = min_j priority(C_i over C_j)`` across
+the other candidates: executing ``C_i`` now can "lose" at most a factor
+``1/p_i`` of the best possible eligibility against any alternative.  The
+block maximizing ``p_i`` is emitted (its non-sinks are appended to the
+global schedule in the block's own order) and removed from the superdag.
+
+When the theoretical algorithm's Steps 4-5 would have succeeded, this greedy
+regimen reproduces its stable topological order, hence IC optimality.
+
+Engineering: priorities depend on blocks only through their eligibility
+profiles, and scientific dags contain thousands of blocks sharing a handful
+of distinct profiles.  Candidates are therefore grouped into *profile
+classes*; pairwise priorities are memoized per class pair
+(:class:`repro.theory.priority.PriorityCache`), and each round scores the
+classes rather than the blocks.  Within a class, blocks are emitted in
+detachment order, which keeps the sort stable in the theory's sense.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..theory.priority import PriorityCache
+from .component import ScheduledComponent
+from .decompose import Decomposition
+
+__all__ = ["CombineResult", "greedy_combine", "topological_combine"]
+
+
+@dataclass
+class CombineResult:
+    """Outcome of the combine phase.
+
+    ``component_order`` is the emission order (component indices);
+    ``nonsink_schedule`` concatenates the block schedules accordingly.
+    """
+
+    component_order: list[int]
+    nonsink_schedule: list[int]
+    cache: PriorityCache = field(default_factory=PriorityCache)
+
+
+class _ClassRegistry:
+    """Active superdag sources, grouped by profile class."""
+
+    def __init__(self):
+        self.heaps: dict[bytes, list[int]] = {}
+        self.profiles: dict[bytes, object] = {}
+
+    def add(self, sc: ScheduledComponent) -> None:
+        key = sc.profile_key
+        if key not in self.heaps:
+            self.heaps[key] = []
+            self.profiles[key] = sc.profile
+        heapq.heappush(self.heaps[key], sc.index)
+
+    def pop(self, key: bytes) -> int:
+        index = heapq.heappop(self.heaps[key])
+        if not self.heaps[key]:
+            del self.heaps[key]
+            del self.profiles[key]
+        return index
+
+    def multiplicity(self, key: bytes) -> int:
+        return len(self.heaps[key])
+
+    def peek(self, key: bytes) -> int:
+        return self.heaps[key][0]
+
+    def __len__(self) -> int:
+        return sum(len(h) for h in self.heaps.values())
+
+
+def greedy_combine(
+    decomposition: Decomposition,
+    scheduled: list[ScheduledComponent],
+    *,
+    cache: PriorityCache | None = None,
+) -> CombineResult:
+    """Order the building blocks by the greedy max-min-priority rule."""
+    cache = cache or PriorityCache()
+    by_index = {sc.index: sc for sc in scheduled}
+    indeg = [len(ps) for ps in decomposition.super_parents]
+    registry = _ClassRegistry()
+    for sc in scheduled:
+        if indeg[sc.index] == 0:
+            registry.add(sc)
+
+    component_order: list[int] = []
+    nonsink_schedule: list[int] = []
+    emitted = 0
+    total = len(scheduled)
+    while len(registry):
+        keys = list(registry.heaps)
+        if len(keys) == 1 and registry.multiplicity(keys[0]) >= 1:
+            # A single class: all candidates tie; emit in detachment order.
+            best_key = keys[0]
+        else:
+            best_key = None
+            best_score = -1.0
+            best_peek = -1
+            for key in keys:
+                profile = registry.profiles[key]
+                score = min(
+                    (
+                        cache.priority(
+                            key, profile, other, registry.profiles[other]
+                        )
+                        for other in keys
+                        if other != key or registry.multiplicity(key) >= 2
+                    ),
+                    default=1.0,
+                )
+                peek = registry.peek(key)
+                if score > best_score or (
+                    score == best_score and peek < best_peek
+                ):
+                    best_key, best_score, best_peek = key, score, peek
+        index = registry.pop(best_key)
+        component_order.append(index)
+        nonsink_schedule.extend(by_index[index].schedule)
+        emitted += 1
+        for child in decomposition.super_children[index]:
+            indeg[child] -= 1
+            if indeg[child] == 0:
+                registry.add(by_index[child])
+    if emitted != total:
+        raise AssertionError(
+            f"superdag combine emitted {emitted} of {total} components; "
+            "the superdag must be cyclic (decomposition bug)"
+        )
+    return CombineResult(
+        component_order=component_order,
+        nonsink_schedule=nonsink_schedule,
+        cache=cache,
+    )
+
+
+def topological_combine(
+    decomposition: Decomposition, scheduled: list[ScheduledComponent]
+) -> CombineResult:
+    """Ablation baseline: emit blocks in plain topological (detachment-order
+    tie-broken) order, ignoring priorities."""
+    by_index = {sc.index: sc for sc in scheduled}
+    indeg = [len(ps) for ps in decomposition.super_parents]
+    heap = [i for i in range(len(scheduled)) if indeg[i] == 0]
+    heapq.heapify(heap)
+    component_order: list[int] = []
+    nonsink_schedule: list[int] = []
+    while heap:
+        i = heapq.heappop(heap)
+        component_order.append(i)
+        nonsink_schedule.extend(by_index[i].schedule)
+        for child in decomposition.super_children[i]:
+            indeg[child] -= 1
+            if indeg[child] == 0:
+                heapq.heappush(heap, child)
+    if len(component_order) != len(scheduled):
+        raise AssertionError("superdag contains a cycle")
+    return CombineResult(
+        component_order=component_order, nonsink_schedule=nonsink_schedule
+    )

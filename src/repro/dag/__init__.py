@@ -1,0 +1,71 @@
+"""DAG substrate: graph type, construction, transitive reduction, validation."""
+
+from .builders import (
+    chain,
+    complete_bipartite,
+    compose_identified,
+    compose_series,
+    disjoint_union,
+    fork,
+    fork_join,
+    join,
+    layered_random,
+    random_dag,
+)
+from .graph import CycleError, Dag, DagBuilder, relabel_by_mapping
+from .io_dot import to_dot
+from .io_json import (
+    dag_from_json,
+    dag_to_json,
+    load_dag,
+    save_dag,
+    schedule_from_json,
+    schedule_to_json,
+)
+from .metrics import DagShape, dag_shape
+from .transitive import (
+    find_shortcuts,
+    remove_shortcuts,
+    transitive_closure_sets,
+    transitive_reduction_reference,
+)
+from .validate import (
+    assert_valid_schedule,
+    is_topological_order,
+    is_valid_schedule,
+    schedule_violations,
+)
+
+__all__ = [
+    "CycleError",
+    "Dag",
+    "DagBuilder",
+    "DagShape",
+    "dag_from_json",
+    "dag_shape",
+    "dag_to_json",
+    "load_dag",
+    "save_dag",
+    "schedule_from_json",
+    "schedule_to_json",
+    "assert_valid_schedule",
+    "chain",
+    "complete_bipartite",
+    "compose_identified",
+    "compose_series",
+    "disjoint_union",
+    "find_shortcuts",
+    "fork",
+    "fork_join",
+    "is_topological_order",
+    "is_valid_schedule",
+    "join",
+    "layered_random",
+    "random_dag",
+    "relabel_by_mapping",
+    "remove_shortcuts",
+    "schedule_violations",
+    "to_dot",
+    "transitive_closure_sets",
+    "transitive_reduction_reference",
+]

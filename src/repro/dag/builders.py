@@ -1,0 +1,182 @@
+"""Constructors for common dag shapes.
+
+These are the primitive shapes out of which the paper's scientific workloads
+are assembled (chains, forks, joins, layered meshes) plus random-dag
+generators used by the property-based tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Dag
+
+__all__ = [
+    "chain",
+    "fork",
+    "join",
+    "fork_join",
+    "complete_bipartite",
+    "layered_random",
+    "random_dag",
+    "compose_series",
+    "compose_identified",
+    "disjoint_union",
+]
+
+
+def chain(n: int) -> Dag:
+    """A linear chain ``0 -> 1 -> ... -> n-1``."""
+    if n < 1:
+        raise ValueError("chain needs at least one job")
+    return Dag(n, ((i, i + 1) for i in range(n - 1)), check_acyclic=False)
+
+
+def fork(width: int) -> Dag:
+    """One source (id 0) with *width* children."""
+    if width < 1:
+        raise ValueError("fork needs at least one child")
+    return Dag(width + 1, ((0, i) for i in range(1, width + 1)), check_acyclic=False)
+
+
+def join(width: int) -> Dag:
+    """*width* sources all feeding one sink (the last id)."""
+    if width < 1:
+        raise ValueError("join needs at least one parent")
+    return Dag(width + 1, ((i, width) for i in range(width)), check_acyclic=False)
+
+
+def fork_join(width: int) -> Dag:
+    """Source 0 fans out to *width* parallel jobs which join into the last id."""
+    if width < 1:
+        raise ValueError("fork_join needs positive width")
+    n = width + 2
+    arcs = [(0, i) for i in range(1, width + 1)]
+    arcs += [(i, n - 1) for i in range(1, width + 1)]
+    return Dag(n, arcs, check_acyclic=False)
+
+
+def complete_bipartite(n_sources: int, n_sinks: int) -> Dag:
+    """Every one of ``n_sources`` sources feeds every one of ``n_sinks`` sinks."""
+    if n_sources < 1 or n_sinks < 1:
+        raise ValueError("both parts must be non-empty")
+    arcs = [
+        (i, n_sources + j) for i in range(n_sources) for j in range(n_sinks)
+    ]
+    return Dag(n_sources + n_sinks, arcs, check_acyclic=False)
+
+
+def layered_random(
+    layer_sizes: list[int],
+    arc_prob: float,
+    rng: np.random.Generator,
+    *,
+    ensure_connected_layers: bool = True,
+) -> Dag:
+    """Random layered dag: arcs only between consecutive layers.
+
+    Each potential arc between adjacent layers appears with probability
+    *arc_prob*; with ``ensure_connected_layers`` every non-first-layer job is
+    guaranteed at least one parent from the previous layer (so layers are the
+    longest-path levels, as in real workflow stages).
+    """
+    if any(s < 1 for s in layer_sizes):
+        raise ValueError("layer sizes must be positive")
+    if not 0.0 <= arc_prob <= 1.0:
+        raise ValueError("arc_prob must be in [0, 1]")
+    offsets = np.concatenate(([0], np.cumsum(layer_sizes)))
+    arcs: list[tuple[int, int]] = []
+    for k in range(len(layer_sizes) - 1):
+        a0, a1 = offsets[k], offsets[k + 1]
+        b0, b1 = offsets[k + 1], offsets[k + 2]
+        mask = rng.random((a1 - a0, b1 - b0)) < arc_prob
+        if ensure_connected_layers:
+            for j in range(b1 - b0):
+                if not mask[:, j].any():
+                    mask[rng.integers(0, a1 - a0), j] = True
+        us, vs = np.nonzero(mask)
+        arcs.extend(zip((us + a0).tolist(), (vs + b0).tolist()))
+    return Dag(int(offsets[-1]), arcs, check_acyclic=False)
+
+
+def random_dag(n: int, arc_prob: float, rng: np.random.Generator) -> Dag:
+    """Erdős–Rényi-style random dag: arc ``i -> j`` (i < j) with prob *arc_prob*."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0.0 <= arc_prob <= 1.0:
+        raise ValueError("arc_prob must be in [0, 1]")
+    arcs: list[tuple[int, int]] = []
+    if n > 1:
+        mask = np.triu(rng.random((n, n)) < arc_prob, k=1)
+        us, vs = np.nonzero(mask)
+        arcs = list(zip(us.tolist(), vs.tolist()))
+    return Dag(n, arcs, check_acyclic=False)
+
+
+def compose_series(*dags: Dag) -> Dag:
+    """Concatenate dags: every sink of dag k feeds every source of dag k+1.
+
+    Node ids are shifted so the pieces occupy consecutive id ranges; labels
+    are dropped (pieces may share names).
+    """
+    if not dags:
+        raise ValueError("compose_series needs at least one dag")
+    arcs: list[tuple[int, int]] = []
+    offset = 0
+    prev_sinks: list[int] = []
+    for d in dags:
+        arcs.extend((u + offset, v + offset) for u, v in d.arcs())
+        srcs = [s + offset for s in d.sources()]
+        arcs.extend((t, s) for t in prev_sinks for s in srcs)
+        prev_sinks = [t + offset for t in d.sinks()]
+        offset += d.n
+    return Dag(offset, arcs, check_acyclic=False)
+
+
+def compose_identified(*dags: Dag) -> Dag:
+    """Compose dags by **identifying** each dag's sinks with the next
+    dag's sources (the scheduling theory's assembly operator).
+
+    Unlike :func:`compose_series` (which adds cross-product arcs), the
+    theory of [16] "assembles" dags by merging sink *k* of one piece with
+    source *k* of the next — the composite's building blocks are then
+    exactly the pieces, which is what makes the decomposition recover
+    them.  Consecutive dags must have matching sink/source counts
+    (identified in id order); labels are dropped.
+    """
+    if not dags:
+        raise ValueError("compose_identified needs at least one dag")
+    arcs: list[tuple[int, int]] = []
+    total = 0
+    # Map each piece's local node -> composite id.
+    prev_sinks: list[int] = []
+    for d in dags:
+        sources = d.sources()
+        if prev_sinks and len(sources) != len(prev_sinks):
+            raise ValueError(
+                f"cannot identify {len(prev_sinks)} sinks with "
+                f"{len(sources)} sources"
+            )
+        mapping: dict[int, int] = {}
+        if prev_sinks:
+            for composite_id, src in zip(prev_sinks, sources):
+                mapping[src] = composite_id
+        for u in range(d.n):
+            if u not in mapping:
+                mapping[u] = total
+                total += 1
+        arcs.extend((mapping[u], mapping[v]) for u, v in d.arcs())
+        prev_sinks = [mapping[t] for t in d.sinks()]
+    return Dag(total, arcs, check_acyclic=False)
+
+
+def disjoint_union(*dags: Dag) -> Dag:
+    """Place dags side by side with no connecting arcs (labels dropped)."""
+    if not dags:
+        raise ValueError("disjoint_union needs at least one dag")
+    arcs: list[tuple[int, int]] = []
+    offset = 0
+    for d in dags:
+        arcs.extend((u + offset, v + offset) for u, v in d.arcs())
+        offset += d.n
+    return Dag(offset, arcs, check_acyclic=False)

@@ -1,0 +1,92 @@
+"""JSON serialization of dags and schedules.
+
+A stable on-disk form for dags, schedules and priorities, so prioritized
+workloads can be cached between runs and exchanged with other tools
+(DAGMan files remain the canonical *workflow* format; JSON carries the
+pure graph + scheduling data).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .graph import Dag
+
+__all__ = [
+    "dag_to_json",
+    "dag_from_json",
+    "save_dag",
+    "load_dag",
+    "schedule_to_json",
+    "schedule_from_json",
+]
+
+_FORMAT = "repro-dag-v1"
+
+
+def dag_to_json(dag: Dag) -> dict[str, Any]:
+    """A JSON-ready dict describing *dag*."""
+    payload: dict[str, Any] = {
+        "format": _FORMAT,
+        "n": dag.n,
+        "arcs": [list(arc) for arc in dag.arcs()],
+    }
+    if dag.labels is not None:
+        payload["labels"] = list(dag.labels)
+    return payload
+
+
+def dag_from_json(payload: dict[str, Any]) -> Dag:
+    """Rebuild a dag from :func:`dag_to_json` output (validates shape)."""
+    if payload.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a {_FORMAT} payload (format={payload.get('format')!r})"
+        )
+    arcs = [tuple(arc) for arc in payload["arcs"]]
+    if any(len(arc) != 2 for arc in arcs):
+        raise ValueError("arcs must be [parent, child] pairs")
+    return Dag(int(payload["n"]), arcs, payload.get("labels"))
+
+
+def save_dag(dag: Dag, path: str | Path) -> None:
+    """Write *dag* as JSON to *path*."""
+    Path(path).write_text(json.dumps(dag_to_json(dag)) + "\n")
+
+
+def load_dag(path: str | Path) -> Dag:
+    """Read a dag written by :func:`save_dag`."""
+    return dag_from_json(json.loads(Path(path).read_text()))
+
+
+def schedule_to_json(dag: Dag, schedule: list[int]) -> dict[str, Any]:
+    """A JSON-ready dict bundling a dag with one of its schedules.
+
+    The schedule is stored by job *name* when the dag is labelled, making
+    the file robust to id renumbering.
+    """
+    payload = dag_to_json(dag)
+    payload["format"] = _FORMAT + "+schedule"
+    if dag.labels is not None:
+        payload["schedule"] = [dag.label(u) for u in schedule]
+    else:
+        payload["schedule"] = list(schedule)
+    return payload
+
+
+def schedule_from_json(payload: dict[str, Any]) -> tuple[Dag, list[int]]:
+    """Rebuild ``(dag, schedule)`` from :func:`schedule_to_json` output."""
+    if payload.get("format") != _FORMAT + "+schedule":
+        raise ValueError("not a schedule payload")
+    base = dict(payload)
+    base["format"] = _FORMAT
+    dag = dag_from_json(base)
+    raw = payload["schedule"]
+    if dag.labels is not None:
+        schedule = [dag.id_of(str(name)) for name in raw]
+    else:
+        schedule = [int(u) for u in raw]
+    if sorted(schedule) != list(range(dag.n)):
+        raise ValueError("schedule is not a permutation of the jobs")
+    return dag, schedule

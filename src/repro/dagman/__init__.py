@@ -1,0 +1,48 @@
+"""DAGMan/Condor file-format substrate: parse, write, instrument."""
+
+from .jsdf import (
+    PRIORITY_LINE,
+    instrument_jsdf_file,
+    instrument_jsdf_text,
+    parse_jsdf,
+)
+from .lint import Finding, lint_dagman
+from .model import JOBPRIORITY_MACRO, DagmanFile, JobDecl, SpliceDecl
+from .parser import DagmanParseError, parse_dagman_file, parse_dagman_text
+from .runner import (
+    JobOutcome,
+    JobState,
+    SubprocessExecutor,
+    WorkflowRun,
+    expand_macros,
+    run_workflow,
+)
+from .splice import SpliceError, flatten_dagman, flatten_dagman_file
+from .writer import dag_to_dagman, write_dagman_file
+
+__all__ = [
+    "DagmanFile",
+    "DagmanParseError",
+    "Finding",
+    "JOBPRIORITY_MACRO",
+    "JobDecl",
+    "JobOutcome",
+    "lint_dagman",
+    "JobState",
+    "SpliceDecl",
+    "SubprocessExecutor",
+    "WorkflowRun",
+    "expand_macros",
+    "run_workflow",
+    "SpliceError",
+    "flatten_dagman",
+    "flatten_dagman_file",
+    "PRIORITY_LINE",
+    "dag_to_dagman",
+    "instrument_jsdf_file",
+    "instrument_jsdf_text",
+    "parse_dagman_file",
+    "parse_dagman_text",
+    "parse_jsdf",
+    "write_dagman_file",
+]

@@ -1,0 +1,135 @@
+"""Workflow linting: catch the mistakes DAGMan reports at submit time.
+
+``prio lint workflow.dag`` (and :func:`lint_dagman`) checks a parsed
+workflow for the problems that otherwise surface only when
+``condor_submit_dag`` rejects the file or the run wedges:
+
+* dependencies referencing undeclared jobs;
+* dependency cycles (with the cycle spelled out);
+* duplicate PARENT/CHILD statements (harmless but usually a generator bug);
+* ``DONE`` markers that are not precedence-closed (a hand-edited rescue
+  file that would deadlock the remnant);
+* missing job-submit description files, when a root directory is given;
+* jobs with no path to a sink/source — disconnected islands worth a look
+  in a workflow that is supposed to be one computation.
+
+Findings carry a severity: ``error`` (DAGMan would refuse or wedge) or
+``warning`` (legal but suspicious).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..dag.graph import CycleError, DagBuilder
+from .model import DagmanFile
+
+__all__ = ["Finding", "lint_dagman"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    severity: str  # "error" | "warning"
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: [{self.code}] {self.message}"
+
+
+def lint_dagman(
+    dagman: DagmanFile, *, root: str | Path | None = None
+) -> list[Finding]:
+    """Lint a parsed workflow; returns findings, empty when clean."""
+    findings: list[Finding] = []
+    declared = set(dagman.jobs) | set(dagman.splices)
+
+    # Undeclared endpoints.
+    for p, c in dagman.arcs:
+        for endpoint in (p, c):
+            if endpoint not in declared:
+                findings.append(
+                    Finding(
+                        "error",
+                        "undeclared-job",
+                        f"dependency references undeclared job {endpoint!r}",
+                    )
+                )
+
+    # Duplicate arcs.
+    seen: set[tuple[str, str]] = set()
+    for arc in dagman.arcs:
+        if arc in seen:
+            findings.append(
+                Finding(
+                    "warning",
+                    "duplicate-dependency",
+                    f"dependency {arc[0]} -> {arc[1]} stated more than once",
+                )
+            )
+        seen.add(arc)
+
+    # Cycles (splice endpoints treated as opaque single nodes for this
+    # check — a cycle through a splice is still a cycle).
+    builder = DagBuilder()
+    for name in declared:
+        builder.add_job(name)
+    try:
+        for p, c in seen:
+            if p in declared and c in declared:
+                builder.add_dependency(p, c)
+        dag = builder.build()
+    except CycleError as exc:
+        findings.append(
+            Finding("error", "cycle", f"dependency cycle: {exc}")
+        )
+        return findings  # downstream checks assume acyclicity
+
+    # DONE closure.
+    done = {name for name, decl in dagman.jobs.items() if decl.done}
+    for name in done:
+        u = dag.id_of(name)
+        for p in dag.parents(u):
+            parent = dag.label(p)
+            if parent in dagman.jobs and parent not in done:
+                findings.append(
+                    Finding(
+                        "error",
+                        "done-not-closed",
+                        f"{name!r} is DONE but its parent {parent!r} is not "
+                        "— the rescue run would deadlock",
+                    )
+                )
+
+    # Missing JSDFs.
+    if root is not None:
+        root = Path(root)
+        missing: set[Path] = set()
+        for decl in dagman.jobs.values():
+            base = root / decl.directory if decl.directory else root
+            jsdf = base / decl.submit_file
+            if not jsdf.is_file() and jsdf not in missing:
+                missing.add(jsdf)
+                findings.append(
+                    Finding(
+                        "warning",
+                        "missing-jsdf",
+                        f"submit description file not found: {jsdf}",
+                    )
+                )
+
+    # Disconnected islands (only when there is more than one job).
+    if dag.n > 1 and not dag.is_connected_undirected():
+        findings.append(
+            Finding(
+                "warning",
+                "disconnected",
+                "the workflow is not connected — it contains independent "
+                "islands; intended?",
+            )
+        )
+
+    return findings

@@ -1,0 +1,178 @@
+"""SPLICE support: flattening hierarchical DAGMan workflows.
+
+Real DAGMan lets a workflow include sub-workflows::
+
+    SPLICE block1 inner.dag [DIR subdir]
+    PARENT setup CHILD block1
+    PARENT block1 CHILD teardown
+
+and inlines them at submit time, prefixing inner job names with the splice
+name (``block1+job``).  Dependencies to/from a splice attach to the inner
+dag's *sources*/*sinks* respectively.  The prio tool needs the flattened
+dag to prioritize across the hierarchy, so this module reimplements that
+flattening:
+
+* :func:`flatten_dagman` — resolve all SPLICE declarations recursively
+  (loader-injectable for tests), returning a flat :class:`DagmanFile`;
+* :func:`flatten_dagman_file` — convenience wrapper resolving splice files
+  relative to the parent file (honoring ``DIR``).
+
+``SUBDAG EXTERNAL`` nodes (which run as separate DAGMan instances at
+runtime) are treated as single opaque jobs, matching how the outer DAGMan
+schedules them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from pathlib import Path
+
+from .model import DagmanFile, JobDecl
+from .parser import parse_dagman_text
+
+__all__ = ["SpliceError", "flatten_dagman", "flatten_dagman_file"]
+
+
+class SpliceError(ValueError):
+    """Unresolvable splice: missing file, name clash, or recursive include."""
+
+
+def _endpoints(dagman: DagmanFile, *, want_sources: bool) -> list[str]:
+    """Source (or sink) job names of a flat DagmanFile."""
+    has_parent: set[str] = set()
+    has_child: set[str] = set()
+    for p, c in dagman.arcs:
+        has_child.add(p)
+        has_parent.add(c)
+    if want_sources:
+        return [j for j in dagman.jobs if j not in has_parent]
+    return [j for j in dagman.jobs if j not in has_child]
+
+
+def flatten_dagman(
+    dagman: DagmanFile,
+    load: Callable[[str], DagmanFile],
+) -> DagmanFile:
+    """Inline every splice of *dagman*.
+
+    *load* maps a splice's file reference to an **already flat**
+    :class:`DagmanFile` (recurse yourself or use
+    :func:`flatten_dagman_file`, whose loader handles nesting, relative
+    paths and include cycles).  Returns a new flat file; the input is not
+    modified.  Jobs keep their VARS; inner names gain the ``splice+``
+    prefix, nested splices compose (``outer+inner+job``).
+    """
+    if not dagman.splices:
+        return dagman
+    flat = DagmanFile()
+    inner: dict[str, DagmanFile] = {}
+    for name, decl in dagman.splices.items():
+        if name in dagman.jobs:
+            raise SpliceError(f"splice {name!r} clashes with a job name")
+        sub = load(decl.file)
+        if sub.splices:
+            raise SpliceError(
+                f"loader returned an unflattened dag for {decl.file!r}"
+            )
+        inner[name] = sub
+    # Jobs: the parent's own, then each splice's (prefixed).
+    for name, decl in dagman.jobs.items():
+        flat.jobs[name] = decl
+        flat.lines.append(_job_line(decl))
+    for splice, sub in inner.items():
+        prefix = f"{splice}+"
+        directory = dagman.splices[splice].directory
+        for name, decl in sub.jobs.items():
+            new_name = prefix + name
+            if new_name in flat.jobs:
+                raise SpliceError(f"job name clash after splicing: {new_name!r}")
+            new_dir = decl.directory
+            if directory:
+                new_dir = (
+                    str(Path(directory) / decl.directory)
+                    if decl.directory
+                    else directory
+                )
+            new_decl = JobDecl(
+                name=new_name,
+                submit_file=decl.submit_file,
+                directory=new_dir,
+                noop=decl.noop,
+                done=decl.done,
+                is_data=decl.is_data,
+            )
+            flat.jobs[new_name] = new_decl
+            flat.lines.append(_job_line(new_decl))
+            if name in sub.vars_:
+                flat.vars_[new_name] = dict(sub.vars_[name])
+    # Arcs: inner arcs (prefixed) plus the parent's, with splice endpoints
+    # expanded to the inner dag's sources/sinks.
+    for splice, sub in inner.items():
+        prefix = f"{splice}+"
+        for p, c in sub.arcs:
+            flat.arcs.append((prefix + p, prefix + c))
+    for p, c in dagman.arcs:
+        parents = (
+            [f"{p}+{j}" for j in _endpoints(inner[p], want_sources=False)]
+            if p in inner
+            else [p]
+        )
+        children = (
+            [f"{c}+{j}" for j in _endpoints(inner[c], want_sources=True)]
+            if c in inner
+            else [c]
+        )
+        for pp in parents:
+            for cc in children:
+                flat.arcs.append((pp, cc))
+    for p, c in flat.arcs:
+        flat.lines.append(f"PARENT {p} CHILD {c}")
+    for name, macros in flat.vars_.items():
+        for macro, value in macros.items():
+            flat.lines.append(f'VARS {name} {macro}="{value}"')
+    # Parent-level VARS last so they win for duplicated names.
+    for name, macros in dagman.vars_.items():
+        if name in flat.jobs:
+            flat.vars_.setdefault(name, {}).update(macros)
+            for macro, value in macros.items():
+                flat.lines.append(f'VARS {name} {macro}="{value}"')
+    return flat
+
+
+def _job_line(decl: JobDecl) -> str:
+    parts = ["DATA" if decl.is_data else "JOB", decl.name, decl.submit_file]
+    if decl.directory:
+        parts += ["DIR", decl.directory]
+    if decl.noop:
+        parts.append("NOOP")
+    if decl.done:
+        parts.append("DONE")
+    return " ".join(parts)
+
+
+def flatten_dagman_file(path: str | Path) -> DagmanFile:
+    """Parse and flatten the DAGMan file at *path*.
+
+    Splice files resolve relative to the file that includes them; include
+    cycles raise :class:`SpliceError` with the offending chain.
+    """
+    from .parser import parse_dagman_file
+
+    def go(p: Path, stack: tuple[str, ...]) -> DagmanFile:
+        dagman = parse_dagman_file(p)
+        if not dagman.splices:
+            return dagman
+
+        def load(ref: str) -> DagmanFile:
+            target = (p.parent / ref).resolve()
+            if str(target) in stack:
+                chain = " -> ".join(stack + (str(target),))
+                raise SpliceError(f"recursive splice inclusion: {chain}")
+            if not target.is_file():
+                raise SpliceError(f"splice file not found: {target}")
+            return go(target, stack + (str(target),))
+
+        return flatten_dagman(dagman, load)
+
+    start = Path(path).resolve()
+    return go(start, (str(start),))

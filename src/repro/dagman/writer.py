@@ -1,0 +1,41 @@
+"""Writing DAGMan files: serialization of dags and in-place instrumentation."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..dag.graph import Dag
+from .model import DagmanFile, JobDecl
+
+__all__ = ["dag_to_dagman", "write_dagman_file"]
+
+
+def dag_to_dagman(
+    dag: Dag,
+    *,
+    submit_file_for=None,
+) -> DagmanFile:
+    """Build a DAGMan file for *dag* (one JOB per node, declaration order =
+    node id order, one PARENT/CHILD statement per arc).
+
+    ``submit_file_for(name)`` maps a job name to its JSDF path; the default
+    is ``<name>.sub``.
+    """
+    if submit_file_for is None:
+        submit_file_for = lambda name: f"{name}.sub"  # noqa: E731
+    result = DagmanFile()
+    for u in range(dag.n):
+        name = dag.label(u)
+        decl = JobDecl(name=name, submit_file=submit_file_for(name))
+        result.jobs[name] = decl
+        result.lines.append(f"JOB {name} {decl.submit_file}")
+    for u, v in dag.arcs():
+        pu, cv = dag.label(u), dag.label(v)
+        result.arcs.append((pu, cv))
+        result.lines.append(f"PARENT {pu} CHILD {cv}")
+    return result
+
+
+def write_dagman_file(dagman: DagmanFile, path: str | Path) -> None:
+    """Write *dagman* (including any instrumentation) to *path*."""
+    Path(path).write_text(dagman.render())

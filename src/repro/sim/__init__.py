@@ -1,0 +1,32 @@
+"""Event-driven grid simulator implementing the paper's system model."""
+
+from .arrivals import BATCH_SIZE_DISTRIBUTIONS, BatchArrivals
+from .compile import CompiledDag
+from .engine import SimParams, SimResult, make_policy, simulate
+from .policies import FifoPolicy, ObliviousPolicy, Policy, RandomPolicy
+from .multidag import MultiDagResult, UserResult, simulate_shared
+from .replication import MetricArrays, policy_factory, run_replications
+from .runtime import RuntimeSampler
+from .trace import ExecutionTrace
+
+__all__ = [
+    "ExecutionTrace",
+    "MultiDagResult",
+    "UserResult",
+    "simulate_shared",
+    "BATCH_SIZE_DISTRIBUTIONS",
+    "BatchArrivals",
+    "CompiledDag",
+    "FifoPolicy",
+    "MetricArrays",
+    "ObliviousPolicy",
+    "Policy",
+    "RandomPolicy",
+    "RuntimeSampler",
+    "SimParams",
+    "SimResult",
+    "make_policy",
+    "policy_factory",
+    "run_replications",
+    "simulate",
+]

@@ -1,0 +1,91 @@
+"""Worker-batch arrival process of the system model (Sec. 4.1).
+
+Workers arrive at the server in batches; each worker requests one job.
+Batch interarrival times are exponential with mean ``mu_bit`` (the first
+batch arrives at time 0) and batch sizes follow a distribution with mean
+``mu_bs``.
+
+The paper states the size is "exponentially distributed with mean mu_BS"
+without fixing a discretization.  Two are provided:
+
+* ``"geometric"`` (default) — the discrete analogue of the exponential,
+  support {1, 2, ...}, exact mean ``mu_bs`` (requires ``mu_bs >= 1``);
+* ``"ceil-exponential"`` — ``ceil`` of an exponential sample, support
+  {1, 2, ...}, mean ``1 / (1 - exp(-1/mu_bs)) ~= mu_bs + 1/2``.
+
+Samples are drawn in chunks so the event loop never pays per-batch numpy
+dispatch overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BatchArrivals", "BATCH_SIZE_DISTRIBUTIONS"]
+
+BATCH_SIZE_DISTRIBUTIONS = ("geometric", "ceil-exponential")
+
+_CHUNK = 4096
+
+
+class BatchArrivals:
+    """Streaming generator of (arrival_time, batch_size) pairs."""
+
+    def __init__(
+        self,
+        mu_bit: float,
+        mu_bs: float,
+        rng: np.random.Generator,
+        *,
+        size_dist: str = "geometric",
+        chunk: int = _CHUNK,
+    ):
+        if mu_bit <= 0:
+            raise ValueError("mean batch interarrival time must be positive")
+        if mu_bs < 1:
+            raise ValueError("mean batch size must be at least 1")
+        if size_dist not in BATCH_SIZE_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown batch size distribution {size_dist!r}; "
+                f"choose from {BATCH_SIZE_DISTRIBUTIONS}"
+            )
+        self._mu_bit = float(mu_bit)
+        self._mu_bs = float(mu_bs)
+        self._rng = rng
+        self._size_dist = size_dist
+        self._chunk = int(chunk)
+        self._times: np.ndarray = np.empty(0)
+        self._sizes: np.ndarray = np.empty(0, dtype=np.int64)
+        self._pos = 0
+        self._clock = 0.0
+        self._first = True
+
+    def _refill(self) -> None:
+        gaps = self._rng.exponential(self._mu_bit, size=self._chunk)
+        if self._first:
+            gaps[0] = 0.0  # the first batch arrives at time 0
+            self._first = False
+        self._times = self._clock + np.cumsum(gaps)
+        self._clock = float(self._times[-1])
+        if self._size_dist == "geometric":
+            self._sizes = self._rng.geometric(1.0 / self._mu_bs, size=self._chunk)
+        else:
+            self._sizes = np.ceil(
+                self._rng.exponential(self._mu_bs, size=self._chunk)
+            ).astype(np.int64)
+        self._pos = 0
+
+    def next_batch(self) -> tuple[float, int]:
+        """The next batch's ``(arrival_time, size)``."""
+        if self._pos >= len(self._times):
+            self._refill()
+        t = float(self._times[self._pos])
+        b = int(self._sizes[self._pos])
+        self._pos += 1
+        return t, b
+
+    def peek_time(self) -> float:
+        """Arrival time of the next batch without consuming it."""
+        if self._pos >= len(self._times):
+            self._refill()
+        return float(self._times[self._pos])

@@ -1,0 +1,51 @@
+"""Compiled dag form used by the simulator's inner loop.
+
+The sweep experiments run tens of thousands of simulations over the same
+dag, so the adjacency is flattened once into CSR-style numpy arrays and the
+per-simulation state (remaining-parent counts) is a cheap array copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dag.graph import Dag
+
+__all__ = ["CompiledDag"]
+
+
+@dataclass(frozen=True)
+class CompiledDag:
+    """CSR adjacency plus initial in-degrees for a dag.
+
+    ``children[indptr[u]:indptr[u+1]]`` are the children of job *u*.
+    """
+
+    n: int
+    indptr: np.ndarray
+    children: np.ndarray
+    indegree: np.ndarray
+
+    @classmethod
+    def from_dag(cls, dag: Dag) -> "CompiledDag":
+        n = dag.n
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for u in range(n):
+            indptr[u + 1] = indptr[u] + dag.out_degree(u)
+        children = np.empty(int(indptr[-1]), dtype=np.int32)
+        for u in range(n):
+            kids = dag.children(u)
+            children[indptr[u]: indptr[u] + len(kids)] = kids
+        indegree = np.fromiter(
+            (dag.in_degree(u) for u in range(n)), dtype=np.int32, count=n
+        )
+        return cls(n=n, indptr=indptr, children=children, indegree=indegree)
+
+    def child_lists(self) -> list[list[int]]:
+        """Children as plain Python lists (fastest to iterate in the loop)."""
+        return [
+            self.children[self.indptr[u]: self.indptr[u + 1]].tolist()
+            for u in range(self.n)
+        ]

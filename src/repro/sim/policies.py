@@ -1,0 +1,105 @@
+"""Scheduling regimens: how the server picks among eligible jobs.
+
+* :class:`ObliviousPolicy` — the paper's oblivious algorithm: a fixed total
+  order *P* over all jobs; the server always hands out the eligible job
+  smallest under *P*.  Instantiated with the PRIO schedule it **is** the
+  PRIO algorithm.
+* :class:`FifoPolicy` — DAGMan's behaviour: a FIFO queue of eligible jobs;
+  newly eligible jobs join the tail.
+* :class:`RandomPolicy` — an extra baseline (not in the paper's headline
+  figures): serve a uniformly random eligible job.
+
+A policy instance holds the eligible-and-unassigned set for one simulation;
+create a fresh one per run (or use the factory helpers in
+:mod:`repro.sim.engine`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["Policy", "ObliviousPolicy", "FifoPolicy", "RandomPolicy"]
+
+
+class Policy:
+    """Interface: a mutable pool of eligible, unassigned jobs."""
+
+    def push(self, job: int) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> int:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class ObliviousPolicy(Policy):
+    """Serve eligible jobs in a fixed priority order.
+
+    ``order`` is the schedule (job ids, earliest first); internally jobs are
+    ranked so ``pop`` returns the eligible job of minimum rank.
+    """
+
+    __slots__ = ("_rank", "_job_of_rank", "_heap")
+
+    def __init__(self, order: Sequence[int]):
+        n = len(order)
+        self._rank = [0] * n
+        self._job_of_rank = [0] * n
+        for r, job in enumerate(order):
+            self._rank[job] = r
+            self._job_of_rank[r] = job
+        self._heap: list[int] = []
+
+    def push(self, job: int) -> None:
+        heapq.heappush(self._heap, self._rank[job])
+
+    def pop(self) -> int:
+        return self._job_of_rank[heapq.heappop(self._heap)]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class FifoPolicy(Policy):
+    """Serve eligible jobs in the order they became eligible."""
+
+    __slots__ = ("_queue",)
+
+    def __init__(self):
+        self._queue: deque[int] = deque()
+
+    def push(self, job: int) -> None:
+        self._queue.append(job)
+
+    def pop(self) -> int:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class RandomPolicy(Policy):
+    """Serve a uniformly random eligible job (extension baseline)."""
+
+    __slots__ = ("_jobs", "_rng")
+
+    def __init__(self, rng: np.random.Generator):
+        self._jobs: list[int] = []
+        self._rng = rng
+
+    def push(self, job: int) -> None:
+        self._jobs.append(job)
+
+    def pop(self) -> int:
+        i = int(self._rng.integers(0, len(self._jobs)))
+        self._jobs[i], self._jobs[-1] = self._jobs[-1], self._jobs[i]
+        return self._jobs.pop()
+
+    def __len__(self) -> int:
+        return len(self._jobs)

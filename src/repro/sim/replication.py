@@ -1,0 +1,92 @@
+"""Replicated simulation runs with reproducible seeding.
+
+The sweep experiments need ``p * q`` independent replications per
+(dag, policy, parameter) cell.  Seeds are derived from a
+``numpy.random.SeedSequence`` spawn tree so every replication is independent
+and the whole experiment is reproducible from a single root seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..dag.graph import Dag
+from .compile import CompiledDag
+from .engine import SimParams, SimResult, make_policy, simulate
+from .policies import Policy
+
+__all__ = ["MetricArrays", "run_replications", "policy_factory"]
+
+
+class MetricArrays:
+    """Per-replication metric vectors from a batch of simulations."""
+
+    __slots__ = ("execution_time", "stalling_probability", "utilization")
+
+    def __init__(self, results: Sequence[SimResult]):
+        self.execution_time = np.array(
+            [r.execution_time for r in results], dtype=np.float64
+        )
+        self.stalling_probability = np.array(
+            [r.stalling_probability for r in results], dtype=np.float64
+        )
+        self.utilization = np.array(
+            [r.utilization for r in results], dtype=np.float64
+        )
+
+    def __len__(self) -> int:
+        return len(self.execution_time)
+
+    def metric(self, name: str) -> np.ndarray:
+        try:
+            return getattr(self, name)
+        except AttributeError:
+            raise KeyError(f"unknown metric {name!r}") from None
+
+
+def policy_factory(
+    kind: str, order: Sequence[int] | None = None
+) -> Callable[[np.random.Generator], Policy]:
+    """A factory producing a fresh policy per replication.
+
+    The replication's generator is passed in so the random policy draws
+    from the same reproducible stream as the rest of its simulation.
+    """
+
+    def build(rng: np.random.Generator) -> Policy:
+        return make_policy(kind, order=order, rng=rng)
+
+    return build
+
+
+def run_replications(
+    dag: Dag | CompiledDag,
+    build_policy: Callable[[np.random.Generator], Policy],
+    params: SimParams,
+    count: int,
+    seed: int | np.random.SeedSequence = 0,
+    *,
+    runtime_scale=None,
+) -> MetricArrays:
+    """Run *count* independent simulations; returns per-run metrics."""
+    compiled = dag if isinstance(dag, CompiledDag) else CompiledDag.from_dag(dag)
+    seedseq = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    results: list[SimResult] = []
+    for child_seq in seedseq.spawn(count):
+        rng = np.random.default_rng(child_seq)
+        results.append(
+            simulate(
+                compiled,
+                build_policy(rng),
+                params,
+                rng,
+                runtime_scale=runtime_scale,
+            )
+        )
+    return MetricArrays(results)

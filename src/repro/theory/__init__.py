@@ -1,0 +1,91 @@
+"""Scheduling theory: eligibility, IC-optimality, catalog families, priorities."""
+
+from .algorithm import TheoreticalResult, theoretical_algorithm
+from .batched import (
+    batched_execution,
+    min_rounds,
+    rounds_needed,
+    rounds_profile,
+)
+from .bipartite_exact import (
+    EXACT_BIPARTITE_LIMIT,
+    bipartite_envelope,
+    coverage_profile,
+    exact_bipartite_schedule,
+)
+from .eligibility import (
+    count_eligible,
+    eligibility_profile,
+    eligible_after,
+    partial_profile,
+)
+from .families import (
+    FamilyInstance,
+    bipartite_dag,
+    clique_dag,
+    cycle_dag,
+    fig2_catalog,
+    m_dag,
+    n_dag,
+    w_dag,
+)
+from .mesh import (
+    diagonal_schedule,
+    mesh_dag,
+    mesh_schedule,
+    triangular_mesh_dag,
+)
+from .ic_optimal import (
+    BRUTE_FORCE_LIMIT,
+    admits_ic_optimal_schedule,
+    find_ic_optimal_schedule,
+    is_ic_optimal,
+    max_eligibility,
+)
+from .priority import (
+    PriorityCache,
+    has_priority,
+    priority_matrix,
+    priority_over,
+)
+from .recognize import Recognition, recognize_bipartite_family
+
+__all__ = [
+    "BRUTE_FORCE_LIMIT",
+    "EXACT_BIPARTITE_LIMIT",
+    "batched_execution",
+    "bipartite_envelope",
+    "coverage_profile",
+    "exact_bipartite_schedule",
+    "min_rounds",
+    "rounds_needed",
+    "rounds_profile",
+    "FamilyInstance",
+    "PriorityCache",
+    "Recognition",
+    "TheoreticalResult",
+    "admits_ic_optimal_schedule",
+    "theoretical_algorithm",
+    "bipartite_dag",
+    "clique_dag",
+    "count_eligible",
+    "cycle_dag",
+    "eligibility_profile",
+    "eligible_after",
+    "fig2_catalog",
+    "find_ic_optimal_schedule",
+    "diagonal_schedule",
+    "has_priority",
+    "is_ic_optimal",
+    "m_dag",
+    "mesh_dag",
+    "mesh_schedule",
+    "triangular_mesh_dag",
+    "max_eligibility",
+    "n_dag",
+    "partial_profile",
+    "priority_matrix",
+    "priority_over",
+    "recognize_bipartite_family",
+    "w_dag",
+]

@@ -1,0 +1,60 @@
+"""AIRSN: the fMRI data-analysis dag (Sec. 3.3, workload #1).
+
+The paper describes AIRSN of width *w* as a "double umbrella with fringes":
+about twenty jobs (the **handle**) lead to a fork of width *w* (the first
+cover), followed by a join, another fork of width *w*, and the final join;
+each parallel job of the first fork additionally depends on a dedicated
+**fringe** job (a private source).  At width 250 the dag has 773 jobs.
+
+With a 21-job handle the job count is ``21 + 3w + 2`` — exactly 773 at
+``w = 250``, and the handle's last job lands at PRIO priority 753
+(= 773 - 20), reproducing the black-framed bottleneck of Fig. 5: all of the
+first cover's jobs wait on it, while FIFO burns its early assignments on the
+fringes.
+
+Job names follow the Spatial Normalization (AIRSN) stages: ``prep`` for the
+handle, ``hdr`` for the fringes, ``snr``/``smooth`` for the covers and
+``collect`` for the joins.
+"""
+
+from __future__ import annotations
+
+from ..dag.graph import Dag, DagBuilder
+
+__all__ = ["airsn", "AIRSN_HANDLE_LENGTH"]
+
+#: Number of jobs in the serial "handle" preceding the first cover.
+AIRSN_HANDLE_LENGTH = 21
+
+
+def airsn(width: int = 250, *, handle: int = AIRSN_HANDLE_LENGTH) -> Dag:
+    """The AIRSN dag of the given *width* (jobs: ``handle + 3*width + 2``).
+
+    Parameters
+    ----------
+    width:
+        Parallelism of each cover; the paper's dag uses 250.
+    handle:
+        Length of the serial prefix; 21 reproduces the paper's 773 jobs and
+        the priority-753 bottleneck of Fig. 5.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    if handle < 1:
+        raise ValueError("handle must have at least one job")
+    b = DagBuilder()
+    handle_jobs = [f"prep{i:02d}" for i in range(handle)]
+    for prev, cur in zip(handle_jobs, handle_jobs[1:]):
+        b.add_dependency(prev, cur)
+    bottleneck = handle_jobs[-1]
+    b.add_job(bottleneck)
+    for i in range(width):
+        snr = f"snr{i:04d}"
+        b.add_dependency(bottleneck, snr)
+        b.add_dependency(f"hdr{i:04d}", snr)  # the dedicated fringe
+        b.add_dependency(snr, "collect1")
+    for i in range(width):
+        smooth = f"smooth{i:04d}"
+        b.add_dependency("collect1", smooth)
+        b.add_dependency(smooth, "collect2")
+    return b.build(check_acyclic=False)

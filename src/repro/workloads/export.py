@@ -1,0 +1,65 @@
+"""Materialize workloads as on-disk DAGMan workflow directories.
+
+A downstream user of the original tool works with files: a ``.dag`` input
+and per-stage job-submit description files.  This module writes any
+labelled workload dag in that form — one shared JSDF per pipeline *stage*
+(jobs of a stage differ only in their macros, as in real Pegasus output) —
+so every file-level feature (the prio CLI, rescue mode, JSDF
+instrumentation) can be exercised on realistic trees.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..dag.graph import Dag
+from ..dagman.model import DagmanFile
+from ..dagman.writer import dag_to_dagman, write_dagman_file
+
+__all__ = ["export_workflow", "stage_of"]
+
+_JSDF_TEMPLATE = """\
+universe = vanilla
+executable = bin/{stage}
+arguments = --job $(JOB)
+log = logs/workflow.log
+output = logs/$(JOB).out
+error = logs/$(JOB).err
+queue
+"""
+
+
+def stage_of(job_name: str) -> str:
+    """The pipeline stage of a job: its name minus the numeric suffix.
+
+    ``snr0042 -> snr``; names without a numeric tail (``concat``) are their
+    own stage.
+    """
+    return job_name.rstrip("0123456789").rstrip("_") or job_name
+
+
+def export_workflow(
+    dag: Dag,
+    directory: str | Path,
+    *,
+    dag_name: str = "workflow.dag",
+    jsdf_template: str = _JSDF_TEMPLATE,
+) -> tuple[Path, DagmanFile]:
+    """Write *dag* as a DAGMan workflow under *directory*.
+
+    Creates ``<directory>/<dag_name>`` plus one ``<stage>.sub`` JSDF per
+    stage; returns the dag-file path and the in-memory model.  The target
+    directory is created; existing files are overwritten.
+    """
+    if dag.labels is None:
+        raise ValueError("export needs a labelled dag (job names)")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    dagman = dag_to_dagman(dag, submit_file_for=lambda n: f"{stage_of(n)}.sub")
+    dag_path = directory / dag_name
+    write_dagman_file(dagman, dag_path)
+    for decl in dagman.jobs.values():
+        jsdf = directory / decl.submit_file
+        if not jsdf.exists():
+            jsdf.write_text(jsdf_template.format(stage=stage_of(decl.name)))
+    return dag_path, dagman

@@ -1,0 +1,98 @@
+"""Montage: the sky-mosaic dag (Sec. 3.3, workload #3).
+
+The paper's Montage dag has 7,881 jobs and "includes a bipartite component
+with over 1000 jobs each of whose source has from a few to about ten
+children some of which are shared among the sources" — the projection /
+difference stage, where each pair of overlapping images produces a shared
+difference job.
+
+This generator follows the published Montage pipeline on an ``rows x cols``
+image grid with 8-neighborhood overlaps:
+
+* per image: ``raw -> project``; later ``background`` (the corrected
+  image), which needs both the global background model and the image's
+  ``hdr`` header-metadata job — an independent source that FIFO burns
+  early while prio banks it until the model is ready;
+* per overlapping pair (horizontal, vertical and the two diagonals):
+  ``diff`` (parents: the two projections — the shared children) then
+  ``fit``;
+* global: ``concatfit -> bgmodel`` joining all fits, fanning back out to the
+  per-image ``background`` jobs;
+* per output tile: ``madd -> shrink`` over a contiguous block of images,
+  then the final ``madd_final -> shrink_final -> jpeg_final`` chain.
+
+Job count: ``4*N + 2*D + 2*T + 5`` with ``N = rows*cols`` images,
+``D = rows*(cols-1) + cols*(rows-1) + 2*(rows-1)*(cols-1)`` diffs and *T*
+tiles.  The defaults (26 x 26 grid, 36 tiles) give exactly 7,881 jobs, and
+the projection/difference component has 676 sources with 3-8 children each
+(corner / edge / interior images) — 3,226 jobs.
+"""
+
+from __future__ import annotations
+
+from ..dag.graph import Dag, DagBuilder
+
+__all__ = ["montage"]
+
+
+def montage(rows: int = 26, cols: int = 26, n_tiles: int = 36) -> Dag:
+    """The Montage dag for an image grid (defaults: the paper's 7,881 jobs).
+
+    Parameters
+    ----------
+    rows, cols:
+        Image grid dimensions (both >= 2 so every image overlaps another).
+    n_tiles:
+        Output tiles; images are assigned to tiles in contiguous, nearly
+        equal blocks (``1 <= n_tiles <= rows*cols``).
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("the image grid needs at least 2x2 images")
+    n_images = rows * cols
+    if not 1 <= n_tiles <= n_images:
+        raise ValueError("n_tiles must be in [1, rows*cols]")
+    b = DagBuilder()
+
+    def img(i: int, j: int) -> int:
+        return i * cols + j
+
+    for k in range(n_images):
+        b.add_dependency(f"raw{k:04d}", f"project{k:04d}")
+    # Differences between overlapping neighbours (E, S, SE, SW): each diff
+    # is the shared child of exactly two projections.
+    n_diffs = 0
+    for i in range(rows):
+        for j in range(cols):
+            neighbours = []
+            if j + 1 < cols:
+                neighbours.append((i, j + 1))
+            if i + 1 < rows:
+                neighbours.append((i + 1, j))
+                if j + 1 < cols:
+                    neighbours.append((i + 1, j + 1))
+                if j - 1 >= 0:
+                    neighbours.append((i + 1, j - 1))
+            for (i2, j2) in neighbours:
+                d = f"diff{n_diffs:04d}"
+                b.add_dependency(f"project{img(i, j):04d}", d)
+                b.add_dependency(f"project{img(i2, j2):04d}", d)
+                b.add_dependency(d, f"fit{n_diffs:04d}")
+                b.add_dependency(f"fit{n_diffs:04d}", "concatfit")
+                n_diffs += 1
+    b.add_dependency("concatfit", "bgmodel")
+    for k in range(n_images):
+        b.add_dependency("bgmodel", f"background{k:04d}")
+        b.add_dependency(f"hdr{k:04d}", f"background{k:04d}")
+    # Tiles: contiguous, nearly equal blocks of images.
+    base, extra = divmod(n_images, n_tiles)
+    start = 0
+    for t in range(n_tiles):
+        size = base + (1 if t < extra else 0)
+        for k in range(start, start + size):
+            b.add_dependency(f"background{k:04d}", f"madd{t:03d}")
+        b.add_dependency(f"madd{t:03d}", f"shrink{t:03d}")
+        b.add_dependency(f"shrink{t:03d}", "madd_final")
+        start += size
+    b.add_dependency("madd_final", "shrink_final")
+    b.add_dependency("shrink_final", "jpeg_final")
+    return b.build(check_acyclic=False)

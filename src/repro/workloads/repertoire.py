@@ -1,0 +1,148 @@
+"""A parameterized repertoire of grid-workflow shapes.
+
+The paper closes asking for "further simulations ... on a broad repertoire
+of other dags".  This module provides that repertoire: a compact
+specification language for staged workflows (the shapes Pegasus/Chimera
+actually emit) and a seeded sampler over it, so the PRIO-vs-FIFO gain can
+be measured as a *distribution over workflows* rather than on four
+hand-picked dags.
+
+A workflow is a list of :class:`StageSpec` entries; consecutive stages are
+wired by one of the patterns real pipelines use:
+
+* ``"pairwise"``  — job i of the new stage depends on job i (and, with
+  *overlap*, also jobs i±1...) of the previous stage — scatter stages;
+* ``"gather"``    — the new stage's jobs each gather a contiguous block of
+  the previous stage — reduction trees;
+* ``"broadcast"`` — every new job depends on every previous job capped at
+  ``fan_in`` random parents — synchronization barriers and shuffles.
+
+A stage may also carry **banked sources** (per-job private root parents,
+AIRSN's fringes / Inspiral's veto files), the feature that differentiates
+FIFO from PRIO the most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dag.graph import Dag, DagBuilder
+
+__all__ = ["StageSpec", "WorkflowSpec", "build_workflow", "sample_spec"]
+
+_PATTERNS = ("pairwise", "gather", "broadcast")
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage.
+
+    ``width`` jobs named ``s<k>_<i>``; *pattern* wires the stage to its
+    predecessor (ignored for the first stage); ``overlap`` widens pairwise
+    scatter to i±overlap; ``fan_in`` caps broadcast parents; with
+    ``banked_sources`` every job additionally gets a private root parent.
+    """
+
+    width: int
+    pattern: str = "pairwise"
+    overlap: int = 0
+    fan_in: int = 4
+    banked_sources: bool = False
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise ValueError("stage width must be positive")
+        if self.pattern not in _PATTERNS:
+            raise ValueError(
+                f"unknown pattern {self.pattern!r}; choose from {_PATTERNS}"
+            )
+        if self.overlap < 0 or self.fan_in < 1:
+            raise ValueError("overlap must be >= 0 and fan_in >= 1")
+
+
+@dataclass(frozen=True)
+class WorkflowSpec:
+    """A full workflow: its stages plus a seed for the broadcast wiring."""
+
+    stages: tuple[StageSpec, ...]
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.stages:
+            raise ValueError("workflow needs at least one stage")
+
+
+def build_workflow(spec: WorkflowSpec) -> Dag:
+    """Materialize a :class:`WorkflowSpec` as a labelled dag."""
+    rng = np.random.default_rng(spec.seed)
+    b = DagBuilder()
+    prev: list[str] = []
+    for k, stage in enumerate(spec.stages):
+        names = [f"s{k}_{i:04d}" for i in range(stage.width)]
+        for name in names:
+            b.add_job(name)
+        if prev:
+            _wire(b, prev, names, stage, rng)
+        if stage.banked_sources:
+            for i, name in enumerate(names):
+                b.add_dependency(f"bank{k}_{i:04d}", name)
+        prev = names
+    return b.build(check_acyclic=False)
+
+
+def _wire(
+    b: DagBuilder,
+    prev: list[str],
+    cur: list[str],
+    stage: StageSpec,
+    rng: np.random.Generator,
+) -> None:
+    p, c = len(prev), len(cur)
+    if stage.pattern == "pairwise":
+        for i, name in enumerate(cur):
+            anchor = (i * p) // c
+            lo = max(0, anchor - stage.overlap)
+            hi = min(p - 1, anchor + stage.overlap)
+            for j in range(lo, hi + 1):
+                b.add_dependency(prev[j], name)
+    elif stage.pattern == "gather":
+        base, extra = divmod(p, c)
+        start = 0
+        for i, name in enumerate(cur):
+            size = base + (1 if i < extra else 0)
+            block = prev[start: start + size] or [prev[-1]]
+            for parent in block:
+                b.add_dependency(parent, name)
+            start += size
+    else:  # broadcast
+        for name in cur:
+            k = min(stage.fan_in, p)
+            parents = rng.choice(p, size=k, replace=False)
+            for j in parents:
+                b.add_dependency(prev[int(j)], name)
+
+
+def sample_spec(
+    rng: np.random.Generator,
+    *,
+    max_stages: int = 6,
+    max_width: int = 60,
+) -> WorkflowSpec:
+    """Draw a random, plausible workflow specification."""
+    n_stages = int(rng.integers(2, max_stages + 1))
+    stages = []
+    for k in range(n_stages):
+        pattern = str(rng.choice(_PATTERNS))
+        width = int(rng.integers(1, max_width + 1))
+        stages.append(
+            StageSpec(
+                width=width,
+                pattern=pattern,
+                overlap=int(rng.integers(0, 3)),
+                fan_in=int(rng.integers(1, 6)),
+                banked_sources=bool(rng.random() < 0.4),
+            )
+        )
+    return WorkflowSpec(stages=tuple(stages), seed=int(rng.integers(2**31)))

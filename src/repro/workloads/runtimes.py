@@ -1,0 +1,108 @@
+"""Per-stage job-runtime models for the scientific workloads (extension).
+
+The paper assumes roughly equal job durations and flags the assumption as
+an idealization ("a given dag could contain a very fast job and a very
+slow job").  These helpers attach stage-dependent runtime multipliers to
+the labelled workload dags so the sensitivity of the PRIO advantage to
+runtime heterogeneity can be measured (see
+``benchmarks/test_bench_sensitivity.py``).
+
+Multipliers are matched by job-name prefix — the workload generators name
+jobs ``<stage><index>`` throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dag.graph import Dag
+
+__all__ = ["stage_runtime_scale", "AIRSN_STAGE_WEIGHTS", "workload_runtime_scale"]
+
+#: Relative stage costs for AIRSN (compute-heavy covers, cheap metadata).
+AIRSN_STAGE_WEIGHTS = {
+    "prep": 1.0,
+    "hdr": 0.2,
+    "snr": 3.0,
+    "collect": 1.5,
+    "smooth": 2.0,
+}
+
+#: Relative stage costs per workload (rough shapes of the real pipelines:
+#: matched filters and projections dominate; metadata jobs are cheap).
+_WORKLOAD_WEIGHTS = {
+    "airsn": AIRSN_STAGE_WEIGHTS,
+    "inspiral": {
+        "sci": 0.2,
+        "df": 0.5,
+        "cal": 1.0,
+        "bank": 2.0,
+        "insp": 4.0,
+        "veto": 0.2,
+        "coin": 0.5,
+        "trig": 0.5,
+        "insp2": 3.0,
+        "thinca2": 0.5,
+        "sire": 1.0,
+    },
+    "montage": {
+        "raw": 0.3,
+        "project": 2.0,
+        "hdr": 0.2,
+        "diff": 0.5,
+        "fit": 0.5,
+        "concatfit": 1.0,
+        "bgmodel": 1.5,
+        "background": 1.0,
+        "madd": 2.0,
+        "shrink": 0.5,
+        "jpeg": 0.5,
+    },
+    "sdss": {
+        "tsobj": 0.5,
+        "brg": 1.5,
+        "calib": 0.2,
+        "target": 1.0,
+        "bcg": 2.0,
+        "cluster": 1.0,
+        "catalog": 0.5,
+        "concat": 1.0,
+        "analysis": 2.0,
+        "summary": 0.5,
+    },
+}
+
+
+def stage_runtime_scale(
+    dag: Dag, weights: dict[str, float], *, default: float = 1.0
+) -> np.ndarray:
+    """Runtime multiplier per job, matched by longest job-name prefix.
+
+    Weight keys are stage-name prefixes; the longest key matching a job's
+    name wins (so ``"insp2"`` beats ``"insp"``).  Jobs matching no key get
+    *default*.
+    """
+    if dag.labels is None:
+        raise ValueError("runtime scaling by stage needs a labelled dag")
+    if any(w <= 0 for w in weights.values()):
+        raise ValueError("stage weights must be positive")
+    by_length = sorted(weights, key=len, reverse=True)
+    scale = np.full(dag.n, float(default))
+    for u, name in enumerate(dag.labels):
+        for key in by_length:
+            if name.startswith(key):
+                scale[u] = weights[key]
+                break
+    return scale
+
+
+def workload_runtime_scale(dag: Dag, workload: str) -> np.ndarray:
+    """The built-in stage weights for one of the four paper workloads."""
+    try:
+        weights = _WORKLOAD_WEIGHTS[workload]
+    except KeyError:
+        raise KeyError(
+            f"no runtime model for {workload!r}; "
+            f"available: {sorted(_WORKLOAD_WEIGHTS)}"
+        ) from None
+    return stage_runtime_scale(dag, weights)

@@ -1,0 +1,77 @@
+"""SDSS: the galaxy-cluster search dag (Sec. 3.3, workload #4).
+
+The paper's SDSS dag (Sloan Digital Sky Survey cluster finding, Annis et
+al.) has 48,013 jobs and "includes a bipartite component with over 1,500
+jobs whose each source has three children some of which are shared among
+the sources" — i.e. a large ``(s, 3)-W`` dag, for which the catalog has an
+explicit IC-optimal schedule.
+
+The generator rebuilds the cluster-finding shape over a strip of *F* sky
+fields:
+
+* per field: ``tsobj_i -> brg_i`` (extract the field's brightest red
+  galaxies) plus an independent ``calib_i`` source (the field's
+  photometric calibration frame);
+* the target stage: ``brg_i`` feeds three overlapping sky *targets*
+  ``target_{2i}, target_{2i+1}, target_{2i+2}`` — adjacent fields share
+  one boundary target, forming the ``(F, 3)-W`` dag with ``2F + 1`` sinks;
+* per target: ``bcg_t -> cluster_t`` (brightest-cluster-galaxy detection),
+  where ``bcg_t`` needs both the target and its field's calibration frame
+  (``calib_i`` covers targets 2i and 2i+1; the last field's frame also
+  covers the final boundary target).  The calibration frames are *banked
+  sources*: eligible from the start, useless until the targets complete —
+  FIFO burns assignments on them, prio defers them;
+* the catalogs: ``2F + 1`` clusters merged into ``n_catalogs`` ragged
+  contiguous ``catalog`` jobs;
+* the tail: ``concat -> analysis -> summary``.
+
+Total jobs: ``9F + n_catalogs + 6``.  The defaults (F = 5,223 fields,
+1,000 catalogs) give exactly 48,013 jobs with an (F,3)-W component of
+15,670 jobs.
+"""
+
+from __future__ import annotations
+
+from ..dag.graph import Dag, DagBuilder
+
+__all__ = ["sdss"]
+
+
+def sdss(n_fields: int = 5223, n_catalogs: int = 1000) -> Dag:
+    """The SDSS dag (jobs: ``9*n_fields + n_catalogs + 6``).
+
+    Parameters
+    ----------
+    n_fields:
+        Sky fields along the strip; the defaults reproduce the paper's
+        48,013 jobs.
+    n_catalogs:
+        Catalog merge jobs (``1 <= n_catalogs <= 2*n_fields + 1``).
+    """
+    if n_fields < 1:
+        raise ValueError("need at least one field")
+    n_targets = 2 * n_fields + 1
+    if not 1 <= n_catalogs <= n_targets:
+        raise ValueError("n_catalogs must be in [1, 2*n_fields + 1]")
+    b = DagBuilder()
+    for i in range(n_fields):
+        b.add_dependency(f"tsobj{i:05d}", f"brg{i:05d}")
+        b.add_job(f"calib{i:05d}")
+        for t in (2 * i, 2 * i + 1, 2 * i + 2):
+            b.add_dependency(f"brg{i:05d}", f"target{t:05d}")
+    for t in range(n_targets):
+        field = min(t // 2, n_fields - 1)
+        b.add_dependency(f"target{t:05d}", f"bcg{t:05d}")
+        b.add_dependency(f"calib{field:05d}", f"bcg{t:05d}")
+        b.add_dependency(f"bcg{t:05d}", f"cluster{t:05d}")
+    base, extra = divmod(n_targets, n_catalogs)
+    start = 0
+    for c in range(n_catalogs):
+        size = base + (1 if c < extra else 0)
+        for t in range(start, start + size):
+            b.add_dependency(f"cluster{t:05d}", f"catalog{c:04d}")
+        b.add_dependency(f"catalog{c:04d}", "concat")
+        start += size
+    b.add_dependency("concat", "analysis")
+    b.add_dependency("analysis", "summary")
+    return b.build(check_acyclic=False)

@@ -1,0 +1,112 @@
+"""Tests for the advantage-region analysis."""
+
+import pytest
+
+from repro.analysis.crossover import (
+    AdvantageRegion,
+    advantage_regions,
+    render_regions,
+)
+from repro.analysis.sweep import CellResult, SweepConfig, SweepResult
+from repro.stats.ratio import RatioStatistics
+
+
+def stats(median, lo, hi):
+    return RatioStatistics(
+        mean=median, std=0.01, median=median, ci_low=lo, ci_high=hi
+    )
+
+
+def cell(mu_bit, mu_bs, median, lo, hi):
+    return CellResult(
+        mu_bit=mu_bit,
+        mu_bs=mu_bs,
+        ratios={
+            "execution_time": stats(median, lo, hi),
+            "stalling_probability": None,
+            "utilization": stats(1.0, 0.9, 1.1),
+        },
+    )
+
+
+@pytest.fixture
+def synthetic_sweep():
+    config = SweepConfig(mu_bits=(1.0,), mu_bss=(1.0, 4.0, 16.0, 64.0), p=2, q=1)
+    cells = [
+        cell(1.0, 1.0, 0.99, 0.95, 1.05),
+        cell(1.0, 4.0, 0.85, 0.80, 0.92),   # confident win
+        cell(1.0, 16.0, 0.90, 0.84, 0.97),  # confident win
+        cell(1.0, 64.0, 0.99, 0.92, 1.06),  # fades to parity
+    ]
+    return SweepResult(workload="synthetic", config=config, cells=cells)
+
+
+class TestAdvantageRegions:
+    def test_peak_location(self, synthetic_sweep):
+        (region,) = advantage_regions(synthetic_sweep)
+        assert region.peak_mu_bs == 4.0
+        assert region.peak_median == pytest.approx(0.85)
+
+    def test_confident_cells(self, synthetic_sweep):
+        (region,) = advantage_regions(synthetic_sweep)
+        assert region.confident_mu_bss == (4.0, 16.0)
+        assert region.has_confident_win
+
+    def test_fade_point(self, synthetic_sweep):
+        (region,) = advantage_regions(synthetic_sweep)
+        assert region.fade_mu_bs == 64.0
+
+    def test_no_confident_win(self):
+        config = SweepConfig(mu_bits=(1.0,), mu_bss=(1.0,), p=2, q=1)
+        cells = [cell(1.0, 1.0, 0.98, 0.9, 1.1)]
+        (region,) = advantage_regions(
+            SweepResult(workload="x", config=config, cells=cells)
+        )
+        assert not region.has_confident_win
+        assert region.fade_mu_bs is None
+
+    def test_rows_with_only_missing_ratios_skipped(self):
+        config = SweepConfig(mu_bits=(1.0,), mu_bss=(1.0,), p=2, q=1)
+        missing = CellResult(
+            mu_bit=1.0,
+            mu_bs=1.0,
+            ratios={
+                "execution_time": None,
+                "stalling_probability": None,
+                "utilization": None,
+            },
+        )
+        result = SweepResult(workload="x", config=config, cells=[missing])
+        assert advantage_regions(result) == []
+
+    def test_render(self, synthetic_sweep):
+        text = render_regions(advantage_regions(synthetic_sweep))
+        assert "peak at mu_BS=4" in text
+        assert "confident wins" in text
+
+    def test_render_no_win(self):
+        region = AdvantageRegion(
+            mu_bit=1.0,
+            peak_mu_bs=2.0,
+            peak_median=0.99,
+            confident_mu_bss=(),
+            fade_mu_bs=None,
+        )
+        assert "no cell" in render_regions([region])
+
+
+class TestOnRealSweep:
+    def test_airsn_region(self):
+        from repro.analysis.sweep import ratio_sweep
+        from repro.core.prio import prio_schedule
+        from repro.workloads.airsn import airsn
+
+        dag = airsn(30)
+        order = prio_schedule(dag).schedule
+        config = SweepConfig(
+            mu_bits=(1.0,), mu_bss=(2.0, 8.0, 512.0), p=8, q=3, seed=2
+        )
+        sweep = ratio_sweep(dag, order, config, "airsn-30")
+        (region,) = advantage_regions(sweep)
+        assert region.peak_mu_bs in (2.0, 8.0)
+        assert region.peak_median < 1.0

@@ -1,0 +1,50 @@
+"""Tests for the Fig. 4 eligibility curves."""
+
+import numpy as np
+
+from repro.analysis.eligibility_curves import eligibility_curves
+from repro.core.prio import prio_schedule
+from repro.dag.builders import chain
+from repro.workloads.airsn import airsn
+
+
+class TestEligibilityCurves:
+    def test_airsn_prio_dominates_fifo(self):
+        c = eligibility_curves(airsn(40), "airsn-40")
+        assert c.fraction_nonnegative == 1.0
+        assert c.max_difference > 0
+
+    def test_airsn_peak_difference_is_about_width(self):
+        # The Fig. 4 AIRSN plot peaks near the cover width: PRIO has the
+        # whole first cover eligible while FIFO is still blocked on the
+        # bottleneck.
+        width = 60
+        c = eligibility_curves(airsn(width), "airsn")
+        assert width - 5 <= c.max_difference <= width
+
+    def test_chain_no_difference(self):
+        c = eligibility_curves(chain(6), "chain")
+        assert c.max_difference == 0 and c.min_difference == 0
+
+    def test_endpoints(self):
+        c = eligibility_curves(airsn(10), "airsn")
+        assert c.e_prio[0] == c.e_fifo[0]  # same dag, same sources
+        assert c.e_prio[-1] == 0 and c.e_fifo[-1] == 0
+
+    def test_normalized_steps(self):
+        c = eligibility_curves(chain(4), "chain")
+        assert np.allclose(c.normalized_steps, [0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_reuses_prio_result(self):
+        d = airsn(10)
+        res = prio_schedule(d)
+        c = eligibility_curves(d, "airsn", prio_result=res)
+        assert c.n_jobs == d.n
+
+    def test_summary_row_mentions_name(self):
+        c = eligibility_curves(chain(3), "mychain")
+        assert "mychain" in c.summary_row()
+
+    def test_mean_difference_sign(self):
+        c = eligibility_curves(airsn(20), "airsn")
+        assert c.mean_difference > 0

@@ -1,0 +1,90 @@
+"""Tests for result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.eligibility_curves import eligibility_curves
+from repro.analysis.export import (
+    curves_to_csv,
+    sweep_to_csv,
+    sweep_to_json,
+    sweep_to_rows,
+)
+from repro.analysis.sweep import SweepConfig, ratio_sweep
+from repro.core.prio import prio_schedule
+from repro.workloads.airsn import airsn
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    dag = airsn(8)
+    order = prio_schedule(dag).schedule
+    config = SweepConfig(mu_bits=(1.0,), mu_bss=(2.0, 8.0), p=3, q=1, seed=0)
+    return ratio_sweep(dag, order, config, "airsn-8")
+
+
+class TestSweepExport:
+    def test_rows_cover_cells_x_metrics(self, sweep):
+        rows = sweep_to_rows(sweep)
+        assert len(rows) == 2 * 3
+        assert {r["metric"] for r in rows} == {
+            "execution_time", "stalling_probability", "utilization",
+        }
+
+    def test_csv_parses_back(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        text = sweep_to_csv(sweep, path)
+        assert path.read_text() == text
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 6
+        assert parsed[0]["workload"] == "airsn-8"
+        float(parsed[0]["mu_bs"])  # numeric columns parse
+
+    def test_missing_ratio_is_empty_cell(self, sweep):
+        text = sweep_to_csv(sweep)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        stalling = [r for r in parsed if r["metric"] == "stalling_probability"]
+        # stalling may or may not be reportable; empty string when not.
+        for row in stalling:
+            assert row["median"] == "" or float(row["median"]) >= 0
+
+    def test_json_includes_config(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        text = sweep_to_json(sweep, path)
+        payload = json.loads(text)
+        assert payload["format"] == "repro-sweep-v1"
+        assert payload["config"]["p"] == 3
+        assert len(payload["rows"]) == 6
+
+
+class TestCurvesExport:
+    def test_csv_rows(self, tmp_path):
+        dag = airsn(5)
+        curves = eligibility_curves(dag, "airsn-5")
+        path = tmp_path / "curves.csv"
+        text = curves_to_csv(curves, path)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == dag.n + 1
+        assert parsed[0]["t"] == "0"
+        assert int(parsed[0]["e_prio"]) == int(parsed[0]["e_fifo"])
+        assert float(parsed[-1]["t_normalized"]) == 1.0
+
+
+class TestCliIntegration:
+    def test_sweep_csv_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "cells.csv"
+        main(
+            [
+                "sweep", "airsn-small",
+                "--mu-bit", "1", "--mu-bs", "4",
+                "-p", "2", "-q", "1",
+                "--csv", str(out),
+            ]
+        )
+        assert out.is_file()
+        assert "mu_bs" in out.read_text().splitlines()[0]

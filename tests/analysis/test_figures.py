@@ -1,0 +1,102 @@
+"""Tests for the ASCII figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import ascii_curve, ascii_interval_panel
+from repro.analysis.sweep import CellResult, SweepConfig, SweepResult
+from repro.stats.ratio import RatioStatistics
+
+
+class TestAsciiCurve:
+    def test_basic_shape(self):
+        text = ascii_curve({"up": np.arange(10.0)}, width=20, height=5)
+        lines = text.splitlines()
+        assert len(lines) == 5 + 2  # grid + axis + legend
+        assert "up" in lines[-1]
+
+    def test_title(self):
+        text = ascii_curve({"s": np.ones(4)}, title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_two_series_two_glyphs(self):
+        text = ascii_curve(
+            {"a": np.zeros(8), "b": np.full(8, 5.0)}, width=16, height=4
+        )
+        assert "*" in text and "o" in text
+
+    def test_extremes_on_borders(self):
+        text = ascii_curve({"ramp": np.array([0.0, 10.0])}, width=10, height=4)
+        lines = text.splitlines()
+        assert "10.0" in lines[0]
+        assert "0.0" in lines[3]
+
+    def test_flat_series(self):
+        # Zero span must not divide by zero.
+        text = ascii_curve({"flat": np.full(5, 3.0)})
+        assert "flat" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_curve({})
+
+
+def _sweep_with(cells):
+    mu_bss = tuple(sorted({c.mu_bs for c in cells}))
+    config = SweepConfig(mu_bits=(1.0,), mu_bss=mu_bss, p=2, q=1)
+    return SweepResult(workload="x", config=config, cells=cells)
+
+
+def _cell(mu_bs, median, lo, hi):
+    stats = RatioStatistics(
+        mean=median, std=0.0, median=median, ci_low=lo, ci_high=hi
+    )
+    return CellResult(
+        mu_bit=1.0, mu_bs=mu_bs, ratios={"execution_time": stats}
+    )
+
+
+class TestAsciiIntervalPanel:
+    def test_panel_contains_markers(self):
+        result = _sweep_with(
+            [_cell(1.0, 0.9, 0.8, 1.0), _cell(4.0, 1.0, 0.95, 1.05)]
+        )
+        text = ascii_interval_panel(result)
+        assert "o" in text and "|" in text
+        assert "mu_BS:" in text
+        assert "----" in text.replace(" ", "")[:2000] or "-" in text
+
+    def test_missing_cell_marked(self):
+        missing = CellResult(
+            mu_bit=1.0, mu_bs=2.0, ratios={"execution_time": None}
+        )
+        result = _sweep_with([_cell(1.0, 0.9, 0.85, 0.95), missing])
+        text = ascii_interval_panel(result)
+        assert "x" in text
+
+    def test_all_missing_rejected(self):
+        missing = CellResult(
+            mu_bit=1.0, mu_bs=2.0, ratios={"execution_time": None}
+        )
+        result = _sweep_with([missing])
+        with pytest.raises(ValueError):
+            ascii_interval_panel(result)
+
+    def test_parity_line_present(self):
+        result = _sweep_with([_cell(1.0, 0.9, 0.8, 0.95)])
+        text = ascii_interval_panel(result)
+        assert any(line.startswith("  1.00") for line in text.splitlines())
+
+    def test_sections_per_mu_bit(self):
+        cells = [_cell(1.0, 0.9, 0.8, 1.0)]
+        extra = CellResult(
+            mu_bit=10.0,
+            mu_bs=1.0,
+            ratios={
+                "execution_time": RatioStatistics(1.0, 0.0, 1.0, 0.9, 1.1)
+            },
+        )
+        config = SweepConfig(mu_bits=(1.0, 10.0), mu_bss=(1.0,), p=2, q=1)
+        result = SweepResult(workload="x", config=config, cells=cells + [extra])
+        text = ascii_interval_panel(result)
+        assert text.count("-- mu_BIT =") == 2

@@ -1,0 +1,87 @@
+"""Tests for the policy league harness."""
+
+import pytest
+
+from repro.analysis.league import Entrant, league, render_league
+from repro.core.fifo import fifo_schedule
+from repro.core.prio import prio_schedule
+from repro.sim.engine import SimParams
+from repro.workloads.airsn import airsn
+
+
+@pytest.fixture(scope="module")
+def rows():
+    dag = airsn(40)
+    entrants = [
+        Entrant.from_schedule("prio", prio_schedule(dag).schedule),
+        Entrant.from_schedule(
+            "prio-topological",
+            prio_schedule(dag, combine="topological").schedule,
+        ),
+        Entrant("random", "random"),
+        Entrant("fifo", "fifo"),
+    ]
+    return league(
+        dag,
+        entrants,
+        SimParams(mu_bit=1.0, mu_bs=8.0),
+        n_runs=24,
+        seed=3,
+    )
+
+
+class TestLeague:
+    def test_sorted_by_execution_time(self, rows):
+        times = [r.mean_execution_time for r in rows]
+        assert times == sorted(times)
+
+    def test_prio_wins(self, rows):
+        assert rows[0].name.startswith("prio")
+
+    def test_baseline_has_no_p_value(self, rows):
+        fifo_row = next(r for r in rows if r.name == "fifo")
+        assert fifo_row.p_beats_baseline is None
+        others = [r for r in rows if r.name != "fifo"]
+        assert all(r.p_beats_baseline is not None for r in others)
+
+    def test_prio_significant_vs_fifo(self, rows):
+        prio_row = next(r for r in rows if r.name == "prio")
+        assert prio_row.p_beats_baseline < 0.05
+
+    def test_metric_ranges(self, rows):
+        for r in rows:
+            assert r.mean_execution_time > 0
+            assert 0 < r.mean_utilization <= 1
+            assert 0 <= r.mean_stalling <= 1
+
+    def test_validation(self):
+        dag = airsn(5)
+        params = SimParams(mu_bit=1.0, mu_bs=2.0)
+        with pytest.raises(ValueError, match="at least one"):
+            league(dag, [], params)
+        with pytest.raises(ValueError, match="unique"):
+            league(dag, [Entrant("x", "fifo"), Entrant("x", "fifo")], params)
+        with pytest.raises(ValueError, match="baseline"):
+            league(dag, [Entrant("x", "fifo")], params, baseline="nope")
+
+    def test_render(self, rows):
+        text = render_league(rows)
+        assert "baseline" in text
+        assert "prio" in text and "fifo" in text
+        assert len(text.splitlines()) == 5
+
+    def test_custom_baseline(self):
+        dag = airsn(10)
+        entrants = [
+            Entrant.from_schedule("prio", prio_schedule(dag).schedule),
+            Entrant("fifo", "fifo"),
+        ]
+        rows = league(
+            dag,
+            entrants,
+            SimParams(mu_bit=1.0, mu_bs=4.0),
+            n_runs=6,
+            baseline="prio",
+        )
+        prio_row = next(r for r in rows if r.name == "prio")
+        assert prio_row.p_beats_baseline is None

@@ -1,0 +1,60 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.report_all import full_report, render_report
+from repro.analysis.sweep import SweepConfig
+from repro.workloads.airsn import airsn
+
+
+@pytest.fixture(scope="module")
+def reports():
+    config = SweepConfig(mu_bits=(1.0,), mu_bss=(4.0, 64.0), p=4, q=1, seed=3)
+    return full_report({"airsn-tiny": airsn(8), "airsn-20": airsn(20)}, config)
+
+
+class TestFullReport:
+    def test_one_report_per_workload(self, reports):
+        assert [r.name for r in reports] == ["airsn-tiny", "airsn-20"]
+
+    def test_components_present(self, reports):
+        r = reports[0]
+        assert "airsn-tiny" in r.shape_row
+        assert "E_PRIO" in r.curves_row or "max(" in r.curves_row
+        assert r.overhead.n_jobs == airsn(8).n
+        assert len(r.sweep.cells) == 2
+        assert "peak at" in r.regions_text
+
+    def test_progress_callback(self):
+        calls = []
+        config = SweepConfig(mu_bits=(1.0,), mu_bss=(4.0,), p=2, q=1)
+        full_report(
+            {"x": airsn(5)},
+            config,
+            progress=lambda name, i, total: calls.append((name, i, total)),
+        )
+        assert calls == [("x", 0, 1)]
+
+
+class TestRenderReport:
+    def test_sections(self, reports):
+        text = render_report(reports)
+        assert "prio reproduction report" in text
+        assert "workload shapes" in text
+        assert "Fig. 4" in text
+        assert "Sec. 3.6" in text
+        assert text.count("sweep (Figs. 6-9 style)") == 2
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.txt"
+        main(
+            [
+                "report", "airsn-small",
+                "--mu-bs", "4",
+                "-p", "2", "-q", "1",
+                "-o", str(out),
+            ]
+        )
+        assert "prio reproduction report" in out.read_text()

@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import Dag, DagBuilder
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def fig3_dag() -> Dag:
+    """The 5-job example of the paper's Fig. 3: a->b, c->d, c->e."""
+    b = DagBuilder()
+    for name in "abcde":
+        b.add_job(name)
+    b.add_dependency("a", "b")
+    b.add_dependency("c", "d")
+    b.add_dependency("c", "e")
+    return b.build()
+
+
+@pytest.fixture
+def diamond() -> Dag:
+    """0 -> {1, 2} -> 3."""
+    return Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture
+def diamond_with_shortcut() -> Dag:
+    """Diamond plus the shortcut arc 0 -> 3."""
+    return Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)])
+
+
+def labels_of(dag: Dag, order) -> list[str]:
+    return [dag.label(u) for u in order]
+
+
+def random_small_dag(rng: np.random.Generator, max_n: int = 9) -> Dag:
+    """A random dag small enough for brute-force IC-optimality checks."""
+    n = int(rng.integers(1, max_n + 1))
+    prob = float(rng.uniform(0.1, 0.6))
+    arcs = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < prob
+    ]
+    return Dag(n, arcs)

@@ -1,0 +1,49 @@
+"""Tests for the FIFO baseline schedule."""
+
+import numpy as np
+import pytest
+
+from repro.core.fifo import fifo_schedule
+from repro.dag.builders import chain, fork
+from repro.dag.graph import Dag
+from repro.dag.validate import is_valid_schedule
+
+
+class TestFifoSchedule:
+    def test_sources_first_in_id_order(self, fig3_dag):
+        order = fifo_schedule(fig3_dag)
+        assert [fig3_dag.label(u) for u in order[:2]] == ["a", "c"]
+
+    def test_full_fig3_order(self, fig3_dag):
+        # a and c eligible at start; executing a frees b, executing c
+        # frees d then e.
+        assert [fig3_dag.label(u) for u in fifo_schedule(fig3_dag)] == list(
+            "acbde"
+        )
+
+    def test_is_valid(self, rng):
+        from tests.conftest import random_small_dag
+
+        for _ in range(20):
+            d = random_small_dag(rng, max_n=14)
+            assert is_valid_schedule(d, fifo_schedule(d))
+
+    def test_chain(self):
+        assert fifo_schedule(chain(4)) == [0, 1, 2, 3]
+
+    def test_fork_children_in_adjacency_order(self):
+        assert fifo_schedule(fork(3)) == [0, 1, 2, 3]
+
+    def test_deterministic(self, rng):
+        from tests.conftest import random_small_dag
+
+        d = random_small_dag(rng)
+        assert fifo_schedule(d) == fifo_schedule(d)
+
+    def test_empty(self):
+        assert fifo_schedule(Dag(0, [])) == []
+
+    def test_bfs_not_dfs(self):
+        # 0 -> 2 -> 4, 1 -> 3: FIFO interleaves by eligibility wave.
+        d = Dag(5, [(0, 2), (2, 4), (1, 3)])
+        assert fifo_schedule(d) == [0, 1, 2, 3, 4]

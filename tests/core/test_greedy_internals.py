@@ -1,0 +1,97 @@
+"""Unit tests for the combine phase's internal machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.component import ScheduledComponent, schedule_component
+from repro.core.decompose import Component, Decomposition, decompose
+from repro.core.greedy import _ClassRegistry, greedy_combine
+from repro.dag.graph import Dag
+
+
+def make_sc(index, profile, schedule=()):
+    comp = Component(
+        index=index,
+        nonsinks=tuple(schedule),
+        shared_sinks=(),
+        global_sinks=(),
+        is_bipartite=True,
+    )
+    return ScheduledComponent(
+        component=comp,
+        schedule=tuple(schedule),
+        profile=np.asarray(profile, dtype=np.int64),
+        family=None,
+    )
+
+
+class TestClassRegistry:
+    def test_groups_by_profile(self):
+        reg = _ClassRegistry()
+        reg.add(make_sc(0, [1, 2]))
+        reg.add(make_sc(1, [1, 2]))
+        reg.add(make_sc(2, [3, 3]))
+        assert len(reg) == 3
+        assert len(reg.heaps) == 2
+
+    def test_pop_returns_lowest_index(self):
+        reg = _ClassRegistry()
+        reg.add(make_sc(5, [1, 2]))
+        reg.add(make_sc(2, [1, 2]))
+        key = next(iter(reg.heaps))
+        assert reg.peek(key) == 2
+        assert reg.pop(key) == 2
+        assert reg.pop(key) == 5
+        assert len(reg) == 0
+        assert not reg.heaps  # class cleaned up when emptied
+
+    def test_multiplicity(self):
+        reg = _ClassRegistry()
+        reg.add(make_sc(0, [1, 1]))
+        reg.add(make_sc(1, [1, 1]))
+        key = next(iter(reg.heaps))
+        assert reg.multiplicity(key) == 2
+
+
+class TestCombineOrderProperties:
+    def _decomposed(self, dag):
+        dec = decompose(dag)
+        scheduled = [schedule_component(dag, c) for c in dec.components]
+        return dec, scheduled
+
+    def test_identical_blocks_keep_detachment_order(self):
+        # Four identical independent 2-chains.
+        d = Dag(8, [(0, 1), (2, 3), (4, 5), (6, 7)])
+        dec, scheduled = self._decomposed(d)
+        result = greedy_combine(dec, scheduled)
+        assert result.component_order == [0, 1, 2, 3]
+
+    def test_dominant_block_first_regardless_of_index(self):
+        # Block with 3 children declared *after* two plain chains.
+        d = Dag(9, [(0, 1), (2, 3), (4, 5), (4, 6), (4, 7), (4, 8)])
+        dec, scheduled = self._decomposed(d)
+        result = greedy_combine(dec, scheduled)
+        wide = next(
+            sc.index for sc in scheduled if 4 in sc.component.nonsinks
+        )
+        assert result.component_order[0] == wide
+
+    def test_cache_shared_across_calls(self):
+        from repro.theory.priority import PriorityCache
+
+        d = Dag(8, [(0, 1), (2, 3), (4, 5), (6, 7)])
+        dec, scheduled = self._decomposed(d)
+        cache = PriorityCache()
+        greedy_combine(dec, scheduled, cache=cache)
+        first_misses = cache.misses
+        greedy_combine(dec, scheduled, cache=cache)
+        assert cache.misses == first_misses  # second run fully cached
+
+    def test_empty_decomposition(self):
+        dec = Decomposition(
+            dag=Dag(0, []), components=[], comp_of=[],
+            super_children=[], super_parents=[],
+        )
+        result = greedy_combine(dec, [])
+        assert result.component_order == []
+        assert result.nonsink_schedule == []

@@ -1,0 +1,176 @@
+"""Adversarial structures: shapes built to stress the pipeline.
+
+Each case targets a specific weakness class: deep nesting, extreme
+fan-in/out, shortcut ladders, interleaved rings, thousands of isolated
+jobs, components that flip between the fast and general decomposition
+paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.decompose import decompose
+from repro.core.fifo import fifo_schedule
+from repro.core.prio import prio_schedule
+from repro.dag.graph import Dag
+from repro.dag.transitive import find_shortcuts, remove_shortcuts
+from repro.dag.validate import is_valid_schedule
+from repro.theory.eligibility import eligibility_profile
+
+
+def check(dag):
+    result = prio_schedule(dag)
+    assert is_valid_schedule(dag, result.schedule)
+    profile = eligibility_profile(dag, result.schedule)
+    assert profile[-1] == 0
+    return result
+
+
+class TestExtremeShapes:
+    def test_deep_chain(self):
+        check(Dag(2000, [(i, i + 1) for i in range(1999)], check_acyclic=False))
+
+    def test_wide_star(self):
+        n = 2000
+        arcs = [(0, i) for i in range(1, n)]
+        result = check(Dag(n, arcs, check_acyclic=False))
+        assert result.schedule[0] == 0
+
+    def test_wide_join(self):
+        n = 2000
+        arcs = [(i, n - 1) for i in range(n - 1)]
+        check(Dag(n, arcs, check_acyclic=False))
+
+    def test_all_isolated(self):
+        result = check(Dag(500, []))
+        # every job is a source-sink: scheduled in the final sinks phase.
+        assert result.schedule == list(range(500))
+
+    def test_binary_out_tree(self):
+        arcs = [(i, 2 * i + 1) for i in range(511)] + [
+            (i, 2 * i + 2) for i in range(511)
+        ]
+        check(Dag(1023, arcs, check_acyclic=False))
+
+    def test_binary_in_tree(self):
+        arcs = [(2 * i + 1, i) for i in range(511)] + [
+            (2 * i + 2, i) for i in range(511)
+        ]
+        check(Dag(1023, arcs, check_acyclic=False))
+
+
+class TestShortcutLadders:
+    def test_full_shortcut_ladder(self):
+        # chain 0->1->...->k plus every forward shortcut.
+        k = 12
+        arcs = [(i, j) for i in range(k) for j in range(i + 1, k + 1)]
+        d = Dag(k + 1, arcs, check_acyclic=False)
+        reduced, removed = remove_shortcuts(d)
+        assert reduced.narcs == k
+        assert len(removed) == d.narcs - k
+        check(d)
+
+    def test_shortcuts_do_not_change_prio_quality(self):
+        k = 10
+        clean = Dag(k + 1, [(i, i + 1) for i in range(k)], check_acyclic=False)
+        laddered = Dag(
+            k + 1,
+            [(i, j) for i in range(k) for j in range(i + 1, k + 1)],
+            check_acyclic=False,
+        )
+        p_clean = eligibility_profile(clean, prio_schedule(clean).schedule)
+        p_ladder = eligibility_profile(clean, prio_schedule(laddered).schedule)
+        assert p_clean.tolist() == p_ladder.tolist()
+
+
+class TestInterleavedRings:
+    def _double_ring(self, m):
+        # Two coincidence rings sharing their df level: every closure is
+        # non-bipartite and overlaps both rings.
+        arcs = []
+        for i in range(m):
+            df, cal, insp = i, m + i, 2 * m + i
+            coin_a, coin_b = 3 * m + i, 4 * m + i
+            arcs += [(df, cal), (cal, insp)]
+            arcs += [(insp, coin_a), ((i + 1) % m, coin_a)]
+            arcs += [(insp, coin_b), ((i + 2) % m, coin_b)]
+        return Dag(5 * m, arcs, check_acyclic=False)
+
+    @pytest.mark.parametrize("m", [4, 9])
+    def test_double_ring(self, m):
+        d = self._double_ring(m)
+        result = check(d)
+        dec = result.decomposition
+        assert any(not c.is_bipartite for c in dec.components)
+
+    def test_double_ring_single_component(self):
+        d = self._double_ring(6)
+        dec = decompose(d)
+        non_bip = [c for c in dec.components if not c.is_bipartite]
+        assert len(non_bip) == 1
+        assert non_bip[0].size == d.n
+
+
+class TestMixedRegimes:
+    def test_ring_next_to_bipartite_farm(self):
+        # A non-bipartite ring beside ten thousand independent 2-chains:
+        # the fast path must keep the farm cheap while the general path
+        # handles the ring exactly once.
+        arcs = []
+        m = 10
+        for i in range(m):  # the ring
+            df, cal, insp, coin = i, m + i, 2 * m + i, 3 * m + i
+            arcs += [(df, cal), (cal, insp), (insp, coin)]
+            arcs += [((i + 1) % m, coin)]
+        base = 4 * m
+        farm = 2000
+        for k in range(farm):
+            arcs.append((base + 2 * k, base + 2 * k + 1))
+        d = Dag(base + 2 * farm, arcs, check_acyclic=False)
+        result = check(d)
+        dec = result.decomposition
+        assert sum(1 for c in dec.components if not c.is_bipartite) == 1
+        assert sum(1 for c in dec.components if c.is_bipartite) == farm
+
+    def test_alternating_w_m_tower(self):
+        from repro.dag.builders import compose_identified
+        from repro.theory.families import m_dag, w_dag
+
+        pieces = []
+        for _ in range(4):
+            pieces.append(w_dag(2, 2).dag)   # 2 sources -> 3 sinks
+            pieces.append(m_dag(2, 2).dag)   # 3 sources -> 2 sinks
+        d = compose_identified(*pieces)
+        result = check(d)
+        assert result.decomposition.n_components == 8
+
+    def test_fifo_prio_agree_on_symmetric_farm(self):
+        arcs = [(2 * k, 2 * k + 1) for k in range(300)]
+        d = Dag(600, arcs, check_acyclic=False)
+        p = eligibility_profile(d, prio_schedule(d).schedule)
+        f = eligibility_profile(d, fifo_schedule(d))
+        assert p.tolist() == f.tolist()
+
+
+class TestNumericalScale:
+    def test_priority_profiles_with_huge_counts(self):
+        from repro.theory.priority import priority_over
+
+        a = [10**9, 10**9 + 1]
+        b = [1, 2, 3]
+        r = priority_over(a, b)
+        assert 0.0 <= r <= 1.0
+
+    def test_sim_with_extreme_parameters(self):
+        from repro.sim.engine import SimParams, make_policy, simulate
+
+        d = Dag(5, [(0, 1), (1, 2), (2, 3), (3, 4)], check_acyclic=False)
+        rng = np.random.default_rng(0)
+        result = simulate(
+            d,
+            make_policy("fifo"),
+            SimParams(mu_bit=1e-4, mu_bs=65536.0),
+            rng,
+        )
+        assert result.n_jobs == 5
+        assert result.utilization < 1e-3

@@ -1,0 +1,169 @@
+"""End-to-end tests for the prio heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.core.fifo import fifo_schedule
+from repro.core.prio import prio_schedule, priorities_from_schedule
+from repro.dag.builders import chain, complete_bipartite, fork_join
+from repro.dag.graph import Dag
+from repro.dag.validate import is_valid_schedule
+from repro.theory.eligibility import eligibility_profile
+from repro.theory.families import cycle_dag, fig2_catalog, m_dag, n_dag, w_dag
+from repro.theory.ic_optimal import is_ic_optimal, max_eligibility
+
+
+class TestFig3Example:
+    """The paper's worked example: PRIO = c, a, b, d, e with c at 5."""
+
+    def test_schedule(self, fig3_dag):
+        res = prio_schedule(fig3_dag)
+        assert [fig3_dag.label(u) for u in res.schedule] == list("cabde")
+
+    def test_priorities(self, fig3_dag):
+        res = prio_schedule(fig3_dag)
+        assert res.priority_of("c") == 5
+        assert res.priority_of("a") == 4
+        assert res.priority_of("e") == 1
+
+    def test_schedule_is_ic_optimal(self, fig3_dag):
+        res = prio_schedule(fig3_dag)
+        assert is_ic_optimal(fig3_dag, res.schedule)
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_always_a_valid_schedule(self, seed):
+        from tests.conftest import random_small_dag
+
+        rng = np.random.default_rng(seed)
+        for _ in range(15):
+            d = random_small_dag(rng, max_n=14)
+            res = prio_schedule(d)
+            assert is_valid_schedule(d, res.schedule)
+
+    @pytest.mark.parametrize(
+        "combine,use_catalog,remove",
+        [
+            ("greedy", True, True),
+            ("greedy", False, True),
+            ("greedy", True, False),
+            ("topological", True, True),
+        ],
+    )
+    def test_valid_under_all_knobs(self, combine, use_catalog, remove, rng):
+        from tests.conftest import random_small_dag
+
+        for _ in range(8):
+            d = random_small_dag(rng, max_n=12)
+            res = prio_schedule(
+                d,
+                combine=combine,
+                use_catalog=use_catalog,
+                remove_shortcuts=remove,
+            )
+            assert is_valid_schedule(d, res.schedule)
+
+    def test_empty_dag(self):
+        res = prio_schedule(Dag(0, []))
+        assert res.schedule == []
+
+    def test_single_job(self):
+        res = prio_schedule(Dag(1, []))
+        assert res.schedule == [0]
+        assert res.priorities == [1]
+
+    def test_invalid_combine_mode(self, fig3_dag):
+        with pytest.raises(ValueError, match="combine"):
+            prio_schedule(fig3_dag, combine="magic")
+
+
+class TestIcOptimalityOnCatalog:
+    """Where the theoretical algorithm succeeds, the heuristic must too."""
+
+    @pytest.mark.parametrize("inst", fig2_catalog(), ids=lambda i: i.name)
+    def test_catalog_blocks(self, inst):
+        res = prio_schedule(inst.dag)
+        assert is_ic_optimal(inst.dag, res.schedule)
+
+    @pytest.mark.parametrize(
+        "dag_fn",
+        [
+            lambda: chain(6),
+            lambda: complete_bipartite(3, 3),
+            lambda: fork_join(4),
+            lambda: w_dag(3, 3).dag,
+            lambda: m_dag(3, 2).dag,
+            lambda: n_dag(8).dag,
+            lambda: cycle_dag(8).dag,
+        ],
+    )
+    def test_simple_compositions(self, dag_fn):
+        d = dag_fn()
+        res = prio_schedule(d)
+        assert is_ic_optimal(d, res.schedule)
+
+    def test_series_of_blocks(self):
+        from repro.dag.builders import compose_series
+
+        d = compose_series(w_dag(2, 2).dag, m_dag(2, 2).dag)
+        res = prio_schedule(d)
+        profile = eligibility_profile(d, res.schedule)
+        envelope = max_eligibility(d)
+        assert (profile <= envelope).all()
+
+
+class TestShortcuts:
+    def test_shortcut_removed_and_reported(self, diamond_with_shortcut):
+        res = prio_schedule(diamond_with_shortcut)
+        assert res.shortcuts_removed == [(0, 3)]
+        assert is_valid_schedule(diamond_with_shortcut, res.schedule)
+
+    def test_shortcut_removal_can_be_disabled(self, diamond_with_shortcut):
+        res = prio_schedule(diamond_with_shortcut, remove_shortcuts=False)
+        assert res.shortcuts_removed == []
+        assert is_valid_schedule(diamond_with_shortcut, res.schedule)
+
+    def test_schedule_eligibility_identical_with_or_without(self):
+        # Shortcuts never change eligibility *counts* for the same schedule.
+        d = Dag(5, [(0, 1), (1, 2), (0, 2), (2, 3), (2, 4)])
+        res = prio_schedule(d)
+        prof = eligibility_profile(d, res.schedule)
+        reduced = d.without_arcs([(0, 2)])
+        prof2 = eligibility_profile(reduced, res.schedule)
+        assert prof.tolist() == prof2.tolist()
+
+
+class TestPrioBeatsFifoOnEligibility:
+    """The heuristic's purpose: pointwise-higher eligibility than FIFO."""
+
+    @pytest.mark.parametrize(
+        "dag_fn",
+        [
+            lambda: fork_join(10),
+            lambda: w_dag(6, 3).dag,
+            lambda: m_dag(4, 4).dag,
+        ],
+    )
+    def test_dominates_or_ties(self, dag_fn):
+        d = dag_fn()
+        prio = eligibility_profile(d, prio_schedule(d).schedule)
+        fifo = eligibility_profile(d, fifo_schedule(d))
+        assert prio.sum() >= fifo.sum()
+
+
+class TestPriorityNumbers:
+    def test_priorities_from_schedule(self):
+        assert priorities_from_schedule(3, [2, 0, 1]) == [2, 1, 3]
+
+    def test_priorities_permutation(self, fig3_dag):
+        res = prio_schedule(fig3_dag)
+        assert sorted(res.priorities) == [1, 2, 3, 4, 5]
+
+    def test_elapsed_recorded(self, fig3_dag):
+        res = prio_schedule(fig3_dag)
+        assert res.elapsed_seconds > 0
+
+    def test_families_used(self, fig3_dag):
+        used = prio_schedule(fig3_dag).families_used
+        assert sum(used.values()) == 2

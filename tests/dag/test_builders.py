@@ -1,0 +1,133 @@
+"""Tests for the dag shape constructors."""
+
+import numpy as np
+import pytest
+
+from repro.dag.builders import (
+    chain,
+    complete_bipartite,
+    compose_series,
+    disjoint_union,
+    fork,
+    fork_join,
+    join,
+    layered_random,
+    random_dag,
+)
+
+
+class TestBasicShapes:
+    def test_chain(self):
+        d = chain(4)
+        assert d.n == 4 and d.narcs == 3
+        assert d.sources() == [0] and d.sinks() == [3]
+
+    def test_chain_single(self):
+        d = chain(1)
+        assert d.n == 1 and d.narcs == 0
+
+    def test_chain_rejects_zero(self):
+        with pytest.raises(ValueError):
+            chain(0)
+
+    def test_fork(self):
+        d = fork(3)
+        assert d.out_degree(0) == 3
+        assert len(d.sinks()) == 3
+
+    def test_join(self):
+        d = join(3)
+        assert d.in_degree(3) == 3
+        assert d.sinks() == [3]
+
+    def test_fork_join(self):
+        d = fork_join(4)
+        assert d.n == 6
+        assert d.sources() == [0] and d.sinks() == [5]
+        assert d.out_degree(0) == 4 and d.in_degree(5) == 4
+
+    def test_complete_bipartite(self):
+        d = complete_bipartite(2, 3)
+        assert d.n == 5 and d.narcs == 6
+        assert d.is_bipartite_two_level()
+
+    @pytest.mark.parametrize("builder", [fork, join, fork_join])
+    def test_width_validation(self, builder):
+        with pytest.raises(ValueError):
+            builder(0)
+
+    def test_complete_bipartite_validation(self):
+        with pytest.raises(ValueError):
+            complete_bipartite(0, 3)
+
+
+class TestLayeredRandom:
+    def test_layers_are_levels(self, rng):
+        d = layered_random([3, 4, 2], 0.5, rng)
+        assert d.n == 9
+        levels = d.longest_path_levels()
+        assert levels[:3] == [0, 0, 0]
+        assert levels[3:7] == [1, 1, 1, 1]
+        assert levels[7:] == [2, 2]
+
+    def test_every_nonfirst_job_has_parent(self, rng):
+        d = layered_random([2, 5, 5], 0.05, rng)
+        for u in range(2, d.n):
+            assert d.in_degree(u) >= 1
+
+    def test_no_connection_guarantee_when_disabled(self, rng):
+        d = layered_random([2, 3], 0.0, rng, ensure_connected_layers=False)
+        assert d.narcs == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            layered_random([0, 2], 0.5, rng)
+        with pytest.raises(ValueError):
+            layered_random([2, 2], 1.5, rng)
+
+
+class TestRandomDag:
+    def test_bounds(self, rng):
+        d = random_dag(10, 0.3, rng)
+        assert d.n == 10
+        for u, v in d.arcs():
+            assert u < v
+
+    def test_prob_extremes(self, rng):
+        assert random_dag(6, 0.0, rng).narcs == 0
+        assert random_dag(6, 1.0, rng).narcs == 15
+
+    def test_empty(self, rng):
+        assert random_dag(0, 0.5, rng).n == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_dag(-1, 0.5, rng)
+        with pytest.raises(ValueError):
+            random_dag(3, 2.0, rng)
+
+
+class TestComposition:
+    def test_compose_series_links_sinks_to_sources(self):
+        d = compose_series(fork(2), join(2))
+        # fork sinks {1,2} each feed join sources {3,4} (offset by 3).
+        assert d.has_arc(1, 3) and d.has_arc(1, 4)
+        assert d.has_arc(2, 3) and d.has_arc(2, 4)
+        assert d.sources() == [0]
+        assert d.sinks() == [d.n - 1]
+
+    def test_compose_series_single(self):
+        d = compose_series(chain(3))
+        assert d.n == 3 and d.narcs == 2
+
+    def test_disjoint_union(self):
+        d = disjoint_union(chain(2), chain(3))
+        assert d.n == 5
+        assert len(d.sources()) == 2
+        assert not d.is_connected_undirected()
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ValueError):
+            compose_series()
+        with pytest.raises(ValueError):
+            disjoint_union()

@@ -1,0 +1,38 @@
+"""Tests for DOT export."""
+
+from repro.dag.graph import Dag
+from repro.dag.io_dot import to_dot
+
+
+class TestToDot:
+    def test_contains_nodes_and_arcs(self, fig3_dag):
+        dot = to_dot(fig3_dag)
+        assert dot.startswith('digraph "G" {')
+        assert '"a" -> "b";' in dot
+        assert '"c" -> "d";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_rankdir_default_matches_paper(self, fig3_dag):
+        # The paper draws arcs oriented upward.
+        assert "rankdir=BT;" in to_dot(fig3_dag)
+
+    def test_priorities_in_labels(self, fig3_dag):
+        dot = to_dot(fig3_dag, priorities=[4, 3, 5, 2, 1])
+        assert 'label="c (5)"' in dot
+
+    def test_highlight_fills_nodes(self, fig3_dag):
+        dot = to_dot(fig3_dag, highlight={fig3_dag.id_of("c")})
+        line = next(l for l in dot.splitlines() if l.strip().startswith('"c"'))
+        assert "filled" in line
+
+    def test_quoting_of_special_names(self):
+        d = Dag(2, [(0, 1)], labels=['we"ird', "normal"])
+        dot = to_dot(d)
+        assert '"we\\"ird"' in dot
+
+    def test_unlabelled_dag_uses_ids(self):
+        d = Dag(2, [(0, 1)])
+        assert '"0" -> "1";' in to_dot(d)
+
+    def test_custom_name(self, diamond):
+        assert 'digraph "mydag"' in to_dot(diamond, name="mydag")

@@ -1,0 +1,105 @@
+"""Tests for the workflow linter."""
+
+import pytest
+
+from repro.dagman.lint import lint_dagman
+from repro.dagman.parser import parse_dagman_text
+
+CLEAN = """\
+JOB a a.sub
+JOB b b.sub
+PARENT a CHILD b
+"""
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestLint:
+    def test_clean_file(self):
+        assert lint_dagman(parse_dagman_text(CLEAN)) == []
+
+    def test_undeclared_job(self):
+        f = parse_dagman_text("JOB a a.sub\nPARENT a CHILD ghost\n")
+        findings = lint_dagman(f)
+        assert "undeclared-job" in codes(findings)
+        assert findings[0].severity == "error"
+
+    def test_duplicate_dependency(self):
+        f = parse_dagman_text(CLEAN + "PARENT a CHILD b\n")
+        assert "duplicate-dependency" in codes(lint_dagman(f))
+
+    def test_cycle(self):
+        f = parse_dagman_text(
+            "JOB a a.sub\nJOB b b.sub\n"
+            "PARENT a CHILD b\nPARENT b CHILD a\n"
+        )
+        findings = lint_dagman(f)
+        assert codes(findings) == ["cycle"]
+        assert "cycle" in findings[0].message
+
+    def test_done_not_closed(self):
+        f = parse_dagman_text(
+            "JOB a a.sub\nJOB b b.sub DONE\nPARENT a CHILD b\n"
+        )
+        findings = lint_dagman(f)
+        assert "done-not-closed" in codes(findings)
+
+    def test_done_closed_is_fine(self):
+        f = parse_dagman_text(
+            "JOB a a.sub DONE\nJOB b b.sub DONE\nJOB c c.sub\n"
+            "PARENT a CHILD b\nPARENT b CHILD c\n"
+        )
+        assert lint_dagman(f) == []
+
+    def test_missing_jsdf(self, tmp_path):
+        f = parse_dagman_text(CLEAN)
+        findings = lint_dagman(f, root=tmp_path)
+        assert codes(findings).count("missing-jsdf") == 2
+
+    def test_present_jsdf(self, tmp_path):
+        (tmp_path / "a.sub").write_text("executable=/bin/true\nqueue\n")
+        (tmp_path / "b.sub").write_text("executable=/bin/true\nqueue\n")
+        assert lint_dagman(parse_dagman_text(CLEAN), root=tmp_path) == []
+
+    def test_disconnected_warning(self):
+        f = parse_dagman_text("JOB a a.sub\nJOB b b.sub\n")
+        assert "disconnected" in codes(lint_dagman(f))
+
+    def test_splices_are_opaque_nodes(self):
+        f = parse_dagman_text(
+            "JOB a a.sub\nSPLICE s inner.dag\nPARENT a CHILD s\n"
+        )
+        assert lint_dagman(f) == []
+
+    def test_finding_str(self):
+        f = parse_dagman_text("JOB a a.sub\nPARENT a CHILD ghost\n")
+        text = str(lint_dagman(f)[0])
+        assert text.startswith("error:") and "ghost" in text
+
+
+class TestLintCli:
+    def test_clean_exit_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "w.dag"
+        path.write_text(CLEAN)
+        assert main(["lint", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_error_exit_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "w.dag"
+        path.write_text("JOB a a.sub\nPARENT a CHILD ghost\n")
+        assert main(["lint", str(path)]) == 1
+        assert "undeclared" in capsys.readouterr().out
+
+    def test_check_jsdfs_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "w.dag"
+        path.write_text(CLEAN)
+        assert main(["lint", str(path), "--check-jsdfs"]) == 0
+        assert "missing-jsdf" in capsys.readouterr().out

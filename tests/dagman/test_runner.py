@@ -1,0 +1,325 @@
+"""Tests for the local DAGMan execution engine."""
+
+import pytest
+
+from repro.core.tool import prioritize_dagman
+from repro.dagman.model import JobDecl
+from repro.dagman.parser import parse_dagman_text
+from repro.dagman.runner import (
+    JobState,
+    SubprocessExecutor,
+    expand_macros,
+    run_workflow,
+)
+
+FIG3 = """\
+JOB a a.sub
+JOB b b.sub
+JOB c c.sub
+JOB d d.sub
+JOB e e.sub
+PARENT a CHILD b
+PARENT c CHILD d e
+"""
+
+
+def ok_executor(log=None):
+    def execute(decl, macros):
+        if log is not None:
+            log.append(decl.name)
+        return 0
+
+    return execute
+
+
+def failing(names, codes=None):
+    def execute(decl, macros):
+        if decl.name in names:
+            return (codes or {}).get(decl.name, 1)
+        return 0
+
+    return execute
+
+
+class TestBasicExecution:
+    def test_all_jobs_run(self):
+        dagman = parse_dagman_text(FIG3)
+        run = run_workflow(dagman, ok_executor())
+        assert run.succeeded
+        assert run.n_done == 5
+        assert all(o.attempts == 1 for o in run.outcomes.values())
+
+    def test_dispatch_respects_precedence(self):
+        dagman = parse_dagman_text(FIG3)
+        run = run_workflow(dagman, ok_executor())
+        order = run.dispatch_order
+        assert order.index("a") < order.index("b")
+        assert order.index("c") < order.index("d")
+
+    def test_priorities_drive_dispatch(self):
+        dagman = parse_dagman_text(FIG3)
+        prioritize_dagman(dagman)  # PRIO: c,a,b,d,e
+        run = run_workflow(dagman, ok_executor())
+        assert run.dispatch_order == ["c", "a", "b", "d", "e"]
+
+    def test_without_priorities_fifo(self):
+        dagman = parse_dagman_text(FIG3)
+        prioritize_dagman(dagman)
+        run = run_workflow(dagman, ok_executor(), use_priorities=False)
+        assert run.dispatch_order[0] == "a"
+
+    def test_ties_break_fifo(self):
+        dagman = parse_dagman_text(FIG3)
+        run = run_workflow(dagman, ok_executor())
+        # No priorities: pure eligibility order.
+        assert run.dispatch_order == ["a", "c", "b", "d", "e"]
+
+    def test_done_jobs_skipped(self):
+        text = FIG3.replace("JOB a a.sub", "JOB a a.sub DONE")
+        dagman = parse_dagman_text(text)
+        log = []
+        run = run_workflow(dagman, ok_executor(log))
+        assert "a" not in log
+        assert run.outcomes["a"].state is JobState.DONE
+        assert run.outcomes["a"].attempts == 0
+        assert run.succeeded
+
+    def test_validation(self):
+        dagman = parse_dagman_text("SPLICE s x.dag\n")
+        with pytest.raises(ValueError, match="flatten"):
+            run_workflow(dagman, ok_executor())
+        with pytest.raises(ValueError, match="max_workers"):
+            run_workflow(parse_dagman_text(FIG3), ok_executor(), max_workers=0)
+
+
+class TestFailures:
+    def test_failure_cancels_descendants(self):
+        dagman = parse_dagman_text(FIG3)
+        run = run_workflow(dagman, failing({"c"}))
+        assert not run.succeeded
+        assert run.outcomes["c"].state is JobState.FAILED
+        assert run.outcomes["d"].state is JobState.CANCELLED
+        assert run.outcomes["e"].state is JobState.CANCELLED
+        # The independent branch still ran.
+        assert run.outcomes["a"].state is JobState.DONE
+        assert run.outcomes["b"].state is JobState.DONE
+
+    def test_failed_jobs_listed(self):
+        run = run_workflow(parse_dagman_text(FIG3), failing({"c"}))
+        assert run.failed_jobs() == ["c"]
+
+    def test_return_code_recorded(self):
+        run = run_workflow(
+            parse_dagman_text(FIG3), failing({"c"}, {"c": 42})
+        )
+        assert run.outcomes["c"].return_code == 42
+
+    def test_retry_recovers(self):
+        attempts = {"count": 0}
+
+        def flaky(decl, macros):
+            if decl.name == "c":
+                attempts["count"] += 1
+                return 1 if attempts["count"] < 3 else 0
+            return 0
+
+        dagman = parse_dagman_text(FIG3 + "RETRY c 5\n")
+        run = run_workflow(dagman, flaky)
+        assert run.succeeded
+        assert run.outcomes["c"].attempts == 3
+
+    def test_retry_exhausted(self):
+        dagman = parse_dagman_text(FIG3 + "RETRY c 2\n")
+        run = run_workflow(dagman, failing({"c"}))
+        assert run.outcomes["c"].state is JobState.FAILED
+        assert run.outcomes["c"].attempts == 3  # 1 try + 2 retries
+
+
+class TestRescue:
+    def test_rescue_marks_done(self):
+        run = run_workflow(parse_dagman_text(FIG3), failing({"c"}))
+        rescue = run.rescue_text()
+        assert "JOB a a.sub DONE" in rescue
+        assert "JOB b b.sub DONE" in rescue
+        assert "JOB c c.sub\n" in rescue  # failed: not DONE
+
+    def test_rescue_round_trip_completes(self):
+        run = run_workflow(parse_dagman_text(FIG3), failing({"c"}))
+        # "Fix" job c and resume from the rescue dag.
+        resumed = run_workflow(parse_dagman_text(run.rescue_text()), ok_executor())
+        assert resumed.succeeded
+        assert resumed.outcomes["a"].attempts == 0  # not re-run
+        assert resumed.outcomes["c"].attempts == 1
+
+    def test_rescue_idempotent_done_markers(self):
+        text = FIG3.replace("JOB a a.sub", "JOB a a.sub DONE")
+        run = run_workflow(parse_dagman_text(text), ok_executor())
+        rescue = run.rescue_text()
+        assert rescue.count("JOB a a.sub DONE") == 1
+        assert "DONE DONE" not in rescue
+
+
+class TestConcurrent:
+    def test_parallel_run_completes(self):
+        dagman = parse_dagman_text(FIG3)
+        run = run_workflow(dagman, ok_executor(), max_workers=4)
+        assert run.succeeded
+
+    def test_parallel_failure_handling(self):
+        dagman = parse_dagman_text(FIG3)
+        run = run_workflow(dagman, failing({"c"}), max_workers=3)
+        assert run.outcomes["d"].state is JobState.CANCELLED
+        assert run.outcomes["b"].state is JobState.DONE
+
+    def test_executor_exception_propagates(self):
+        def boom(decl, macros):
+            raise RuntimeError("executor broke")
+
+        with pytest.raises(RuntimeError, match="executor broke"):
+            run_workflow(parse_dagman_text(FIG3), boom, max_workers=2)
+
+
+class TestScripts:
+    WITH_SCRIPTS = FIG3 + (
+        "SCRIPT PRE c stage-in.sh\n"
+        "SCRIPT POST c check-output.sh $(RETURN)\n"
+    )
+
+    def _run(self, script_results, executor=None, text=None):
+        calls = []
+
+        def run_script(command, macros):
+            calls.append((command, dict(macros)))
+            return script_results.get(command.split()[0], 0)
+
+        dagman = parse_dagman_text(text or self.WITH_SCRIPTS)
+        run = run_workflow(
+            dagman, executor or ok_executor(), run_script=run_script
+        )
+        return run, calls
+
+    def test_scripts_invoked(self):
+        run, calls = self._run({})
+        assert run.succeeded
+        commands = [c for c, _ in calls]
+        assert commands == ["stage-in.sh", "check-output.sh $(RETURN)"]
+
+    def test_pre_failure_fails_without_running_job(self):
+        log = []
+        run, _ = self._run({"stage-in.sh": 1}, executor=ok_executor(log))
+        assert run.outcomes["c"].state is JobState.FAILED
+        assert "c" not in log  # the job itself never ran
+        assert run.outcomes["a"].state is JobState.DONE
+
+    def test_post_decides_success(self):
+        # The job fails but POST exits 0: the node succeeds (DAGMan rule).
+        run, calls = self._run({}, executor=failing({"c"}, {"c": 7}))
+        assert run.succeeded
+        post_macros = calls[-1][1]
+        assert post_macros["return"] == "7"
+
+    def test_post_failure_fails_good_job(self):
+        run, _ = self._run({"check-output.sh": 3})
+        assert run.outcomes["c"].state is JobState.FAILED
+        assert run.outcomes["c"].return_code == 3
+
+    def test_pre_failure_retried(self):
+        results = {"stage-in.sh": 1}
+        text = self.WITH_SCRIPTS + "RETRY c 2\n"
+        run, calls = self._run(results, text=text)
+        assert run.outcomes["c"].attempts == 3
+
+    def test_scripts_skipped_without_runner(self):
+        dagman = parse_dagman_text(self.WITH_SCRIPTS)
+        run = run_workflow(dagman, ok_executor())
+        assert run.succeeded  # scripts ignored entirely
+
+    def test_script_parse_errors(self):
+        with pytest.raises(Exception, match="SCRIPT"):
+            parse_dagman_text("SCRIPT SOMETIME a x.sh\n")
+        with pytest.raises(Exception, match="duplicate"):
+            parse_dagman_text(
+                "JOB a a.sub\nSCRIPT PRE a x.sh\nSCRIPT PRE a y.sh\n"
+            )
+
+    def test_subprocess_script_runner(self, tmp_path):
+        (tmp_path / "t.sub").write_text(
+            "executable = /usr/bin/touch\narguments = job.out\nqueue\n"
+        )
+        dagfile_text = (
+            "JOB x t.sub\n"
+            "SCRIPT PRE x /usr/bin/touch pre.out\n"
+            "SCRIPT POST x /usr/bin/touch post_$(RETURN).out\n"
+        )
+        from repro.dagman.runner import SubprocessExecutor
+
+        dagman = parse_dagman_text(dagfile_text)
+        executor = SubprocessExecutor(tmp_path)
+        run = run_workflow(dagman, executor, run_script=executor.run_script)
+        assert run.succeeded
+        assert (tmp_path / "pre.out").is_file()
+        assert (tmp_path / "job.out").is_file()
+        assert (tmp_path / "post_0.out").is_file()
+
+
+class TestMacros:
+    def test_expand_known(self):
+        assert expand_macros("p=$(jobpriority)", {"jobpriority": "5"}) == "p=5"
+
+    def test_unknown_expands_empty(self):
+        assert expand_macros("x$(nope)y", {}) == "xy"
+
+    def test_executor_sees_vars_and_job(self):
+        seen = {}
+
+        def execute(decl, macros):
+            seen[decl.name] = dict(macros)
+            return 0
+
+        dagman = parse_dagman_text(
+            'JOB a a.sub\nVARS a site="x" jobpriority="7"\n'
+        )
+        run_workflow(dagman, execute)
+        assert seen["a"]["site"] == "x"
+        assert seen["a"]["jobpriority"] == "7"
+        assert seen["a"]["job"] == "a"
+
+
+class TestSubprocessExecutor:
+    def test_runs_real_commands(self, tmp_path):
+        (tmp_path / "touch.sub").write_text(
+            "executable = /usr/bin/touch\narguments = out_$(JOB).txt\nqueue\n"
+        )
+        dagman = parse_dagman_text(
+            "JOB first touch.sub\nJOB second touch.sub\n"
+            "PARENT first CHILD second\n"
+        )
+        run = run_workflow(dagman, SubprocessExecutor(tmp_path))
+        assert run.succeeded
+        assert (tmp_path / "out_first.txt").is_file()
+        assert (tmp_path / "out_second.txt").is_file()
+
+    def test_nonzero_exit_fails_job(self, tmp_path):
+        (tmp_path / "fail.sub").write_text(
+            "executable = /bin/false\nqueue\n"
+        )
+        dagman = parse_dagman_text("JOB x fail.sub\n")
+        run = run_workflow(dagman, SubprocessExecutor(tmp_path))
+        assert run.outcomes["x"].state is JobState.FAILED
+
+    def test_missing_executable_attr(self, tmp_path):
+        (tmp_path / "bad.sub").write_text("universe = vanilla\nqueue\n")
+        dagman = parse_dagman_text("JOB x bad.sub\n")
+        with pytest.raises(ValueError, match="no executable"):
+            run_workflow(dagman, SubprocessExecutor(tmp_path))
+
+    def test_dir_resolution(self, tmp_path):
+        sub = tmp_path / "inner"
+        sub.mkdir()
+        (sub / "touch.sub").write_text(
+            "executable = /usr/bin/touch\narguments = here.txt\nqueue\n"
+        )
+        dagman = parse_dagman_text("JOB x touch.sub DIR inner\n")
+        run = run_workflow(dagman, SubprocessExecutor(tmp_path))
+        assert run.succeeded
+        assert (sub / "here.txt").is_file()

@@ -1,0 +1,81 @@
+"""Tests for DAGMan serialization and instrumentation round-trips."""
+
+from repro.dag.graph import DagBuilder
+from repro.dagman.model import DagmanFile
+from repro.dagman.parser import parse_dagman_text
+from repro.dagman.writer import dag_to_dagman, write_dagman_file
+
+
+def fig3_builder():
+    b = DagBuilder()
+    for name in "abcde":
+        b.add_job(name)
+    b.add_dependency("a", "b")
+    b.add_dependency("c", "d")
+    b.add_dependency("c", "e")
+    return b.build()
+
+
+class TestDagToDagman:
+    def test_jobs_and_arcs(self):
+        dagman = dag_to_dagman(fig3_builder())
+        assert list(dagman.jobs) == list("abcde")
+        assert ("c", "d") in dagman.arcs
+
+    def test_default_submit_files(self):
+        dagman = dag_to_dagman(fig3_builder())
+        assert dagman.jobs["a"].submit_file == "a.sub"
+
+    def test_custom_submit_mapping(self):
+        dagman = dag_to_dagman(
+            fig3_builder(), submit_file_for=lambda n: f"jsdf/{n}.submit"
+        )
+        assert dagman.jobs["b"].submit_file == "jsdf/b.submit"
+
+    def test_round_trips_through_parser(self):
+        dagman = dag_to_dagman(fig3_builder())
+        parsed = parse_dagman_text(dagman.render())
+        assert list(parsed.jobs) == list(dagman.jobs)
+        assert parsed.arcs == dagman.arcs
+        dag = parsed.to_dag()
+        assert set(dag.arcs()) == set(fig3_builder().arcs())
+
+
+class TestSetPriorities:
+    def test_appends_vars_in_declaration_order(self):
+        dagman = dag_to_dagman(fig3_builder())
+        dagman.set_priorities({"c": 5, "a": 4})
+        text = dagman.render()
+        assert text.index('VARS a jobpriority="4"') < text.index(
+            'VARS c jobpriority="5"'
+        )
+
+    def test_unknown_job_rejected(self):
+        dagman = dag_to_dagman(fig3_builder())
+        try:
+            dagman.set_priorities({"ghost": 1})
+        except KeyError as e:
+            assert "ghost" in str(e)
+        else:
+            raise AssertionError("expected KeyError")
+
+    def test_set_priority_unknown_job(self):
+        dagman = DagmanFile()
+        try:
+            dagman.set_priority("nope", 1)
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("expected KeyError")
+
+    def test_render_empty(self):
+        assert DagmanFile().render() == ""
+
+
+class TestWriteFile:
+    def test_writes_render(self, tmp_path):
+        dagman = dag_to_dagman(fig3_builder())
+        path = tmp_path / "out.dag"
+        write_dagman_file(dagman, path)
+        assert path.read_text() == dagman.render()
+        assert path.read_text().endswith("\n")

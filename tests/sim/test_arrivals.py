@@ -1,0 +1,70 @@
+"""Tests for the batch arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.sim.arrivals import BATCH_SIZE_DISTRIBUTIONS, BatchArrivals
+
+
+class TestBatchArrivals:
+    def test_first_batch_at_time_zero(self, rng):
+        arr = BatchArrivals(1.0, 4.0, rng)
+        t, b = arr.next_batch()
+        assert t == 0.0
+        assert b >= 1
+
+    def test_times_strictly_ordered(self, rng):
+        arr = BatchArrivals(0.5, 2.0, rng)
+        times = [arr.next_batch()[0] for _ in range(100)]
+        assert all(t1 < t2 for t1, t2 in zip(times, times[1:]))
+
+    def test_peek_does_not_consume(self, rng):
+        arr = BatchArrivals(1.0, 2.0, rng)
+        t = arr.peek_time()
+        assert arr.next_batch()[0] == t
+
+    def test_refill_across_chunks(self, rng):
+        arr = BatchArrivals(1.0, 2.0, rng, chunk=8)
+        times = [arr.next_batch()[0] for _ in range(30)]
+        assert all(t1 < t2 for t1, t2 in zip(times, times[1:]))
+
+    def test_geometric_mean_close(self):
+        rng = np.random.default_rng(7)
+        arr = BatchArrivals(1.0, 16.0, rng)
+        sizes = [arr.next_batch()[1] for _ in range(20000)]
+        assert np.mean(sizes) == pytest.approx(16.0, rel=0.05)
+        assert min(sizes) >= 1
+
+    def test_interarrival_mean_close(self):
+        rng = np.random.default_rng(7)
+        arr = BatchArrivals(3.0, 1.0, rng)
+        times = np.array([arr.next_batch()[0] for _ in range(20000)])
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_ceil_exponential_support(self):
+        rng = np.random.default_rng(7)
+        arr = BatchArrivals(1.0, 4.0, rng, size_dist="ceil-exponential")
+        sizes = [arr.next_batch()[1] for _ in range(5000)]
+        assert min(sizes) >= 1
+        # mean of ceil(Exp(mu)) = 1/(1-exp(-1/mu)) ~= mu + 0.5
+        assert np.mean(sizes) == pytest.approx(4.5, rel=0.08)
+
+    def test_unit_batch_size(self):
+        rng = np.random.default_rng(0)
+        arr = BatchArrivals(1.0, 1.0, rng)
+        assert all(arr.next_batch()[1] == 1 for _ in range(100))
+
+    @pytest.mark.parametrize(
+        "mu_bit,mu_bs", [(0.0, 2.0), (-1.0, 2.0), (1.0, 0.5)]
+    )
+    def test_validation(self, rng, mu_bit, mu_bs):
+        with pytest.raises(ValueError):
+            BatchArrivals(mu_bit, mu_bs, rng)
+
+    def test_unknown_distribution(self, rng):
+        with pytest.raises(ValueError, match="distribution"):
+            BatchArrivals(1.0, 2.0, rng, size_dist="zipf")
+
+    def test_distributions_constant(self):
+        assert "geometric" in BATCH_SIZE_DISTRIBUTIONS

@@ -1,0 +1,82 @@
+"""Statistical validation of the stochastic inputs (scipy goodness of fit).
+
+The evaluation's credibility rests on the simulator actually drawing from
+the distributions Sec. 4.1 specifies; these tests check them with
+Kolmogorov–Smirnov / chi-square machinery rather than just means.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.sim.arrivals import BatchArrivals
+from repro.sim.runtime import RuntimeSampler
+
+N = 20000
+
+
+class TestInterarrivalTimes:
+    @pytest.mark.parametrize("mu_bit", [0.1, 1.0, 10.0])
+    def test_exponential_ks(self, mu_bit):
+        rng = np.random.default_rng(42)
+        arr = BatchArrivals(mu_bit, 2.0, rng)
+        times = np.array([arr.next_batch()[0] for _ in range(N)])
+        gaps = np.diff(times)
+        result = sps.kstest(gaps, "expon", args=(0, mu_bit))
+        assert result.pvalue > 0.01
+
+    def test_memorylessness(self):
+        # P(gap > s+t | gap > s) == P(gap > t) within sampling error.
+        rng = np.random.default_rng(1)
+        arr = BatchArrivals(1.0, 2.0, rng)
+        times = np.array([arr.next_batch()[0] for _ in range(N)])
+        gaps = np.diff(times)
+        p_uncond = (gaps > 0.5).mean()
+        tail = gaps[gaps > 1.0]
+        p_cond = (tail > 1.5).mean()
+        assert p_cond == pytest.approx(p_uncond, abs=0.03)
+
+
+class TestBatchSizes:
+    @pytest.mark.parametrize("mu_bs", [2.0, 8.0, 64.0])
+    def test_geometric_chi_square(self, mu_bs):
+        rng = np.random.default_rng(7)
+        arr = BatchArrivals(1.0, mu_bs, rng)
+        sizes = np.array([arr.next_batch()[1] for _ in range(N)])
+        p = 1.0 / mu_bs
+        # Bin the support; pool the tail so expected counts stay healthy.
+        kmax = int(np.ceil(sps.geom.ppf(0.995, p)))
+        observed = np.bincount(np.minimum(sizes, kmax + 1))[1:]
+        expected = np.array(
+            [sps.geom.pmf(k, p) * N for k in range(1, kmax + 1)]
+            + [sps.geom.sf(kmax, p) * N]
+        )
+        result = sps.chisquare(
+            observed, expected * observed.sum() / expected.sum()
+        )
+        assert result.pvalue > 0.005
+
+    def test_geometric_variance(self):
+        rng = np.random.default_rng(3)
+        arr = BatchArrivals(1.0, 16.0, rng)
+        sizes = np.array([arr.next_batch()[1] for _ in range(N)])
+        p = 1 / 16.0
+        assert sizes.var() == pytest.approx((1 - p) / p**2, rel=0.1)
+
+
+class TestRuntimes:
+    def test_normal_ks(self):
+        rng = np.random.default_rng(11)
+        sampler = RuntimeSampler(rng)
+        draws = sampler.draw(N)
+        result = sps.kstest(draws, "norm", args=(1.0, 0.1))
+        assert result.pvalue > 0.01
+
+    def test_independence_across_chunks(self):
+        rng = np.random.default_rng(12)
+        sampler = RuntimeSampler(rng, chunk=64)
+        draws = sampler.draw(N)
+        # Lag-1 autocorrelation of an iid stream is ~0.
+        a, b = draws[:-1] - 1.0, draws[1:] - 1.0
+        corr = float((a * b).mean() / (a.std() * b.std()))
+        assert abs(corr) < 0.03

@@ -1,0 +1,104 @@
+"""Feature-combination matrix: extensions composed together.
+
+Each extension is tested alone elsewhere; these tests pin the pairwise
+combinations (churn x rollover, churn x heterogeneous runtimes, traces
+under everything) and the semantic identities that must hold across them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dag.builders import chain, fork_join
+from repro.sim.engine import SimParams, make_policy, simulate
+from repro.sim.trace import ExecutionTrace
+from repro.workloads.airsn import airsn
+from repro.workloads.runtimes import workload_runtime_scale
+
+
+def run(dag, seed=0, trace=None, runtime_scale=None, **kw):
+    rng = np.random.default_rng(seed)
+    params = SimParams(**{"mu_bit": 1.0, "mu_bs": 4.0, **kw})
+    return simulate(
+        dag,
+        make_policy("fifo"),
+        params,
+        rng,
+        trace=trace,
+        runtime_scale=runtime_scale,
+    )
+
+
+class TestCombinations:
+    @pytest.mark.parametrize("failure_prob", [0.0, 0.2])
+    @pytest.mark.parametrize("rollover", [False, True])
+    def test_churn_x_rollover(self, failure_prob, rollover):
+        d = fork_join(12)
+        result = run(d, failure_prob=failure_prob, rollover=rollover, seed=3)
+        assert result.n_jobs == d.n
+        if failure_prob == 0.0:
+            assert result.n_failures == 0
+
+    def test_churn_x_heterogeneous_runtimes(self):
+        d = airsn(10)
+        scale = workload_runtime_scale(d, "airsn")
+        result = run(d, failure_prob=0.25, runtime_scale=scale, seed=4)
+        assert result.n_jobs == d.n
+        assert result.execution_time > 0
+
+    def test_trace_under_everything(self):
+        d = airsn(8)
+        trace = ExecutionTrace()
+        scale = workload_runtime_scale(d, "airsn")
+        result = run(
+            d,
+            failure_prob=0.2,
+            rollover=True,
+            runtime_scale=scale,
+            trace=trace,
+            seed=5,
+        )
+        assert len(trace) > 0
+        assert trace.executed[-1] == d.n
+        assert (np.diff(trace.times) >= 0).all()
+
+    def test_rollover_x_heterogeneous(self):
+        d = chain(8)
+        scale = np.linspace(0.5, 2.0, d.n)
+        with_roll = run(d, rollover=True, runtime_scale=scale, seed=6)
+        without = run(d, rollover=False, runtime_scale=scale, seed=6)
+        assert with_roll.execution_time <= without.execution_time * 1.01
+
+
+class TestSemanticIdentities:
+    def test_scale_of_ones_is_identity(self):
+        d = airsn(10)
+        base = run(d, seed=7)
+        scaled = run(d, runtime_scale=np.ones(d.n), seed=7)
+        assert base == scaled
+
+    def test_failure_time_fraction_only_matters_with_churn(self):
+        d = fork_join(8)
+        a = run(d, failure_time_fraction=0.2, seed=8)
+        b = run(d, failure_time_fraction=0.9, seed=8)
+        assert a == b  # failure_prob = 0: the fraction is inert
+
+    def test_makespan_is_max_completion(self):
+        d = airsn(12)
+        trace = ExecutionTrace()
+        result = run(d, trace=trace, seed=9)
+        assert result.execution_time == pytest.approx(trace.times[-1], abs=1e-9)
+
+    def test_uniform_scale_rescales_time(self):
+        # Doubling every runtime with instant workers doubles the makespan.
+        d = chain(6)
+        base = run(d, mu_bit=0.001, mu_bs=4.0, seed=10)
+        doubled = run(
+            d,
+            mu_bit=0.001,
+            mu_bs=4.0,
+            runtime_scale=np.full(d.n, 2.0),
+            seed=10,
+        )
+        assert doubled.execution_time == pytest.approx(
+            2 * base.execution_time, rel=0.02
+        )

@@ -1,0 +1,84 @@
+"""Tests for the scheduling policies."""
+
+import numpy as np
+import pytest
+
+from repro.sim.policies import FifoPolicy, ObliviousPolicy, Policy, RandomPolicy
+
+
+class TestObliviousPolicy:
+    def test_serves_priority_order(self):
+        p = ObliviousPolicy([2, 0, 1])  # job 2 first, then 0, then 1
+        p.push(0)
+        p.push(1)
+        p.push(2)
+        assert [p.pop(), p.pop(), p.pop()] == [2, 0, 1]
+
+    def test_interleaved(self):
+        p = ObliviousPolicy([2, 0, 1])
+        p.push(1)
+        assert p.pop() == 1
+        p.push(0)
+        p.push(2)
+        assert p.pop() == 2
+
+    def test_len(self):
+        p = ObliviousPolicy([0, 1])
+        assert len(p) == 0
+        p.push(1)
+        assert len(p) == 1
+
+
+class TestFifoPolicy:
+    def test_serves_arrival_order(self):
+        p = FifoPolicy()
+        for j in (3, 1, 2):
+            p.push(j)
+        assert [p.pop(), p.pop(), p.pop()] == [3, 1, 2]
+
+    def test_len(self):
+        p = FifoPolicy()
+        p.push(0)
+        p.push(1)
+        p.pop()
+        assert len(p) == 1
+
+
+class TestRandomPolicy:
+    def test_serves_every_job_once(self):
+        p = RandomPolicy(np.random.default_rng(0))
+        for j in range(10):
+            p.push(j)
+        served = {p.pop() for _ in range(10)}
+        assert served == set(range(10))
+        assert len(p) == 0
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            p = RandomPolicy(np.random.default_rng(seed))
+            for j in range(8):
+                p.push(j)
+            return [p.pop() for _ in range(8)]
+
+        assert run(5) == run(5)
+
+    def test_is_actually_random(self):
+        # Across seeds the first pop should vary.
+        firsts = set()
+        for seed in range(20):
+            p = RandomPolicy(np.random.default_rng(seed))
+            for j in range(10):
+                p.push(j)
+            firsts.add(p.pop())
+        assert len(firsts) > 1
+
+
+class TestPolicyInterface:
+    def test_base_raises(self):
+        p = Policy()
+        with pytest.raises(NotImplementedError):
+            p.push(0)
+        with pytest.raises(NotImplementedError):
+            p.pop()
+        with pytest.raises(NotImplementedError):
+            len(p)

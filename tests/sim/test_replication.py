@@ -1,0 +1,56 @@
+"""Tests for replicated runs and metric arrays."""
+
+import numpy as np
+import pytest
+
+from repro.dag.builders import fork_join
+from repro.sim.engine import SimParams
+from repro.sim.replication import MetricArrays, policy_factory, run_replications
+
+
+@pytest.fixture
+def params():
+    return SimParams(mu_bit=1.0, mu_bs=4.0)
+
+
+class TestRunReplications:
+    def test_count(self, params):
+        m = run_replications(fork_join(5), policy_factory("fifo"), params, 7)
+        assert len(m) == 7
+        assert m.execution_time.shape == (7,)
+
+    def test_reproducible(self, params):
+        d = fork_join(5)
+        a = run_replications(d, policy_factory("fifo"), params, 5, seed=11)
+        b = run_replications(d, policy_factory("fifo"), params, 5, seed=11)
+        assert np.array_equal(a.execution_time, b.execution_time)
+
+    def test_independent_replications(self, params):
+        m = run_replications(fork_join(8), policy_factory("fifo"), params, 10)
+        assert len(np.unique(m.execution_time)) > 1
+
+    def test_seedsequence_accepted(self, params):
+        seq = np.random.SeedSequence(3)
+        m = run_replications(fork_join(3), policy_factory("fifo"), params, 2, seq)
+        assert len(m) == 2
+
+    def test_oblivious_factory(self, params):
+        d = fork_join(5)
+        order = list(range(d.n))
+        m = run_replications(
+            d, policy_factory("oblivious", order=order), params, 3
+        )
+        assert len(m) == 3
+
+    def test_metric_accessor(self, params):
+        m = run_replications(fork_join(3), policy_factory("fifo"), params, 2)
+        assert np.array_equal(m.metric("utilization"), m.utilization)
+        with pytest.raises(KeyError):
+            m.metric("latency")
+
+    def test_metric_ranges(self, params):
+        m = run_replications(fork_join(6), policy_factory("fifo"), params, 20)
+        assert (m.utilization > 0).all() and (m.utilization <= 1).all()
+        assert (m.stalling_probability >= 0).all()
+        assert (m.stalling_probability <= 1).all()
+        assert (m.execution_time > 0).all()

@@ -1,0 +1,245 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FIG3 = """\
+JOB a a.sub
+JOB b b.sub
+JOB c c.sub
+JOB d d.sub
+JOB e e.sub
+PARENT a CHILD b
+PARENT c CHILD d e
+"""
+
+
+@pytest.fixture
+def fig3_file(tmp_path):
+    path = tmp_path / "IV.dag"
+    path.write_text(FIG3)
+    return path
+
+
+class TestPrioCommand:
+    def test_instruments_in_place(self, fig3_file, capsys):
+        assert main(["prio", str(fig3_file)]) == 0
+        assert 'jobpriority="5"' in fig3_file.read_text()
+        out = capsys.readouterr().out
+        assert "5 jobs prioritized" in out
+
+    def test_output_flag(self, fig3_file, tmp_path, capsys):
+        out_file = tmp_path / "out.dag"
+        main(["prio", str(fig3_file), "-o", str(out_file)])
+        assert "jobpriority" not in fig3_file.read_text()
+        assert "jobpriority" in out_file.read_text()
+
+    def test_verbose_prints_schedule(self, fig3_file, capsys):
+        main(["prio", str(fig3_file), "-v"])
+        assert "c, a, b, d, e" in capsys.readouterr().out
+
+
+class TestScheduleCommand:
+    def test_prio_schedule_of_file(self, fig3_file, capsys):
+        main(["schedule", str(fig3_file)])
+        assert capsys.readouterr().out.strip() == "c, a, b, d, e"
+
+    def test_fifo_schedule(self, fig3_file, capsys):
+        main(["schedule", str(fig3_file), "-a", "fifo"])
+        assert capsys.readouterr().out.strip() == "a, c, b, d, e"
+
+    def test_workload_by_name(self, capsys):
+        main(["schedule", "airsn-small", "-1"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "prep00"
+        assert len(lines) == 21 + 3 * 40 + 2
+
+
+class TestCurvesCommand:
+    def test_summary(self, capsys):
+        main(["curves", "airsn-small"])
+        out = capsys.readouterr().out
+        assert "airsn-small" in out and "max(E_PRIO-E_FIFO)" in out
+
+    def test_dump(self, capsys):
+        main(["curves", "airsn-small", "--dump"])
+        out = capsys.readouterr().out
+        assert "# airsn-small: t, E_PRIO, E_FIFO, diff" in out
+
+
+class TestSimulateCommand:
+    def test_prints_metrics(self, capsys):
+        main(["simulate", "airsn-small", "--mu-bit", "1", "--mu-bs", "8"])
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "stalling probability" in out
+        assert "utilization" in out
+
+    @pytest.mark.parametrize("algo", ["fifo", "random"])
+    def test_algorithms(self, algo, capsys):
+        main(["simulate", "airsn-small", "-a", algo])
+        assert f"algorithm           : {algo}" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_small_sweep(self, capsys):
+        main(
+            [
+                "sweep", "airsn-small",
+                "--mu-bit", "1", "--mu-bs", "4", "16",
+                "-p", "3", "-q", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "mu_BIT = 1" in out
+        assert out.count("|") >= 6
+
+
+class TestDecomposeCommand:
+    def test_lists_blocks_and_families(self, capsys):
+        main(["decompose", "airsn-small"])
+        out = capsys.readouterr().out
+        assert "building blocks" in out
+        assert "K(1,40)" in out
+        assert "largest" in out
+
+    def test_on_dag_file(self, fig3_file, capsys):
+        main(["decompose", str(fig3_file)])
+        out = capsys.readouterr().out
+        assert "2 building blocks" in out
+
+
+class TestDotCommand:
+    def test_stdout(self, fig3_file, capsys):
+        main(["dot", str(fig3_file), "--no-priorities"])
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"c" -> "d";' in out
+
+    def test_with_priorities(self, fig3_file, capsys):
+        main(["dot", str(fig3_file)])
+        assert 'label="c (5)"' in capsys.readouterr().out
+
+    def test_output_file(self, fig3_file, tmp_path, capsys):
+        target = tmp_path / "g.dot"
+        main(["dot", str(fig3_file), "-o", str(target)])
+        assert target.read_text().startswith("digraph")
+
+
+class TestRegionsCommand:
+    def test_summary(self, capsys):
+        main(
+            [
+                "regions", "airsn-small",
+                "--mu-bs", "2", "8",
+                "-p", "4", "-q", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "PRIO advantage regions" in out
+        assert "peak at mu_BS=" in out
+
+
+class TestOverheadCommand:
+    def test_table(self, capsys):
+        main(["overhead", "airsn-small"])
+        out = capsys.readouterr().out
+        assert "airsn-small" in out and "components" in out
+
+
+class TestExportCommand:
+    def test_export_workload(self, tmp_path, capsys):
+        target = tmp_path / "flow"
+        main(["export", "airsn-small", str(target)])
+        out = capsys.readouterr().out
+        assert "143 jobs" in out
+        assert (target / "airsn-small.dag").is_file()
+        assert (target / "snr.sub").is_file()
+
+    def test_export_and_prioritize(self, tmp_path, capsys):
+        target = tmp_path / "flow"
+        main(["export", "airsn-small", str(target), "--prioritize"])
+        out = capsys.readouterr().out
+        assert "jobs prioritized" in out
+        assert "jobpriority" in (target / "airsn-small.dag").read_text()
+
+
+class TestLeagueCommand:
+    def test_table(self, capsys):
+        main(["league", "airsn-small", "--runs", "6"])
+        out = capsys.readouterr().out
+        assert "policy league" in out
+        assert "prio" in out and "fifo" in out and "baseline" in out
+
+
+class TestRoundsCommand:
+    def test_table(self, capsys):
+        main(["rounds", "airsn-small", "--batch-sizes", "1", "8", "64"])
+        out = capsys.readouterr().out
+        assert "deterministic rounds" in out
+        lines = [l for l in out.splitlines() if l.strip() and l.strip()[0].isdigit()]
+        assert len(lines) == 3
+        # b=1 is fully sequential: both need n rounds, ratio 1.
+        first = lines[0].split()
+        assert first[1] == first[2] == "143"
+
+
+class TestRunCommand:
+    def _workflow(self, tmp_path, fail_job=False):
+        (tmp_path / "touch.sub").write_text(
+            "executable = /usr/bin/touch\narguments = $(JOB).out\nqueue\n"
+        )
+        (tmp_path / "fail.sub").write_text(
+            "executable = /bin/false\nqueue\n"
+        )
+        middle = "fail.sub" if fail_job else "touch.sub"
+        dagfile = tmp_path / "flow.dag"
+        dagfile.write_text(
+            f"JOB one touch.sub\nJOB two {middle}\nJOB three touch.sub\n"
+            "PARENT one CHILD two\nPARENT two CHILD three\n"
+        )
+        return dagfile
+
+    def test_successful_run(self, tmp_path, capsys):
+        dagfile = self._workflow(tmp_path)
+        assert main(["run", str(dagfile), "--prioritize"]) == 0
+        out = capsys.readouterr().out
+        assert "completed successfully" in out
+        assert (tmp_path / "one.out").is_file()
+        assert (tmp_path / "three.out").is_file()
+
+    def test_failed_run_writes_rescue(self, tmp_path, capsys):
+        dagfile = self._workflow(tmp_path, fail_job=True)
+        assert main(["run", str(dagfile)]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED two" in out
+        rescue = tmp_path / "flow.dag.rescue"
+        assert rescue.is_file()
+        assert "JOB one touch.sub DONE" in rescue.read_text()
+
+
+class TestHelpSurface:
+    @pytest.mark.parametrize(
+        "command",
+        [
+            "prio", "schedule", "decompose", "dot", "curves", "simulate",
+            "sweep", "regions", "overhead", "rounds", "league", "lint",
+            "export", "run", "report",
+        ],
+    )
+    def test_every_subcommand_has_help(self, command, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([command, "--help"])
+        assert exc.value.code == 0
+        assert "usage" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_errors(self):
+        with pytest.raises(KeyError):
+            main(["schedule", "not-a-workload"])

@@ -1,0 +1,101 @@
+"""Golden regression tests: exact expected outputs for small cases.
+
+These pin down behaviour that the paper states verbatim (Fig. 3) plus a
+few stable small-scale outputs, so refactors cannot silently change the
+scheduler's decisions.
+"""
+
+import numpy as np
+
+from repro.core.prio import prio_schedule
+from repro.core.tool import prioritize_dagman
+from repro.dagman.parser import parse_dagman_text
+from repro.theory.eligibility import eligibility_profile
+from repro.workloads.airsn import airsn
+
+FIG3_INPUT = """\
+JOB a a.sub
+JOB b b.sub
+JOB c c.sub
+JOB d d.sub
+JOB e e.sub
+PARENT a CHILD b
+PARENT c CHILD d e
+"""
+
+FIG3_GOLDEN = """\
+JOB a a.sub
+JOB b b.sub
+JOB c c.sub
+JOB d d.sub
+JOB e e.sub
+PARENT a CHILD b
+PARENT c CHILD d e
+VARS a jobpriority="4"
+VARS b jobpriority="3"
+VARS c jobpriority="5"
+VARS d jobpriority="2"
+VARS e jobpriority="1"
+"""
+
+
+class TestFig3Golden:
+    def test_instrumented_file_byte_exact(self):
+        dagman = parse_dagman_text(FIG3_INPUT)
+        prioritize_dagman(dagman)
+        assert dagman.render() == FIG3_GOLDEN
+
+
+class TestAirsnGolden:
+    """AIRSN width 4 — small enough to pin the entire schedule."""
+
+    def test_schedule_labels(self):
+        dag = airsn(4)
+        result = prio_schedule(dag)
+        labels = [dag.label(u) for u in result.schedule]
+        # Handle first, then fringes, covers, joins, final sink.
+        assert labels[:21] == [f"prep{i:02d}" for i in range(21)]
+        assert labels[21:25] == [f"hdr{i:04d}" for i in range(4)]
+        assert labels[25:29] == [f"snr{i:04d}" for i in range(4)]
+        assert labels[29] == "collect1"
+        assert labels[30:34] == [f"smooth{i:04d}" for i in range(4)]
+        assert labels[34] == "collect2"
+
+    def test_eligibility_profile_values(self):
+        dag = airsn(4)
+        result = prio_schedule(dag)
+        profile = eligibility_profile(dag, result.schedule)
+        # Constant 5 through the handle (4 banked fringes + 1 frontier),
+        # then the documented drain pattern.
+        assert profile[:21].tolist() == [5] * 21
+        assert profile[-1] == 0
+
+    def test_priorities_of_landmarks(self):
+        dag = airsn(4)
+        result = prio_schedule(dag)
+        n = dag.n
+        assert result.priorities[dag.id_of("prep00")] == n
+        assert result.priorities[dag.id_of("prep20")] == n - 20
+        assert result.priorities[dag.id_of("collect2")] == 1
+
+
+class TestSimulatorGolden:
+    """One pinned simulation: exact metric values under a fixed seed."""
+
+    def test_exact_result_fixed_seed(self):
+        from repro.sim.engine import SimParams, make_policy, simulate
+
+        dag = airsn(4)
+        rng = np.random.default_rng(20060429)
+        result = simulate(
+            dag, make_policy("fifo"), SimParams(mu_bit=1.0, mu_bs=2.0), rng
+        )
+        again = simulate(
+            dag,
+            make_policy("fifo"),
+            SimParams(mu_bit=1.0, mu_bs=2.0),
+            np.random.default_rng(20060429),
+        )
+        assert result == again
+        assert result.n_jobs == 35
+        assert 0 < result.utilization <= 1

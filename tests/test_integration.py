@@ -1,0 +1,128 @@
+"""Cross-module integration tests: the full pipeline on real workloads."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.eligibility_curves import eligibility_curves
+from repro.analysis.sweep import SweepConfig, ratio_sweep
+from repro.core.prio import prio_schedule
+from repro.core.tool import prioritize_dagman_file
+from repro.dag.validate import is_valid_schedule
+from repro.dagman.parser import parse_dagman_file
+from repro.dagman.writer import dag_to_dagman, write_dagman_file
+from repro.sim.engine import SimParams, make_policy, simulate
+from repro.theory.eligibility import eligibility_profile
+from repro.workloads.airsn import airsn
+from repro.workloads.inspiral import inspiral
+from repro.workloads.montage import montage
+from repro.workloads.sdss import sdss
+
+
+class TestDagmanRoundTripThroughScheduler:
+    """Serialize a workload to a DAGMan file, run the tool on the file,
+    and confirm the priorities equal the in-memory pipeline's."""
+
+    def test_airsn_file_level_equals_api_level(self, tmp_path):
+        dag = airsn(12)
+        path = tmp_path / "airsn.dag"
+        write_dagman_file(dag_to_dagman(dag), path)
+        tool_result = prioritize_dagman_file(path)
+        api_result = prio_schedule(dag)
+        api_priorities = {
+            dag.label(u): api_result.priorities[u] for u in range(dag.n)
+        }
+        assert tool_result.priorities == api_priorities
+
+    def test_instrumented_file_reparses_with_priorities(self, tmp_path):
+        dag = airsn(6)
+        path = tmp_path / "a.dag"
+        write_dagman_file(dag_to_dagman(dag), path)
+        prioritize_dagman_file(path)
+        reparsed = parse_dagman_file(path)
+        assert reparsed.get_priority("prep00") is not None
+        assert reparsed.to_dag().n == dag.n
+
+
+class TestScheduleThenSimulate:
+    def test_prio_improves_airsn_execution(self):
+        dag = airsn(25)
+        order = prio_schedule(dag).schedule
+        params = SimParams(mu_bit=1.0, mu_bs=8.0)
+        prio_t, fifo_t = [], []
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            prio_t.append(
+                simulate(dag, make_policy("oblivious", order=order), params, rng).execution_time
+            )
+            rng = np.random.default_rng(seed)
+            fifo_t.append(
+                simulate(dag, make_policy("fifo"), params, rng).execution_time
+            )
+        assert np.mean(prio_t) < np.mean(fifo_t)
+
+    def test_equal_performance_with_huge_batches(self):
+        # Paper: with very large batches execution degenerates to BFS and
+        # the schedules tie (ratio ~ 1).
+        dag = airsn(15)
+        order = prio_schedule(dag).schedule
+        params = SimParams(mu_bit=1.0, mu_bs=4096.0)
+        diffs = []
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            a = simulate(dag, make_policy("oblivious", order=order), params, rng)
+            rng = np.random.default_rng(seed)
+            b = simulate(dag, make_policy("fifo"), params, rng)
+            diffs.append(a.execution_time - b.execution_time)
+        assert abs(np.mean(diffs)) < 0.5
+
+
+class TestWorkloadEligibility:
+    """Fig. 4's qualitative claim on each scaled-down scientific dag."""
+
+    @pytest.mark.parametrize(
+        "factory,name",
+        [
+            (lambda: airsn(40), "airsn"),
+            (lambda: inspiral(n_segments=32, n_groups=8), "inspiral"),
+            (lambda: montage(8, 8, 4), "montage"),
+            (lambda: sdss(n_fields=60, n_catalogs=12), "sdss"),
+        ],
+    )
+    def test_prio_never_worse_on_average(self, factory, name):
+        dag = factory()
+        c = eligibility_curves(dag, name)
+        assert c.mean_difference >= 0
+        assert c.fraction_nonnegative > 0.9
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: airsn(30),
+            lambda: inspiral(n_segments=24, n_groups=6),
+            lambda: montage(6, 6, 4),
+            lambda: sdss(n_fields=40, n_catalogs=8),
+        ],
+    )
+    def test_prio_valid_on_all_workloads(self, factory):
+        dag = factory()
+        res = prio_schedule(dag)
+        assert is_valid_schedule(dag, res.schedule)
+        profile = eligibility_profile(dag, res.schedule)
+        assert profile[-1] == 0
+
+
+class TestSweepHeadline:
+    def test_airsn_midrange_advantage(self):
+        """The paper's qualitative sweep story on a scaled AIRSN: PRIO wins
+        in the mid-batch regime and ties for huge batches."""
+        dag = airsn(40)
+        order = prio_schedule(dag).schedule
+        cfg = SweepConfig(
+            mu_bits=(1.0,), mu_bss=(8.0, 4096.0), p=8, q=3, seed=5
+        )
+        sweep = ratio_sweep(dag, order, cfg, "airsn-40")
+        mid = sweep.cell(1.0, 8.0).ratios["execution_time"]
+        huge = sweep.cell(1.0, 4096.0).ratios["execution_time"]
+        assert mid.median < 0.97
+        assert abs(huge.median - 1.0) < 0.1
+        assert mid.median < huge.median

@@ -1,0 +1,135 @@
+"""Tests for the faithful theoretical algorithm (Sec. 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.prio import prio_schedule
+from repro.dag.builders import chain, complete_bipartite, compose_series, fork_join
+from repro.dag.graph import Dag
+from repro.dag.validate import is_valid_schedule
+from repro.theory.algorithm import theoretical_algorithm
+from repro.theory.eligibility import eligibility_profile
+from repro.theory.families import cycle_dag, fig2_catalog, m_dag, n_dag, w_dag
+from repro.theory.ic_optimal import is_ic_optimal
+
+
+class TestSuccessCases:
+    @pytest.mark.parametrize("inst", fig2_catalog(), ids=lambda i: i.name)
+    def test_catalog_blocks(self, inst):
+        result = theoretical_algorithm(inst.dag)
+        assert result.success
+        assert is_ic_optimal(inst.dag, result.schedule)
+
+    @pytest.mark.parametrize(
+        "dag_fn",
+        [
+            lambda: chain(6),
+            lambda: fork_join(4),
+            lambda: complete_bipartite(3, 3),
+            lambda: m_dag(3, 2).dag,
+            lambda: n_dag(6).dag,
+            lambda: cycle_dag(6).dag,
+        ],
+    )
+    def test_uniform_compositions(self, dag_fn):
+        d = dag_fn()
+        result = theoretical_algorithm(d)
+        assert result.success, result.reason
+        assert is_valid_schedule(d, result.schedule)
+        if d.n <= 14:
+            assert is_ic_optimal(d, result.schedule)
+
+    def test_fig3_example(self, fig3_dag):
+        result = theoretical_algorithm(fig3_dag)
+        assert result.success
+        assert is_ic_optimal(fig3_dag, result.schedule)
+
+    def test_empty_and_single(self):
+        assert theoretical_algorithm(Dag(0, [])).schedule == []
+        single = theoretical_algorithm(Dag(1, []))
+        assert single.success and single.schedule == [0]
+
+    def test_isolated_nodes_do_not_poison_the_sort(self):
+        # Regression: isolated sinks form pseudo-blocks whose [1] profile
+        # ties with everything under eq. (1); including them in the stable
+        # sort made the comparator intransitive and emitted {0->2} before
+        # {3->4, 3->5}, losing IC optimality.
+        d = Dag(7, [(0, 2), (3, 4), (3, 5)])
+        result = theoretical_algorithm(d)
+        assert result.success
+        assert is_ic_optimal(d, result.schedule)
+        # The two-child block must run its source first.
+        assert result.schedule[0] == 3
+
+    def test_shortcuts_handled(self, diamond_with_shortcut):
+        result = theoretical_algorithm(diamond_with_shortcut)
+        assert result.success
+        assert is_valid_schedule(diamond_with_shortcut, result.schedule)
+
+
+class TestFailureCases:
+    def test_non_bipartite_decomposition_fails_step2(self):
+        # The crossed unequal-depth forks: a->p->t, b->t, b->q->u, a->u.
+        d = Dag(6, [(0, 2), (2, 4), (1, 4), (1, 3), (3, 5), (0, 5)])
+        result = theoretical_algorithm(d)
+        assert not result.success
+        assert result.failed_step == 2
+        assert "bipartite" in result.reason
+
+    def test_incomparable_blocks_fail_step4(self):
+        # W(2,2) composed with M(2,2): the interface K(3,3) block and the
+        # W block violate eq. (1) in both directions (at x=1, y=3 the
+        # pour-into-W split loses eligibility), so the theoretical
+        # algorithm fails at step 4 even though the heuristic schedules
+        # the dag fine — exactly the theory's acknowledged limitation.
+        d = compose_series(w_dag(2, 2).dag, m_dag(2, 2).dag)
+        result = theoretical_algorithm(d)
+        assert not result.success
+        assert result.failed_step == 4
+        heuristic = prio_schedule(d)
+        assert is_valid_schedule(d, heuristic.schedule)
+
+    def test_width_limit_fails_step3(self):
+        d = complete_bipartite(6, 2)
+        result = theoretical_algorithm(d, width_limit=4)
+        assert not result.success
+        assert result.failed_step == 3
+        assert "certification limit" in result.reason
+
+    def test_heuristic_transcends_every_failure(self, rng):
+        """The paper's point: wherever the theory fails, prio delivers."""
+        from tests.conftest import random_small_dag
+
+        failures = 0
+        for _ in range(30):
+            d = random_small_dag(rng, max_n=10)
+            result = theoretical_algorithm(d)
+            heuristic = prio_schedule(d)
+            assert is_valid_schedule(d, heuristic.schedule)
+            if result.success:
+                assert is_ic_optimal(d, result.schedule)
+            else:
+                failures += 1
+        assert failures > 0  # random dags do defeat the theory sometimes
+
+
+class TestAgreement:
+    def test_heuristic_matches_theory_quality_when_theory_works(self, rng):
+        """Where the theoretical algorithm succeeds, the heuristic's
+        schedule must be IC optimal too (the 'graceful' property)."""
+        from tests.conftest import random_small_dag
+
+        checked = 0
+        for _ in range(30):
+            d = random_small_dag(rng, max_n=9)
+            result = theoretical_algorithm(d)
+            if not result.success:
+                continue
+            checked += 1
+            heuristic = prio_schedule(d, exact_bipartite_limit=10)
+            theory_profile = eligibility_profile(d, result.schedule)
+            heuristic_profile = eligibility_profile(d, heuristic.schedule)
+            assert (heuristic_profile >= theory_profile).all() or (
+                is_ic_optimal(d, heuristic.schedule)
+            )
+        assert checked > 0

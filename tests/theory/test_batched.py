@@ -1,0 +1,117 @@
+"""Tests for the deterministic batched-execution regime."""
+
+import pytest
+
+from repro.core.fifo import fifo_schedule
+from repro.core.prio import prio_schedule
+from repro.dag.builders import chain, complete_bipartite, fork_join
+from repro.dag.graph import Dag
+from repro.theory.batched import (
+    batched_execution,
+    min_rounds,
+    rounds_needed,
+    rounds_profile,
+)
+from repro.workloads.airsn import airsn
+
+
+class TestBatchedExecution:
+    def test_rounds_partition_jobs(self, fig3_dag):
+        rounds = batched_execution(fig3_dag, list(range(5)), 2)
+        flat = [u for batch in rounds for u in batch]
+        assert sorted(flat) == list(range(5))
+
+    def test_rounds_respect_precedence(self, diamond):
+        rounds = batched_execution(diamond, [0, 1, 2, 3], 4)
+        round_of = {}
+        for i, batch in enumerate(rounds):
+            for u in batch:
+                round_of[u] = i
+        for u, v in diamond.arcs():
+            assert round_of[u] < round_of[v]
+
+    def test_batch_size_one_is_sequential(self, fig3_dag):
+        rounds = batched_execution(fig3_dag, list(range(5)), 1)
+        assert len(rounds) == 5
+        assert all(len(b) == 1 for b in rounds)
+
+    def test_huge_batches_are_bfs_levels(self, diamond):
+        rounds = batched_execution(diamond, [0, 1, 2, 3], 100)
+        assert rounds == [[0], [1, 2], [3]]
+
+    def test_order_matters(self, fig3_dag):
+        # PRIO order (c first) fills a batch of 3 at round 2; FIFO can't.
+        prio = prio_schedule(fig3_dag).schedule
+        fifo = fifo_schedule(fig3_dag)
+        assert rounds_needed(fig3_dag, prio, 3) <= rounds_needed(
+            fig3_dag, fifo, 3
+        )
+
+    def test_validation(self, diamond):
+        with pytest.raises(ValueError, match="batch size"):
+            batched_execution(diamond, [0, 1, 2, 3], 0)
+        with pytest.raises(ValueError, match="permutation"):
+            batched_execution(diamond, [0, 1], 2)
+        with pytest.raises(ValueError, match="permutation"):
+            batched_execution(diamond, [0, 0, 1, 2], 2)
+
+    def test_empty_dag(self):
+        assert batched_execution(Dag(0, []), [], 3) == []
+
+
+class TestMinRounds:
+    def test_chain_bound_is_depth(self):
+        assert min_rounds(chain(5), 100) == 5
+
+    def test_wide_bound_is_work(self):
+        d = complete_bipartite(10, 10)
+        assert min_rounds(d, 5) == 4  # 20 jobs / 5 per round
+
+    def test_empty(self):
+        assert min_rounds(Dag(0, []), 3) == 0
+
+    def test_bound_is_actually_a_bound(self, rng):
+        from tests.conftest import random_small_dag
+
+        for _ in range(15):
+            d = random_small_dag(rng, max_n=12)
+            if d.n == 0:
+                continue
+            for b in (1, 2, 4):
+                order = prio_schedule(d).schedule
+                assert rounds_needed(d, order, b) >= min_rounds(d, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_rounds(chain(3), 0)
+
+
+class TestDeterministicSweepAnalog:
+    """PRIO vs FIFO round counts mirror the Fig. 6 story without noise."""
+
+    def test_airsn_midrange_advantage(self):
+        d = airsn(60)
+        prio = prio_schedule(d).schedule
+        fifo = fifo_schedule(d)
+        batch_sizes = [1, 4, 16, 64, 1024]
+        prio_rounds = rounds_profile(d, prio, batch_sizes)
+        fifo_rounds = rounds_profile(d, fifo, batch_sizes)
+        # Never worse...
+        assert all(p <= f for p, f in zip(prio_rounds, fifo_rounds))
+        # ...strictly better somewhere in the mid-range...
+        assert any(
+            p < f for p, f in zip(prio_rounds[1:4], fifo_rounds[1:4])
+        )
+        # ...and tied at the degenerate extremes (paper's explanation).
+        assert prio_rounds[0] == fifo_rounds[0] == d.n
+        assert prio_rounds[-1] == fifo_rounds[-1]
+
+    def test_prio_hits_lower_bound_on_airsn_with_one_worker(self):
+        d = airsn(10)
+        order = prio_schedule(d).schedule
+        assert rounds_needed(d, order, 1) == d.n
+
+    def test_fork_join_rounds(self):
+        d = fork_join(8)
+        order = prio_schedule(d).schedule
+        assert rounds_needed(d, order, 8) == 3  # source, 8-wide fork, sink

@@ -1,0 +1,115 @@
+"""Cross-validation: every scheduler against every oracle, at volume.
+
+Four independent implementations make claims about the same objects:
+
+* `max_eligibility`      — exhaustive envelope (ideal enumeration);
+* `bipartite_envelope`   — coverage-profile envelope (bipartite only);
+* `find_ic_optimal_schedule` / `exact_bipartite_schedule` — exact solvers;
+* `theoretical_algorithm` / `prio_schedule` — the paper's algorithms.
+
+Randomized at volume, their pairwise consistency is the strongest
+correctness evidence the suite has.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.prio import prio_schedule
+from repro.dag.graph import Dag
+from repro.dag.validate import is_valid_schedule
+from repro.theory.algorithm import theoretical_algorithm
+from repro.theory.bipartite_exact import (
+    bipartite_envelope,
+    exact_bipartite_schedule,
+)
+from repro.theory.eligibility import eligibility_profile
+from repro.theory.ic_optimal import (
+    find_ic_optimal_schedule,
+    is_ic_optimal,
+    max_eligibility,
+)
+
+from tests.conftest import random_small_dag
+
+
+def random_bipartite(rng, max_sources=5, max_sinks=5):
+    s = int(rng.integers(1, max_sources + 1))
+    t = int(rng.integers(1, max_sinks + 1))
+    arcs = []
+    for j in range(t):
+        parents = rng.choice(
+            s, size=int(rng.integers(1, s + 1)), replace=False
+        )
+        arcs.extend((int(p), s + j) for p in parents)
+    return Dag(s + t, arcs)
+
+
+class TestEnvelopeAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bipartite_envelopes_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(20):
+            d = random_bipartite(rng)
+            assert (
+                bipartite_envelope(d).tolist()
+                == max_eligibility(d).tolist()
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_solvers_agree_on_existence(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        for _ in range(15):
+            d = random_bipartite(rng, max_sources=4, max_sinks=4)
+            general = find_ic_optimal_schedule(d)
+            bip = exact_bipartite_schedule(d)
+            assert (general is None) == (bip is None)
+            if bip is not None:
+                assert is_ic_optimal(d, bip + d.sinks())
+
+
+class TestAlgorithmAgreement:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_theory_success_implies_heuristic_quality(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        for _ in range(12):
+            d = random_small_dag(rng, max_n=9)
+            theory = theoretical_algorithm(d)
+            heuristic = prio_schedule(d, exact_bipartite_limit=10)
+            assert is_valid_schedule(d, heuristic.schedule)
+            if theory.success:
+                assert is_ic_optimal(d, theory.schedule)
+                # The heuristic with the exact extension matches the
+                # theory's schedule quality on theory-friendly dags.
+                t_sum = eligibility_profile(d, theory.schedule).sum()
+                h_sum = eligibility_profile(d, heuristic.schedule).sum()
+                assert h_sum >= 0.95 * t_sum
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_heuristic_never_below_fifo_on_average(self, seed):
+        from repro.core.fifo import fifo_schedule
+
+        rng = np.random.default_rng(300 + seed)
+        margins = []
+        for _ in range(15):
+            d = random_small_dag(rng, max_n=12)
+            h = eligibility_profile(d, prio_schedule(d).schedule).sum()
+            f = eligibility_profile(d, fifo_schedule(d)).sum()
+            margins.append(h - f)
+        # Individual dags may tie; the aggregate must not be negative.
+        assert sum(margins) >= 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_knob_combinations_all_valid(self, seed):
+        rng = np.random.default_rng(400 + seed)
+        for _ in range(6):
+            d = random_small_dag(rng, max_n=11)
+            for combine in ("greedy", "topological"):
+                for catalog in (True, False):
+                    for limit in (0, 8):
+                        result = prio_schedule(
+                            d,
+                            combine=combine,
+                            use_catalog=catalog,
+                            exact_bipartite_limit=limit,
+                        )
+                        assert is_valid_schedule(d, result.schedule)

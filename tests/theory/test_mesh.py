@@ -1,0 +1,94 @@
+"""Tests for mesh-structured computations ([17])."""
+
+import pytest
+
+from repro.core.prio import prio_schedule
+from repro.dag.validate import is_valid_schedule
+from repro.theory.eligibility import eligibility_profile
+from repro.theory.ic_optimal import is_ic_optimal, max_eligibility
+from repro.theory.mesh import (
+    diagonal_schedule,
+    mesh_dag,
+    mesh_schedule,
+    triangular_mesh_dag,
+)
+
+
+class TestMeshDag:
+    def test_shape(self):
+        d = mesh_dag(3, 4)
+        assert d.n == 12
+        assert d.sources() == [0]
+        assert d.sinks() == [11]
+        assert d.out_degree(0) == 2
+
+    def test_labels(self):
+        d = mesh_dag(2, 2)
+        assert d.label(0) == "m0_0" and d.label(3) == "m1_1"
+
+    def test_single_row_is_chain(self):
+        d = mesh_dag(1, 5)
+        assert d.narcs == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mesh_dag(0, 3)
+
+
+class TestTriangularMesh:
+    def test_size_is_triangle_number(self):
+        assert triangular_mesh_dag(4).n == 10
+
+    def test_frontier_grows(self):
+        d = triangular_mesh_dag(5)
+        schedule = diagonal_schedule(d)
+        profile = eligibility_profile(d, schedule)
+        # After each full diagonal the next one is entirely eligible:
+        # eligibility climbs to the order of the mesh.
+        assert profile.max() == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            triangular_mesh_dag(0)
+
+
+class TestDiagonalSchedule:
+    @pytest.mark.parametrize(
+        "r,c", [(2, 2), (2, 3), (3, 3), (4, 2), (2, 5), (5, 2), (3, 4)]
+    )
+    def test_mesh_schedule_ic_optimal(self, r, c):
+        d = mesh_dag(r, c)
+        schedule = mesh_schedule(r, c)
+        assert is_valid_schedule(d, schedule)
+        assert is_ic_optimal(d, schedule)
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_square_plain_diagonals_ic_optimal(self, n):
+        d = mesh_dag(n, n)
+        assert is_ic_optimal(d, diagonal_schedule(d))
+
+    @pytest.mark.parametrize("order", [2, 3, 4, 5])
+    def test_triangular_diagonals_ic_optimal(self, order):
+        d = triangular_mesh_dag(order)
+        schedule = diagonal_schedule(d)
+        assert is_ic_optimal(d, schedule)
+
+    def test_all_three_algorithms_agree_on_meshes(self):
+        # A mesh's diagonals are maximal connected bipartite blocks, so
+        # the theoretical algorithm succeeds, and heuristic + theory +
+        # the explicit diagonal order all attain the envelope.
+        from repro.theory.algorithm import theoretical_algorithm
+
+        d = mesh_dag(3, 3)
+        theory = theoretical_algorithm(d)
+        assert theory.success
+        assert is_ic_optimal(d, theory.schedule)
+
+        heuristic = prio_schedule(d)
+        assert is_ic_optimal(d, heuristic.schedule)
+
+    def test_envelope_matches_diagonals(self):
+        d = mesh_dag(3, 3)
+        envelope = max_eligibility(d)
+        profile = eligibility_profile(d, diagonal_schedule(d))
+        assert (profile == envelope).all()

@@ -1,0 +1,143 @@
+"""Tests for the catalog recognizers."""
+
+import pytest
+
+from repro.dag.builders import chain, complete_bipartite
+from repro.dag.graph import Dag
+from repro.theory.eligibility import partial_profile
+from repro.theory.families import clique_dag, cycle_dag, m_dag, n_dag, w_dag
+from repro.theory.ic_optimal import is_ic_optimal
+from repro.theory.recognize import recognize_bipartite_family
+
+
+def _relabel(dag: Dag, perm: list[int]) -> Dag:
+    """Permute node ids (perm[old] = new) to test label-independence."""
+    inv = [0] * dag.n
+    for old, new in enumerate(perm):
+        inv[new] = old
+    arcs = [(perm[u], perm[v]) for u, v in dag.arcs()]
+    return Dag(dag.n, arcs)
+
+
+def certify_recognition(dag: Dag, expected_family: str | None = None):
+    rec = recognize_bipartite_family(dag)
+    assert rec is not None, "family not recognized"
+    if expected_family is not None:
+        assert rec.family == expected_family
+    schedule = list(rec.source_order) + dag.sinks()
+    assert is_ic_optimal(dag, schedule), (
+        f"recognized {rec.family} but its schedule is not IC optimal"
+    )
+    return rec
+
+
+class TestRecognizeFamilies:
+    @pytest.mark.parametrize("s,c", [(2, 2), (3, 2), (2, 3), (4, 2)])
+    def test_w(self, s, c):
+        certify_recognition(w_dag(s, c).dag, f"({s},{c})-W")
+
+    @pytest.mark.parametrize("s,c", [(2, 5), (2, 2), (3, 2), (2, 3)])
+    def test_m(self, s, c):
+        certify_recognition(m_dag(s, c).dag, f"({s},{c})-M")
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_n(self, n):
+        certify_recognition(n_dag(n).dag, f"{n}-N")
+
+    @pytest.mark.parametrize("n", [6, 8, 10])
+    def test_cycle(self, n):
+        certify_recognition(cycle_dag(n).dag, f"{n}-Cycle")
+
+    def test_4cycle_is_recognized_as_2clique(self):
+        # The 4-Cycle IS the complete bipartite K(2,2); the complete
+        # recognizer fires first.  Any source order is IC optimal.
+        certify_recognition(cycle_dag(4).dag, "2-Clique")
+
+    @pytest.mark.parametrize("q", [2, 3, 4])
+    def test_clique(self, q):
+        certify_recognition(clique_dag(q).dag, f"{q}-Clique")
+
+    @pytest.mark.parametrize("a,b", [(1, 3), (3, 1), (2, 4)])
+    def test_generalized_complete(self, a, b):
+        certify_recognition(complete_bipartite(a, b), f"K({a},{b})")
+
+    def test_1x1(self):
+        certify_recognition(complete_bipartite(1, 1), "1-Clique")
+
+
+class TestLabelIndependence:
+    """Recognition must not depend on node numbering (isomorphism)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_shuffled_w(self, seed, rng):
+        d = w_dag(3, 2).dag
+        perm = rng.permutation(d.n).tolist()
+        certify_recognition(_relabel(d, perm), "(3,2)-W")
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_shuffled_m(self, seed, rng):
+        d = m_dag(2, 3).dag
+        perm = rng.permutation(d.n).tolist()
+        certify_recognition(_relabel(d, perm), "(2,3)-M")
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_shuffled_n(self, seed, rng):
+        d = n_dag(6).dag
+        perm = rng.permutation(d.n).tolist()
+        certify_recognition(_relabel(d, perm), "6-N")
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_shuffled_cycle(self, seed, rng):
+        d = cycle_dag(8).dag
+        perm = rng.permutation(d.n).tolist()
+        certify_recognition(_relabel(d, perm), "8-Cycle")
+
+
+class TestRejections:
+    def test_chain_not_bipartite(self):
+        assert recognize_bipartite_family(chain(3)) is None
+
+    def test_disconnected_rejected(self):
+        d = Dag(4, [(0, 1), (2, 3)])
+        assert recognize_bipartite_family(d) is None
+
+    def test_single_node_rejected(self):
+        assert recognize_bipartite_family(Dag(1, [])) is None
+
+    def test_unequal_source_degrees_not_w(self):
+        # source 0 has 2 children, source 1 has 1; sharing one sink.
+        d = Dag(4, [(0, 2), (0, 3), (1, 3)])
+        rec = recognize_bipartite_family(d)
+        # Not W/M/complete; it IS the 4-N zigzag.
+        assert rec is not None and rec.family == "4-N"
+
+    def test_sink_with_three_parents_only_complete(self):
+        d = Dag(4, [(0, 3), (1, 3), (2, 3)])
+        rec = recognize_bipartite_family(d)
+        assert rec is not None and rec.family == "K(3,1)"
+
+    def test_theta_shape_rejected(self):
+        # Two sources sharing two sinks, plus private sinks: not W
+        # (the shared count is 2), not complete, not a path/cycle.
+        d = Dag(
+            6,
+            [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 5)],
+        )
+        assert recognize_bipartite_family(d) is None
+
+    def test_star_of_sharing_rejected(self):
+        # Three sources all sharing one central sink plus private sinks:
+        # the sharing graph is a triangle, not a path.
+        arcs = [(0, 3), (1, 3), (2, 3), (0, 4), (1, 5), (2, 6)]
+        d = Dag(7, arcs)
+        rec = recognize_bipartite_family(d)
+        assert rec is None or rec.family.endswith(("W", "M")) is False
+
+
+class TestRecognizedSchedulesMatchProfiles:
+    def test_m_profile_completes_sinks_one_at_a_time(self):
+        inst = m_dag(3, 2).dag
+        rec = certify_recognition(inst, "(3,2)-M")
+        profile = partial_profile(inst, rec.source_order)
+        # After x sources, eligibility never drops below the flat optimum.
+        assert min(profile.tolist()) >= 2

@@ -1,0 +1,80 @@
+"""Tests for the AIRSN generator (including the Fig. 5 bottleneck)."""
+
+import pytest
+
+from repro.core.prio import prio_schedule
+from repro.dag.validate import is_valid_schedule
+from repro.workloads.airsn import AIRSN_HANDLE_LENGTH, airsn
+
+
+class TestStructure:
+    def test_paper_job_count(self):
+        assert airsn(250).n == 773
+
+    def test_job_count_formula(self):
+        for w in (1, 5, 40):
+            assert airsn(w).n == AIRSN_HANDLE_LENGTH + 3 * w + 2
+
+    def test_sources_are_handle_start_plus_fringes(self):
+        d = airsn(10)
+        names = {d.label(u) for u in d.sources()}
+        assert "prep00" in names
+        assert sum(1 for n in names if n.startswith("hdr")) == 10
+        assert len(names) == 11
+
+    def test_single_final_sink(self):
+        d = airsn(10)
+        assert [d.label(u) for u in d.sinks()] == ["collect2"]
+
+    def test_double_umbrella(self):
+        d = airsn(10)
+        assert d.out_degree(d.id_of("collect1")) == 10
+        assert d.in_degree(d.id_of("collect1")) == 10
+        assert d.in_degree(d.id_of("collect2")) == 10
+
+    def test_fringe_feeds_exactly_its_fork_job(self):
+        d = airsn(10)
+        hdr3 = d.id_of("hdr0003")
+        assert [d.label(c) for c in d.children(hdr3)] == ["snr0003"]
+
+    def test_fork_job_has_two_parents(self):
+        d = airsn(10)
+        parents = {d.label(p) for p in d.parents(d.id_of("snr0002"))}
+        assert parents == {"prep%02d" % (AIRSN_HANDLE_LENGTH - 1), "hdr0002"}
+
+    def test_handle_is_a_chain(self):
+        d = airsn(5)
+        for i in range(AIRSN_HANDLE_LENGTH - 1):
+            assert d.has_arc(d.id_of(f"prep{i:02d}"), d.id_of(f"prep{i + 1:02d}"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            airsn(0)
+        with pytest.raises(ValueError):
+            airsn(5, handle=0)
+
+
+class TestFig5Bottleneck:
+    def test_bottleneck_priority_is_753(self):
+        """The black-framed job of Fig. 5 carries priority 753."""
+        d = airsn(250)
+        res = prio_schedule(d)
+        bottleneck = d.id_of(f"prep{AIRSN_HANDLE_LENGTH - 1:02d}")
+        assert res.priorities[bottleneck] == 753
+
+    def test_handle_outranks_fringes(self):
+        d = airsn(50)
+        res = prio_schedule(d)
+        lowest_handle = min(
+            res.priorities[d.id_of(f"prep{i:02d}")]
+            for i in range(AIRSN_HANDLE_LENGTH)
+        )
+        highest_fringe = max(
+            res.priorities[d.id_of(f"hdr{i:04d}")] for i in range(50)
+        )
+        assert lowest_handle > highest_fringe
+
+    def test_prio_schedule_valid(self):
+        d = airsn(40)
+        res = prio_schedule(d)
+        assert is_valid_schedule(d, res.schedule)

@@ -1,0 +1,72 @@
+"""Tests for workflow export."""
+
+import pytest
+
+from repro.core.tool import prioritize_dagman_file
+from repro.dag.graph import Dag
+from repro.dagman.parser import parse_dagman_file
+from repro.workloads.airsn import airsn
+from repro.workloads.export import export_workflow, stage_of
+
+
+class TestStageOf:
+    @pytest.mark.parametrize(
+        "name,stage",
+        [
+            ("snr0042", "snr"),
+            ("prep00", "prep"),
+            ("insp2_0001", "insp2"),
+            ("concat", "concat"),
+            ("collect1", "collect"),
+        ],
+    )
+    def test_examples(self, name, stage):
+        assert stage_of(name) == stage
+
+
+class TestExportWorkflow:
+    def test_files_created(self, tmp_path):
+        dag = airsn(5)
+        dag_path, dagman = export_workflow(dag, tmp_path)
+        assert dag_path.is_file()
+        assert (tmp_path / "snr.sub").is_file()
+        assert (tmp_path / "hdr.sub").is_file()
+        assert len(dagman.jobs) == dag.n
+
+    def test_one_jsdf_per_stage(self, tmp_path):
+        export_workflow(airsn(5), tmp_path)
+        subs = sorted(p.name for p in tmp_path.glob("*.sub"))
+        assert subs == [
+            "collect.sub", "hdr.sub", "prep.sub", "smooth.sub", "snr.sub",
+        ]
+
+    def test_round_trips_through_parser(self, tmp_path):
+        dag = airsn(6)
+        dag_path, _ = export_workflow(dag, tmp_path)
+        parsed = parse_dagman_file(dag_path)
+        reparsed = parsed.to_dag()
+        assert reparsed.n == dag.n
+        assert set(
+            (reparsed.label(u), reparsed.label(v)) for u, v in reparsed.arcs()
+        ) == set((dag.label(u), dag.label(v)) for u, v in dag.arcs())
+
+    def test_unlabelled_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="labelled"):
+            export_workflow(Dag(2, [(0, 1)]), tmp_path)
+
+    def test_end_to_end_with_prio_tool(self, tmp_path):
+        dag = airsn(8)
+        dag_path, _ = export_workflow(dag, tmp_path)
+        result = prioritize_dagman_file(dag_path, instrument_jsdfs=True)
+        assert len(result.priorities) == dag.n
+        assert len(result.instrumented_jsdfs) == 5  # one per stage
+        assert "priority = $(jobpriority)" in (tmp_path / "snr.sub").read_text()
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "deep" / "dir"
+        export_workflow(airsn(3), target)
+        assert (target / "workflow.dag").is_file()
+
+    def test_custom_dag_name(self, tmp_path):
+        dag_path, _ = export_workflow(airsn(3), tmp_path, dag_name="a.dag")
+        assert dag_path.name == "a.dag"

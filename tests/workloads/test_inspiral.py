@@ -1,0 +1,62 @@
+"""Tests for the Inspiral generator."""
+
+import pytest
+
+from repro.core.decompose import decompose
+from repro.dag.transitive import remove_shortcuts
+from repro.workloads.inspiral import inspiral
+
+
+class TestStructure:
+    def test_paper_job_count(self):
+        assert inspiral().n == 2988
+
+    def test_job_count_formula(self):
+        assert inspiral(n_segments=10, n_groups=2).n == 9 * 10 + 2 + 1
+
+    def test_sources_are_segments_and_vetoes(self):
+        d = inspiral(n_segments=10, n_groups=2)
+        names = [d.label(u) for u in d.sources()]
+        assert all(n.startswith(("sci", "veto")) for n in names)
+        assert sum(1 for n in names if n.startswith("sci")) == 10
+        assert sum(1 for n in names if n.startswith("veto")) == 10
+
+    def test_single_sink(self):
+        d = inspiral(n_segments=10, n_groups=2)
+        assert [d.label(u) for u in d.sinks()] == ["sire"]
+
+    def test_coincidence_joins_ring_neighbours(self):
+        d = inspiral(n_segments=10, n_groups=2)
+        coin0 = d.id_of("coin0000")
+        parents = {d.label(p) for p in d.parents(coin0)}
+        assert parents == {"insp0000", "veto0000", "df0001"}
+        # wraparound
+        coin_last = d.id_of("coin0009")
+        parents = {d.label(p) for p in d.parents(coin_last)}
+        assert parents == {"insp0009", "veto0009", "df0000"}
+
+    def test_no_shortcuts(self):
+        d = inspiral(n_segments=12, n_groups=3)
+        _, removed = remove_shortcuts(d)
+        assert removed == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inspiral(n_segments=1)
+        with pytest.raises(ValueError):
+            inspiral(n_segments=10, n_groups=11)
+
+
+class TestNonBipartiteComponent:
+    def test_ring_is_one_non_bipartite_component(self):
+        d = inspiral(n_segments=24, n_groups=6)
+        dec = decompose(d)
+        non_bip = [c for c in dec.components if not c.is_bipartite]
+        assert len(non_bip) == 1
+        assert non_bip[0].size == 6 * 24
+
+    def test_paper_scale_component_over_1000_jobs(self):
+        dec = decompose(inspiral())
+        non_bip = [c for c in dec.components if not c.is_bipartite]
+        assert len(non_bip) == 1
+        assert non_bip[0].size == 1920 > 1000

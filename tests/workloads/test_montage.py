@@ -1,0 +1,76 @@
+"""Tests for the Montage generator."""
+
+import pytest
+
+from repro.core.decompose import decompose
+from repro.workloads.montage import montage
+
+
+class TestStructure:
+    def test_paper_job_count(self):
+        assert montage().n == 7881
+
+    def test_job_count_formula(self):
+        # 4N + 2D + 2T + 5 with D from the 8-neighborhood grid.
+        rows, cols, tiles = 4, 5, 3
+        n_img = rows * cols
+        n_diff = rows * (cols - 1) + cols * (rows - 1) + 2 * (rows - 1) * (cols - 1)
+        d = montage(rows, cols, tiles)
+        assert d.n == 4 * n_img + 2 * n_diff + 2 * tiles + 5
+
+    def test_sources_are_raw_images_and_headers(self):
+        d = montage(4, 4, 2)
+        names = [d.label(u) for u in d.sources()]
+        assert all(n.startswith(("raw", "hdr")) for n in names)
+        assert sum(1 for n in names if n.startswith("raw")) == 16
+        assert sum(1 for n in names if n.startswith("hdr")) == 16
+
+    def test_single_final_sink(self):
+        d = montage(4, 4, 2)
+        assert [d.label(u) for u in d.sinks()] == ["jpeg_final"]
+
+    def test_background_needs_model_and_header(self):
+        d = montage(4, 4, 2)
+        parents = {d.label(p) for p in d.parents(d.id_of("background0003"))}
+        assert parents == {"bgmodel", "hdr0003"}
+
+    def test_each_diff_has_two_parents(self):
+        d = montage(4, 4, 2)
+        diffs = [u for u in range(d.n) if d.label(u).startswith("diff")]
+        assert diffs and all(d.in_degree(u) == 2 for u in diffs)
+
+    def test_projection_children_counts(self):
+        # Corner projections have 3 diffs, interior ones 8.
+        d = montage(5, 5, 2)
+        degs = sorted(
+            d.out_degree(u)
+            for u in range(d.n)
+            if d.label(u).startswith("project")
+        )
+        assert degs[0] == 3 and degs[-1] == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            montage(1, 5, 2)
+        with pytest.raises(ValueError):
+            montage(3, 3, 0)
+
+
+class TestComponentClaim:
+    def test_projection_component_over_1000_jobs(self):
+        """Paper: a bipartite component with >1000 jobs, each source with a
+        few to about ten children, some shared among sources."""
+        d = montage()
+        dec = decompose(d)
+        big = max(dec.components, key=lambda c: c.size)
+        assert big.is_bipartite
+        assert big.size == 676 + 2550 > 1000
+        assert len(big.nonsinks) == 676
+
+    def test_small_instance_component(self):
+        d = montage(6, 6, 4)
+        dec = decompose(d)
+        big = max(dec.components, key=lambda c: c.size)
+        assert big.is_bipartite
+        # 36 projections + 2*30 + 2*25 diffs
+        assert len(big.nonsinks) == 36

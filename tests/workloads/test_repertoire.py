@@ -1,0 +1,106 @@
+"""Tests for the parameterized workflow repertoire."""
+
+import numpy as np
+import pytest
+
+from repro.core.prio import prio_schedule
+from repro.dag.validate import is_valid_schedule
+from repro.workloads.repertoire import (
+    StageSpec,
+    WorkflowSpec,
+    build_workflow,
+    sample_spec,
+)
+
+
+class TestStageSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="width"):
+            StageSpec(width=0)
+        with pytest.raises(ValueError, match="pattern"):
+            StageSpec(width=2, pattern="mesh")
+        with pytest.raises(ValueError, match="overlap"):
+            StageSpec(width=2, overlap=-1)
+        with pytest.raises(ValueError):
+            WorkflowSpec(stages=())
+
+
+class TestPatterns:
+    def test_pairwise_equal_widths(self):
+        spec = WorkflowSpec(
+            stages=(StageSpec(width=4), StageSpec(width=4, pattern="pairwise"))
+        )
+        dag = build_workflow(spec)
+        assert dag.has_arc(dag.id_of("s0_0000"), dag.id_of("s1_0000"))
+        assert dag.in_degree(dag.id_of("s1_0002")) == 1
+
+    def test_pairwise_overlap(self):
+        spec = WorkflowSpec(
+            stages=(
+                StageSpec(width=5),
+                StageSpec(width=5, pattern="pairwise", overlap=1),
+            )
+        )
+        dag = build_workflow(spec)
+        mid = dag.id_of("s1_0002")
+        parents = {dag.label(p) for p in dag.parents(mid)}
+        assert parents == {"s0_0001", "s0_0002", "s0_0003"}
+
+    def test_gather_partitions_previous(self):
+        spec = WorkflowSpec(
+            stages=(StageSpec(width=7), StageSpec(width=2, pattern="gather"))
+        )
+        dag = build_workflow(spec)
+        a = dag.in_degree(dag.id_of("s1_0000"))
+        b = dag.in_degree(dag.id_of("s1_0001"))
+        assert a + b == 7 and abs(a - b) <= 1
+
+    def test_broadcast_caps_fan_in(self):
+        spec = WorkflowSpec(
+            stages=(
+                StageSpec(width=10),
+                StageSpec(width=3, pattern="broadcast", fan_in=4),
+            ),
+            seed=7,
+        )
+        dag = build_workflow(spec)
+        for i in range(3):
+            assert dag.in_degree(dag.id_of(f"s1_{i:04d}")) == 4
+
+    def test_banked_sources(self):
+        spec = WorkflowSpec(
+            stages=(
+                StageSpec(width=2),
+                StageSpec(width=3, banked_sources=True),
+            )
+        )
+        dag = build_workflow(spec)
+        banks = [dag.label(u) for u in dag.sources() if dag.label(u).startswith("bank")]
+        assert len(banks) == 3
+        assert dag.in_degree(dag.id_of("s1_0000")) == 2  # stage + bank
+
+    def test_deterministic_for_seed(self):
+        spec = WorkflowSpec(
+            stages=(
+                StageSpec(width=8),
+                StageSpec(width=8, pattern="broadcast"),
+            ),
+            seed=13,
+        )
+        assert build_workflow(spec) == build_workflow(spec)
+
+
+class TestSampledRepertoire:
+    def test_samples_build_and_schedule(self):
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            spec = sample_spec(rng, max_stages=4, max_width=20)
+            dag = build_workflow(spec)
+            assert dag.n >= 2
+            result = prio_schedule(dag)
+            assert is_valid_schedule(dag, result.schedule)
+
+    def test_specs_vary(self):
+        rng = np.random.default_rng(1)
+        sizes = {build_workflow(sample_spec(rng)).n for _ in range(10)}
+        assert len(sizes) > 3

@@ -1,0 +1,109 @@
+"""Tests for per-stage runtime models."""
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import Dag
+from repro.workloads.airsn import airsn
+from repro.workloads.runtimes import (
+    AIRSN_STAGE_WEIGHTS,
+    stage_runtime_scale,
+    workload_runtime_scale,
+)
+
+
+class TestStageRuntimeScale:
+    def test_prefix_matching(self):
+        dag = airsn(5)
+        scale = stage_runtime_scale(dag, AIRSN_STAGE_WEIGHTS)
+        assert scale[dag.id_of("snr0000")] == 3.0
+        assert scale[dag.id_of("hdr0000")] == 0.2
+        assert scale[dag.id_of("collect1")] == 1.5
+
+    def test_longest_prefix_wins(self):
+        dag = Dag(2, [(0, 1)], labels=["insp0001", "insp2_0001"])
+        scale = stage_runtime_scale(dag, {"insp": 4.0, "insp2": 3.0})
+        assert scale.tolist() == [4.0, 3.0]
+
+    def test_default_for_unmatched(self):
+        dag = Dag(1, [], labels=["mystery"])
+        scale = stage_runtime_scale(dag, {"snr": 2.0}, default=7.0)
+        assert scale.tolist() == [7.0]
+
+    def test_unlabelled_rejected(self):
+        with pytest.raises(ValueError, match="labelled"):
+            stage_runtime_scale(Dag(1, []), {"a": 1.0})
+
+    def test_nonpositive_weight_rejected(self):
+        dag = airsn(3)
+        with pytest.raises(ValueError, match="positive"):
+            stage_runtime_scale(dag, {"snr": 0.0})
+
+
+class TestWorkloadRuntimeScale:
+    @pytest.mark.parametrize(
+        "name,factory",
+        [
+            ("airsn", lambda: airsn(5)),
+        ],
+    )
+    def test_known_workloads(self, name, factory):
+        scale = workload_runtime_scale(factory(), name)
+        assert (scale > 0).all()
+
+    def test_all_four_models_cover_their_stages(self):
+        from repro.workloads import inspiral, montage, sdss
+
+        cases = {
+            "inspiral": inspiral(n_segments=4, n_groups=2),
+            "montage": montage(3, 3, 2),
+            "sdss": sdss(n_fields=3, n_catalogs=2),
+        }
+        for name, dag in cases.items():
+            scale = workload_runtime_scale(dag, name)
+            # every stage should be matched by the model, not defaulted —
+            # heterogeneity is the point.
+            assert len(np.unique(scale)) > 2
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="runtime model"):
+            workload_runtime_scale(airsn(3), "seti")
+
+
+class TestSimulatorIntegration:
+    def test_scaled_runtime_changes_makespan(self):
+        from repro.sim.engine import SimParams, make_policy, simulate
+
+        dag = airsn(10)
+        params = SimParams(mu_bit=0.5, mu_bs=8.0)
+        rng = np.random.default_rng(0)
+        base = simulate(dag, make_policy("fifo"), params, rng)
+        rng = np.random.default_rng(0)
+        scaled = simulate(
+            dag,
+            make_policy("fifo"),
+            params,
+            rng,
+            runtime_scale=workload_runtime_scale(dag, "airsn"),
+        )
+        # snr/smooth jobs cost 2-3x: the run must take longer.
+        assert scaled.execution_time > base.execution_time
+
+    def test_validation(self):
+        from repro.sim.engine import SimParams, make_policy, simulate
+
+        dag = airsn(3)
+        params = SimParams(mu_bit=1.0, mu_bs=2.0)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="one entry per job"):
+            simulate(
+                dag, make_policy("fifo"), params, rng, runtime_scale=np.ones(2)
+            )
+        with pytest.raises(ValueError, match="positive"):
+            simulate(
+                dag,
+                make_policy("fifo"),
+                params,
+                rng,
+                runtime_scale=np.zeros(dag.n),
+            )

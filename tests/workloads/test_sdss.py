@@ -1,0 +1,70 @@
+"""Tests for the SDSS generator."""
+
+import pytest
+
+from repro.core.component import schedule_component
+from repro.core.decompose import decompose
+from repro.workloads.sdss import sdss
+
+
+class TestStructure:
+    def test_paper_job_count(self):
+        assert sdss().n == 48013
+
+    def test_job_count_formula(self):
+        assert sdss(n_fields=10, n_catalogs=3).n == 9 * 10 + 3 + 6
+
+    def test_sources_are_field_tables_and_calibrations(self):
+        d = sdss(n_fields=8, n_catalogs=2)
+        names = [d.label(u) for u in d.sources()]
+        assert all(n.startswith(("tsobj", "calib")) for n in names)
+        assert sum(1 for n in names if n.startswith("tsobj")) == 8
+        assert sum(1 for n in names if n.startswith("calib")) == 8
+
+    def test_bcg_needs_target_and_calibration(self):
+        d = sdss(n_fields=8, n_catalogs=2)
+        parents = {d.label(p) for p in d.parents(d.id_of("bcg00005"))}
+        assert parents == {"target00005", "calib00002"}
+        # The final boundary target reuses the last field's frame.
+        parents = {d.label(p) for p in d.parents(d.id_of("bcg00016"))}
+        assert parents == {"target00016", "calib00007"}
+
+    def test_single_final_sink(self):
+        d = sdss(n_fields=8, n_catalogs=2)
+        assert [d.label(u) for u in d.sinks()] == ["summary"]
+
+    def test_each_brg_has_three_targets(self):
+        d = sdss(n_fields=8, n_catalogs=2)
+        for i in range(8):
+            assert d.out_degree(d.id_of(f"brg{i:05d}")) == 3
+
+    def test_adjacent_fields_share_one_target(self):
+        d = sdss(n_fields=8, n_catalogs=2)
+        a = set(d.children(d.id_of("brg00002")))
+        b = set(d.children(d.id_of("brg00003")))
+        assert len(a & b) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sdss(n_fields=0)
+        with pytest.raises(ValueError):
+            sdss(n_fields=5, n_catalogs=20)
+
+
+class TestWComponentClaim:
+    """Paper: a bipartite component with over 1,500 jobs whose each source
+    has three children, some shared among the sources — an (s,3)-W dag."""
+
+    def test_w_component_recognized_small(self):
+        d = sdss(n_fields=100, n_catalogs=20)
+        dec = decompose(d)
+        big = max(dec.components, key=lambda c: c.size)
+        sc = schedule_component(d, big)
+        assert sc.family == "(100,3)-W"
+
+    def test_w_component_size_small(self):
+        d = sdss(n_fields=600, n_catalogs=100)
+        dec = decompose(d)
+        big = max(dec.components, key=lambda c: c.size)
+        assert big.is_bipartite
+        assert big.size == 600 + 1201 > 1500
