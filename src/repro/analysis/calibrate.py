@@ -93,13 +93,16 @@ def calibrate_cell(
     seed: int = 0,
     metric: str = "execution_time",
     stop_when_excludes_one: bool = False,
+    jobs: int = 1,
 ) -> CalibrationResult:
     """Double q (measurements per sample) until the CI is narrow enough.
 
     Each step reuses all previously simulated runs, so the total cost is
     at most ~2x the final step's.  With ``stop_when_excludes_one`` the
     trajectory also stops once the CI lies entirely on one side of 1 —
-    enough to certify the direction of the effect.
+    enough to certify the direction of the effect.  *jobs* fans each
+    step's new replications out over worker processes (bit-identical to
+    the serial trajectory).
     """
     if p < 2:
         raise ValueError("p must be at least 2")
@@ -123,12 +126,12 @@ def calibrate_cell(
             extra_f, seq_fifo = seq_fifo.spawn(2)
             prio_vals.extend(
                 run_replications(
-                    compiled, prio_factory, params, need, extra_p
+                    compiled, prio_factory, params, need, extra_p, jobs=jobs
                 ).metric(metric)
             )
             fifo_vals.extend(
                 run_replications(
-                    compiled, fifo_factory, params, need, extra_f
+                    compiled, fifo_factory, params, need, extra_f, jobs=jobs
                 ).metric(metric)
             )
         # Interleave so each of the p samples mixes old and new runs.

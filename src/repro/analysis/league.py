@@ -58,12 +58,15 @@ def league(
     n_runs: int = 32,
     seed: int = 0,
     baseline: str | None = None,
+    jobs: int = 1,
 ) -> list[LeagueRow]:
     """Run every entrant over the same *n_runs* seed streams.
 
     *baseline* names the entrant paired comparisons are made against
     (default: the last entrant, conventionally FIFO).  Rows come back
-    sorted by mean execution time, best first.
+    sorted by mean execution time, best first.  *jobs* fans each entrant's
+    replications out over worker processes (bit-identical results; see
+    :func:`repro.sim.replication.run_replications`).
     """
     if not entrants:
         raise ValueError("need at least one entrant")
@@ -80,7 +83,7 @@ def league(
             e.kind, order=list(e.order) if e.order else None
         )
         metrics[e.name] = run_replications(
-            compiled, factory, params, n_runs, seed=seed
+            compiled, factory, params, n_runs, seed=seed, jobs=jobs
         )
     base_times = metrics[baseline].execution_time
     rows = []

@@ -41,8 +41,12 @@ def full_report(
     config: SweepConfig | None = None,
     *,
     progress=None,
+    jobs: int = 1,
 ) -> list[WorkloadReport]:
-    """Run every experiment for each workload; returns one report each."""
+    """Run every experiment for each workload; returns one report each.
+
+    *jobs* parallelizes each workload's ratio sweep over worker processes.
+    """
     config = config or SweepConfig(
         mu_bits=(1.0,), mu_bss=(1.0, 4.0, 16.0, 64.0, 256.0), p=8, q=2
     )
@@ -52,7 +56,7 @@ def full_report(
             progress(name, i, len(workloads))
         overhead, prio_result = measure_overhead(dag, name)
         curves = eligibility_curves(dag, name, prio_result=prio_result)
-        sweep = ratio_sweep(dag, prio_result.schedule, config, name)
+        sweep = ratio_sweep(dag, prio_result.schedule, config, name, jobs=jobs)
         regions = advantage_regions(sweep)
         reports.append(
             WorkloadReport(

@@ -20,10 +20,18 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from concurrent.futures import as_completed
+
 from ..dag.graph import Dag
 from ..sim.compile import CompiledDag
 from ..sim.engine import SimParams
-from ..sim.replication import policy_factory, run_replications
+from ..sim.parallel import (
+    ParallelConfig,
+    clone_seedseq,
+    resolve_parallel,
+    run_chunk,
+)
+from ..sim.replication import MetricArrays, policy_factory, run_replications
 from ..stats.ratio import RatioStatistics, ratio_statistics
 from ..stats.sampling import sampling_distribution_from_values
 
@@ -146,29 +154,41 @@ def _paired_ratio_statistics(s_num, s_den) -> RatioStatistics | None:
     )
 
 
-def ratio_sweep(
-    dag: Dag,
-    prio_order: Sequence[int],
-    config: SweepConfig = SweepConfig(),
-    workload: str = "dag",
-    *,
-    progress=None,
-) -> SweepResult:
-    """Run the PRIO-vs-FIFO sweep for one dag.
+def _cell_result(
+    config: SweepConfig,
+    mu_bit: float,
+    mu_bs: float,
+    prio_metrics: MetricArrays,
+    fifo_metrics: MetricArrays,
+) -> CellResult:
+    """Fold one cell's metric arrays into ratio statistics."""
+    ratios: dict[str, RatioStatistics | None] = {}
+    for metric in METRICS:
+        s_prio = sampling_distribution_from_values(
+            prio_metrics.metric(metric), config.p, config.q
+        )
+        s_fifo = sampling_distribution_from_values(
+            fifo_metrics.metric(metric), config.p, config.q
+        )
+        if config.paired:
+            ratios[metric] = _paired_ratio_statistics(s_prio, s_fifo)
+        else:
+            ratios[metric] = ratio_statistics(s_prio, s_fifo)
+    return CellResult(mu_bit=mu_bit, mu_bs=mu_bs, ratios=ratios)
 
-    ``prio_order`` is the PRIO schedule (from
-    :func:`repro.core.prio.prio_schedule`); FIFO needs no order.
-    *progress*, when given, is called with ``(done_cells, total_cells)``
-    after each cell.
+
+def _cell_specs(config: SweepConfig):
+    """Per-cell (mu_bit, mu_bs, params, seed_prio, seed_fifo), row-major.
+
+    The spawn tree is built here, in grid order, so serial and parallel
+    sweeps derive identical per-cell seeds.  In ``paired`` mode the FIFO
+    seed is a clone of the PRIO seed (same entropy, no spawn history), so
+    both policies spawn *identical* replication seeds — true common random
+    numbers (spawning twice from one shared ``SeedSequence`` object would
+    hand the two policies disjoint child trees).
     """
-    compiled = CompiledDag.from_dag(dag)
     root = np.random.SeedSequence(config.seed)
-    cells: list[CellResult] = []
-    total = len(config.mu_bits) * len(config.mu_bss)
-    count = config.p * config.q
-    prio_factory = policy_factory("oblivious", order=list(prio_order))
-    fifo_factory = policy_factory("fifo")
-    done = 0
+    specs = []
     for mu_bit in config.mu_bits:
         for mu_bs in config.mu_bss:
             params = SimParams(
@@ -179,29 +199,110 @@ def ratio_sweep(
                 batch_size_dist=config.batch_size_dist,
             )
             if config.paired:
-                seed_prio = seed_fifo = root.spawn(1)[0]
+                seed_prio = root.spawn(1)[0]
+                seed_fifo = clone_seedseq(seed_prio)
             else:
                 seed_prio, seed_fifo = root.spawn(2)
+            specs.append((mu_bit, mu_bs, params, seed_prio, seed_fifo))
+    return specs
+
+
+def ratio_sweep(
+    dag: Dag,
+    prio_order: Sequence[int],
+    config: SweepConfig = SweepConfig(),
+    workload: str = "dag",
+    *,
+    progress=None,
+    jobs: int = 1,
+    parallel: ParallelConfig | None = None,
+) -> SweepResult:
+    """Run the PRIO-vs-FIFO sweep for one dag.
+
+    ``prio_order`` is the PRIO schedule (from
+    :func:`repro.core.prio.prio_schedule`); FIFO needs no order.
+    *progress*, when given, is called with ``(done_cells, total_cells)``
+    after each cell.
+
+    ``jobs`` (or an explicit ``parallel`` config) fans the grid out over
+    worker processes — across cells *and* across the replications within a
+    cell, so even a single-cell sweep saturates the pool.  Results are
+    bit-identical to the serial sweep for the same config; only the order
+    in which cells *finish* (and hence progress callbacks fire) changes.
+    """
+    par = resolve_parallel(jobs, parallel)
+    compiled = CompiledDag.from_dag(dag)
+    count = config.p * config.q
+    prio_factory = policy_factory("oblivious", order=list(prio_order))
+    fifo_factory = policy_factory("fifo")
+    specs = _cell_specs(config)
+    total = len(specs)
+
+    if not par.enabled:
+        cells: list[CellResult] = []
+        for done, (mu_bit, mu_bs, params, seed_prio, seed_fifo) in enumerate(
+            specs, start=1
+        ):
             prio_metrics = run_replications(
                 compiled, prio_factory, params, count, seed_prio
             )
             fifo_metrics = run_replications(
                 compiled, fifo_factory, params, count, seed_fifo
             )
-            ratios: dict[str, RatioStatistics | None] = {}
-            for metric in METRICS:
-                s_prio = sampling_distribution_from_values(
-                    prio_metrics.metric(metric), config.p, config.q
-                )
-                s_fifo = sampling_distribution_from_values(
-                    fifo_metrics.metric(metric), config.p, config.q
-                )
-                if config.paired:
-                    ratios[metric] = _paired_ratio_statistics(s_prio, s_fifo)
-                else:
-                    ratios[metric] = ratio_statistics(s_prio, s_fifo)
-            cells.append(CellResult(mu_bit=mu_bit, mu_bs=mu_bs, ratios=ratios))
-            done += 1
+            cells.append(
+                _cell_result(config, mu_bit, mu_bs, prio_metrics, fifo_metrics)
+            )
             if progress is not None:
                 progress(done, total)
-    return SweepResult(workload=workload, config=config, cells=cells)
+        return SweepResult(workload=workload, config=config, cells=cells)
+
+    # Parallel: flatten every (cell, policy) replication batch into chunk
+    # tasks over one shared pool, then reassemble per cell as chunks land
+    # (cells complete out of order; the cells list stays row-major).
+    slots: dict[tuple[int, str], list] = {}
+    pending = [0] * total
+    ordered_cells: list[CellResult | None] = [None] * total
+    done = 0
+    executor = par.executor()
+    try:
+        futures = {}
+        for index, (mu_bit, mu_bs, params, seed_prio, seed_fifo) in enumerate(
+            specs
+        ):
+            sides = (
+                ("prio", prio_factory, seed_prio),
+                ("fifo", fifo_factory, seed_fifo),
+            )
+            for side, factory, seedseq in sides:
+                children = seedseq.spawn(count)
+                slots[(index, side)] = [None] * count
+                for chunk in par.chunked(list(enumerate(children))):
+                    future = executor.submit(
+                        run_chunk, compiled, factory, params, None, chunk
+                    )
+                    futures[future] = (index, side)
+                    pending[index] += 1
+        for future in as_completed(futures):
+            index, side = futures[future]
+            for rep_index, result in future.result():
+                slots[(index, side)][rep_index] = result
+            pending[index] -= 1
+            if pending[index] == 0:
+                mu_bit, mu_bs, params, _, _ = specs[index]
+                ordered_cells[index] = _cell_result(
+                    config,
+                    mu_bit,
+                    mu_bs,
+                    MetricArrays(slots.pop((index, "prio"))),
+                    MetricArrays(slots.pop((index, "fifo"))),
+                )
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+    except BaseException:
+        # Ctrl-C (or a worker error) must not drain the queue: drop
+        # pending chunks instead of blocking until the whole grid ran.
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+    executor.shutdown(wait=True)
+    return SweepResult(workload=workload, config=config, cells=ordered_cells)

@@ -10,11 +10,15 @@ Subcommands::
     simulate  run one simulated execution and print the three metrics
     sweep     Figs. 6-9: the (mu_BIT, mu_BS) ratio sweep
     regions   summarize where PRIO wins (advantage regions of a sweep)
+    calibrate how many replications until the ratio CI is narrow enough
     overhead  Sec. 3.6: pipeline running time and memory per workload
     run       execute a DAGMan workflow locally (priority-driven dispatch)
     report    one-shot reproduction report over several workloads
 
-``python -m repro.cli <subcommand> --help`` documents each.
+``python -m repro.cli <subcommand> --help`` documents each.  The
+simulation-heavy subcommands (``sweep``, ``curves``, ``league``,
+``calibrate``, ``regions``, ``report``) take ``--jobs N`` to fan work out
+over N worker processes; results are bit-identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -52,6 +56,28 @@ def _add_dag_argument(parser: argparse.ArgumentParser) -> None:
         help=(
             "workload name (one of: %s) or path to a DAGMan .dag file"
             % ", ".join(workload_names())
+        ),
+    )
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value!r}"
+        )
+    return number
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help=(
+            "worker processes for the simulations (default 1 = serial; "
+            "results are bit-identical for any value)"
         ),
     )
 
@@ -137,16 +163,30 @@ def _cmd_regions(args: argparse.Namespace) -> int:
         q=args.q,
         seed=args.seed,
     )
-    result = ratio_sweep(dag, order, config, name)
+    result = ratio_sweep(dag, order, config, name, jobs=args.jobs)
     print(render_regions(advantage_regions(result)))
     return 0
 
 
+def _curves_for_spec(spec: str):
+    """Load one workload and compute its eligibility curves.
+
+    Module-level so curve computation can be dispatched to worker
+    processes (the spec string is the only payload either way).
+    """
+    dag, name = _load_dag(spec)
+    return eligibility_curves(dag, name)
+
+
 def _cmd_curves(args: argparse.Namespace) -> int:
-    curves = []
-    for spec in args.dag:
-        dag, name = _load_dag(spec)
-        curves.append(eligibility_curves(dag, name))
+    if args.jobs > 1 and len(args.dag) > 1:
+        from .sim.parallel import ParallelConfig
+
+        config = ParallelConfig(jobs=min(args.jobs, len(args.dag)))
+        with config.executor() as executor:
+            curves = list(executor.map(_curves_for_spec, args.dag))
+    else:
+        curves = [_curves_for_spec(spec) for spec in args.dag]
     print(render_curves_table(curves))
     if args.plot:
         from .analysis.figures import ascii_curve
@@ -199,7 +239,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     def progress(done: int, total: int) -> None:
         print(f"\r  cell {done}/{total}", end="", file=sys.stderr, flush=True)
 
-    result = ratio_sweep(dag, order, config, name, progress=progress)
+    result = ratio_sweep(dag, order, config, name, progress=progress, jobs=args.jobs)
     print(file=sys.stderr)
     print(render_sweep(result))
     if args.csv:
@@ -259,10 +299,38 @@ def _cmd_league(args: argparse.Namespace) -> int:
         SimParams(mu_bit=args.mu_bit, mu_bs=args.mu_bs),
         n_runs=args.runs,
         seed=args.seed,
+        jobs=args.jobs,
     )
     print(f"policy league: {name} (mu_BIT={args.mu_bit:g}, "
           f"mu_BS={args.mu_bs:g}, {args.runs} runs each)")
     print(render_league(rows))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .analysis.calibrate import calibrate_cell
+
+    dag, name = _load_dag(args.dag)
+    order = prio_schedule(dag).schedule
+    params = SimParams(mu_bit=args.mu_bit, mu_bs=args.mu_bs)
+    result = calibrate_cell(
+        dag,
+        order,
+        params,
+        target_width=args.target_width,
+        p=args.p,
+        start_q=args.start_q,
+        max_q=args.max_q,
+        seed=args.seed,
+        metric=args.metric,
+        stop_when_excludes_one=args.stop_when_excludes_one,
+        jobs=args.jobs,
+    )
+    print(
+        f"calibration: {name} (mu_BIT={args.mu_bit:g}, mu_BS={args.mu_bs:g}, "
+        f"metric={args.metric}, target width {args.target_width:g})"
+    )
+    print(result.render())
     return 0
 
 
@@ -365,7 +433,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     def progress(name: str, i: int, total: int) -> None:
         print(f"[{i + 1}/{total}] {name} ...", file=sys.stderr, flush=True)
 
-    text = render_report(full_report(workloads, config, progress=progress))
+    text = render_report(
+        full_report(workloads, config, progress=progress, jobs=args.jobs)
+    )
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
@@ -444,12 +514,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-p", type=int, default=10)
     p.add_argument("-q", type=int, default=3)
     p.add_argument("--seed", type=int, default=20060427)
+    _add_jobs_argument(p)
     p.set_defaults(func=_cmd_regions)
 
     p = sub.add_parser("curves", help="Fig. 4 eligible-job curves")
     p.add_argument("dag", nargs="+")
     p.add_argument("--dump", action="store_true", help="print full series")
     p.add_argument("--plot", action="store_true", help="ASCII line plot")
+    _add_jobs_argument(p)
     p.set_defaults(func=_cmd_curves)
 
     p = sub.add_parser("simulate", help="one simulated execution")
@@ -478,7 +550,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true", help="ASCII CI panels")
     p.add_argument("--csv", help="also write the cells as CSV")
     p.add_argument("--json", help="also write the cells as JSON")
+    _add_jobs_argument(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="replications needed until the ratio CI is narrow enough",
+    )
+    _add_dag_argument(p)
+    p.add_argument("--mu-bit", type=float, default=1.0)
+    p.add_argument("--mu-bs", type=float, default=16.0)
+    p.add_argument(
+        "--target-width", type=float, default=0.1, help="CI width to reach"
+    )
+    p.add_argument("-p", type=int, default=20, help="sampling-dist samples")
+    p.add_argument("--start-q", type=int, default=1)
+    p.add_argument("--max-q", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--metric",
+        choices=("execution_time", "stalling_probability", "utilization"),
+        default="execution_time",
+    )
+    p.add_argument(
+        "--stop-when-excludes-one",
+        action="store_true",
+        help="also stop once the CI certifies the effect's direction",
+    )
+    _add_jobs_argument(p)
+    p.set_defaults(func=_cmd_calibrate)
 
     p = sub.add_parser("overhead", help="Sec. 3.6 overhead table")
     p.add_argument("dag", nargs="+")
@@ -498,6 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mu-bs", type=float, default=16.0)
     p.add_argument("--runs", type=int, default=24)
     p.add_argument("--seed", type=int, default=0)
+    _add_jobs_argument(p)
     p.set_defaults(func=_cmd_league)
 
     p = sub.add_parser("lint", help="check a DAGMan file for problems")
@@ -547,6 +648,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-q", type=int, default=2)
     p.add_argument("--seed", type=int, default=20060427)
     p.add_argument("-o", "--output", help="write the report to a file")
+    _add_jobs_argument(p)
     p.set_defaults(func=_cmd_report)
     return parser
 

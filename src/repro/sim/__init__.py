@@ -5,6 +5,7 @@ from .compile import CompiledDag
 from .engine import SimParams, SimResult, make_policy, simulate
 from .policies import FifoPolicy, ObliviousPolicy, Policy, RandomPolicy
 from .multidag import MultiDagResult, UserResult, simulate_shared
+from .parallel import ParallelConfig
 from .replication import MetricArrays, policy_factory, run_replications
 from .runtime import RuntimeSampler
 from .trace import ExecutionTrace
@@ -20,6 +21,7 @@ __all__ = [
     "FifoPolicy",
     "MetricArrays",
     "ObliviousPolicy",
+    "ParallelConfig",
     "Policy",
     "RandomPolicy",
     "RuntimeSampler",

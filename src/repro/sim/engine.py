@@ -72,6 +72,14 @@ class SimParams:
     rollover: bool = False
 
     def __post_init__(self):
+        if self.mu_bit <= 0:
+            raise ValueError("mu_bit (mean batch interarrival) must be positive")
+        if self.mu_bs < 1:
+            raise ValueError("mu_bs (mean batch size) must be at least 1")
+        if self.runtime_mean <= 0:
+            raise ValueError("runtime_mean must be positive")
+        if self.runtime_std < 0:
+            raise ValueError("runtime_std must be non-negative")
         if not 0.0 <= self.failure_prob < 1.0:
             raise ValueError("failure_prob must be in [0, 1)")
         if not 0.0 < self.failure_time_fraction <= 1.0:

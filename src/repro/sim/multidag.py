@@ -113,27 +113,16 @@ def simulate_shared(
             t, b = arrivals.next_batch()
             batches += 1
             requests += b
-            served = 0
-            # Round-robin one job per turn across users with eligible work.
-            while served < b:
-                progress = False
-                for step in range(k):
-                    user = (cursor + step) % k
-                    if served >= b:
-                        break
-                    if len(policies[user]) == 0:
-                        continue
-                    job = policies[user].pop()
-                    finish = t + runtimes.draw_one()
-                    if finish > makespan:
-                        makespan = finish
-                    heapq.heappush(completions, (finish, user, job))
-                    assigned[user] += 1
-                    served += 1
-                    progress = True
-                cursor = (cursor + 1) % k
-                if not progress:
-                    break  # nobody has eligible jobs; workers lost
+
+            def serve(user: int, job: int) -> None:
+                nonlocal makespan
+                finish = t + runtimes.draw_one()
+                if finish > makespan:
+                    makespan = finish
+                heapq.heappush(completions, (finish, user, job))
+                assigned[user] += 1
+
+            _, cursor = _round_robin_serve(policies, b, cursor, serve)
         else:
             executed_total += _complete(
                 completions, children, remaining, policies,
@@ -152,6 +141,38 @@ def simulate_shared(
         total_requests=requests,
         makespan=makespan,
     )
+
+
+def _round_robin_serve(policies, capacity, cursor, serve):
+    """Round-robin up to *capacity* jobs across users, starting at *cursor*.
+
+    Each rotation hands at most one job per user with eligible work; *serve*
+    is called with ``(user, job)`` for every assignment.  Returns
+    ``(served, new_cursor)`` where ``new_cursor`` is one past the last user
+    actually served — so the next batch resumes the rotation where this one
+    left off instead of drifting back toward low-indexed users (the cursor
+    previously advanced by only one per rotation, which systematically
+    favoured early users whenever a batch was exhausted mid-rotation).
+    ``cursor`` is unchanged when nobody has eligible work.
+    """
+    k = len(policies)
+    served = 0
+    while served < capacity:
+        progress = False
+        start = cursor
+        for step in range(k):
+            if served >= capacity:
+                break
+            user = (start + step) % k
+            if len(policies[user]) == 0:
+                continue
+            serve(user, policies[user].pop())
+            served += 1
+            progress = True
+            cursor = (user + 1) % k
+        if not progress:
+            break  # nobody has eligible jobs; workers lost
+    return served, cursor
 
 
 def _complete(completions, children, remaining, policies, executed, completion_time):

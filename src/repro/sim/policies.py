@@ -17,6 +17,7 @@ create a fresh one per run (or use the factory helpers in
 from __future__ import annotations
 
 import heapq
+import operator
 from collections import deque
 from collections.abc import Sequence
 
@@ -49,9 +50,20 @@ class ObliviousPolicy(Policy):
 
     def __init__(self, order: Sequence[int]):
         n = len(order)
-        self._rank = [0] * n
+        self._rank = [-1] * n
         self._job_of_rank = [0] * n
         for r, job in enumerate(order):
+            job = operator.index(job)
+            if not 0 <= job < n:
+                raise ValueError(
+                    f"order entry {job} out of range for {n} jobs "
+                    "(order must be a permutation of range(n))"
+                )
+            if self._rank[job] != -1:
+                raise ValueError(
+                    f"job {job} appears more than once in order "
+                    "(order must be a permutation of range(n))"
+                )
             self._rank[job] = r
             self._job_of_rank[r] = job
         self._heap: list[int] = []

@@ -4,17 +4,25 @@ The sweep experiments need ``p * q`` independent replications per
 (dag, policy, parameter) cell.  Seeds are derived from a
 ``numpy.random.SeedSequence`` spawn tree so every replication is independent
 and the whole experiment is reproducible from a single root seed.
+
+Replications are embarrassingly parallel: pass ``jobs=N`` (or a full
+:class:`~repro.sim.parallel.ParallelConfig`) to fan them out over worker
+processes.  The spawn tree is built in the parent and results are
+reassembled in spawn order, so for a fixed root seed ``jobs=1`` and
+``jobs=N`` return **bit-identical** :class:`MetricArrays`.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+from concurrent.futures import as_completed
 
 import numpy as np
 
 from ..dag.graph import Dag
 from .compile import CompiledDag
 from .engine import SimParams, SimResult, make_policy, simulate
+from .parallel import ParallelConfig, resolve_parallel, run_chunk
 from .policies import Policy
 
 __all__ = ["MetricArrays", "run_replications", "policy_factory"]
@@ -46,19 +54,36 @@ class MetricArrays:
             raise KeyError(f"unknown metric {name!r}") from None
 
 
+class PolicyFactory:
+    """Picklable policy factory: a fresh policy per replication.
+
+    The replication's generator is passed in so the random policy draws
+    from the same reproducible stream as the rest of its simulation.  A
+    plain class (not a closure) so instances survive the pickling boundary
+    of the worker-process pool.
+    """
+
+    __slots__ = ("kind", "order")
+
+    def __init__(self, kind: str, order: Sequence[int] | None = None):
+        self.kind = kind
+        self.order = list(order) if order is not None else None
+
+    def __call__(self, rng: np.random.Generator) -> Policy:
+        return make_policy(self.kind, order=self.order, rng=rng)
+
+    def __getstate__(self):
+        return (self.kind, self.order)
+
+    def __setstate__(self, state):
+        self.kind, self.order = state
+
+
 def policy_factory(
     kind: str, order: Sequence[int] | None = None
 ) -> Callable[[np.random.Generator], Policy]:
-    """A factory producing a fresh policy per replication.
-
-    The replication's generator is passed in so the random policy draws
-    from the same reproducible stream as the rest of its simulation.
-    """
-
-    def build(rng: np.random.Generator) -> Policy:
-        return make_policy(kind, order=order, rng=rng)
-
-    return build
+    """A factory producing a fresh policy per replication."""
+    return PolicyFactory(kind, order)
 
 
 def run_replications(
@@ -69,24 +94,57 @@ def run_replications(
     seed: int | np.random.SeedSequence = 0,
     *,
     runtime_scale=None,
+    jobs: int = 1,
+    parallel: ParallelConfig | None = None,
 ) -> MetricArrays:
-    """Run *count* independent simulations; returns per-run metrics."""
+    """Run *count* independent simulations; returns per-run metrics.
+
+    ``jobs`` (or an explicit ``parallel`` config, which takes precedence)
+    fans the replications out over worker processes; results are
+    bit-identical to the serial run for the same *seed*.  With worker
+    processes, *build_policy* must be picklable — the factories from
+    :func:`policy_factory` are.
+    """
     compiled = dag if isinstance(dag, CompiledDag) else CompiledDag.from_dag(dag)
     seedseq = (
         seed
         if isinstance(seed, np.random.SeedSequence)
         else np.random.SeedSequence(seed)
     )
-    results: list[SimResult] = []
-    for child_seq in seedseq.spawn(count):
-        rng = np.random.default_rng(child_seq)
-        results.append(
-            simulate(
-                compiled,
-                build_policy(rng),
-                params,
-                rng,
-                runtime_scale=runtime_scale,
+    par = resolve_parallel(jobs, parallel)
+    children = seedseq.spawn(count)
+    if not par.enabled or count <= 1:
+        results: list[SimResult] = []
+        for child_seq in children:
+            rng = np.random.default_rng(child_seq)
+            results.append(
+                simulate(
+                    compiled,
+                    build_policy(rng),
+                    params,
+                    rng,
+                    runtime_scale=runtime_scale,
+                )
             )
-        )
-    return MetricArrays(results)
+        return MetricArrays(results)
+
+    slots: list[SimResult | None] = [None] * count
+    executor = par.executor()
+    try:
+        futures = [
+            executor.submit(
+                run_chunk, compiled, build_policy, params, runtime_scale, chunk
+            )
+            for chunk in par.chunked(list(enumerate(children)))
+        ]
+        for future in as_completed(futures):
+            for index, result in future.result():
+                slots[index] = result
+    except BaseException:
+        # Ctrl-C (or a worker error) must not drain the queue: drop
+        # pending chunks and return immediately instead of blocking in
+        # shutdown(wait=True) until every queued simulation has run.
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+    executor.shutdown(wait=True)
+    return MetricArrays(slots)

@@ -181,3 +181,30 @@ class TestCompiledDag:
         assert c.indegree.tolist() == [
             fig3_dag.in_degree(u) for u in range(fig3_dag.n)
         ]
+
+
+class TestSimParamsValidation:
+    """Regression: invalid runtime/arrival parameters used to be accepted
+    at construction and only blow up (or silently misbehave) deep inside a
+    run — or inside a worker process under ``jobs=N``."""
+
+    def test_valid_defaults_accepted(self):
+        SimParams(mu_bit=1.0, mu_bs=1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            (dict(mu_bit=0.0, mu_bs=4.0), "mu_bit"),
+            (dict(mu_bit=-1.0, mu_bs=4.0), "mu_bit"),
+            (dict(mu_bit=1.0, mu_bs=0.5), "mu_bs"),
+            (dict(mu_bit=1.0, mu_bs=4.0, runtime_mean=0.0), "runtime_mean"),
+            (dict(mu_bit=1.0, mu_bs=4.0, runtime_mean=-2.0), "runtime_mean"),
+            (dict(mu_bit=1.0, mu_bs=4.0, runtime_std=-0.1), "runtime_std"),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            SimParams(**kwargs)
+
+    def test_zero_runtime_std_still_allowed(self):
+        SimParams(mu_bit=1.0, mu_bs=4.0, runtime_std=0.0)

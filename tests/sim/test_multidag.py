@@ -97,3 +97,73 @@ class TestContention:
             prio_t.append(with_prio.users[0].completion_time)
             fifo_t.append(with_fifo.users[0].completion_time)
         assert np.mean(prio_t) < np.mean(fifo_t)
+
+
+class TestRoundRobinCursor:
+    """Regression: the round-robin cursor used to advance by only one per
+    rotation, so a batch exhausted mid-rotation restarted service near the
+    low-indexed users instead of one past the last user served."""
+
+    @staticmethod
+    def queues(k, jobs_each):
+        from repro.sim.policies import FifoPolicy
+
+        policies = []
+        for user in range(k):
+            p = FifoPolicy()
+            for j in range(jobs_each):
+                p.push(j)
+            policies.append(p)
+        return policies
+
+    def test_cursor_resumes_one_past_last_served(self):
+        from repro.sim.multidag import _round_robin_serve
+
+        policies = self.queues(3, jobs_each=10)
+        order = []
+        serve = lambda user, job: order.append(user)
+        served, cursor = _round_robin_serve(policies, 2, 0, serve)
+        assert served == 2 and order == [0, 1]
+        assert cursor == 2  # one past user 1, not cursor+1 == 1
+        served, cursor = _round_robin_serve(policies, 2, cursor, serve)
+        assert order == [0, 1, 2, 0] and cursor == 1
+
+    def test_successive_batches_cover_users_evenly(self):
+        from repro.sim.multidag import _round_robin_serve
+
+        policies = self.queues(3, jobs_each=30)
+        counts = [0, 0, 0]
+        cursor = 0
+        for _ in range(15):  # 15 batches of 2 over 3 users
+            _, cursor = _round_robin_serve(
+                policies, 2, cursor, lambda u, j: counts.__setitem__(
+                    u, counts[u] + 1
+                )
+            )
+        assert counts == [10, 10, 10]
+
+    def test_multi_rotation_batch(self):
+        from repro.sim.multidag import _round_robin_serve
+
+        policies = self.queues(3, jobs_each=10)
+        order = []
+        served, cursor = _round_robin_serve(
+            policies, 4, 0, lambda u, j: order.append(u)
+        )
+        assert served == 4 and order == [0, 1, 2, 0]
+        assert cursor == 1
+
+    def test_skips_empty_users_and_stops_when_dry(self):
+        from repro.sim.multidag import _round_robin_serve
+
+        policies = self.queues(3, jobs_each=1)
+        order = []
+        served, cursor = _round_robin_serve(
+            policies, 10, 1, lambda u, j: order.append(u)
+        )
+        assert served == 3 and order == [1, 2, 0]
+        assert cursor == 1  # one past user 0
+        served, cursor = _round_robin_serve(
+            policies, 5, cursor, lambda u, j: order.append(u)
+        )
+        assert served == 0 and cursor == 1  # nobody eligible: unchanged

@@ -82,3 +82,34 @@ class TestPolicyInterface:
             p.pop()
         with pytest.raises(NotImplementedError):
             len(p)
+
+
+class TestObliviousPolicyValidation:
+    """Regression: a non-permutation order used to corrupt the rank table
+    silently (duplicates overwrote ranks; missing ids kept rank 0)."""
+
+    def test_duplicate_job_rejected(self):
+        with pytest.raises(ValueError, match="more than once"):
+            ObliviousPolicy([0, 1, 1])
+
+    def test_out_of_range_job_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ObliviousPolicy([0, 1, 3])
+        with pytest.raises(ValueError, match="out of range"):
+            ObliviousPolicy([-1, 0, 1])
+
+    def test_non_integer_job_rejected(self):
+        with pytest.raises(TypeError):
+            ObliviousPolicy([0.0, 1.0])
+
+    def test_numpy_integer_orders_still_accepted(self):
+        p = ObliviousPolicy(np.array([2, 0, 1]))
+        p.push(0)
+        p.push(2)
+        assert p.pop() == 2
+
+    def test_valid_permutations_unaffected(self):
+        p = ObliviousPolicy([3, 1, 0, 2])
+        for j in range(4):
+            p.push(j)
+        assert [p.pop() for _ in range(4)] == [3, 1, 0, 2]
