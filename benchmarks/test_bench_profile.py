@@ -1,0 +1,53 @@
+"""Engineering — where the reproduction loop's wall-clock goes.
+
+Profiles each small workload end-to-end (dag construction, the four prio
+pipeline phases, simulator compilation, a batch of simulated runs) via the
+telemetry subsystem's :func:`repro.obs.profile.profile_workload`, prints
+the per-stage tables, and writes the machine-readable breakdown to
+``benchmarks/results/BENCH_profile.json`` so perf regressions across PRs
+diff against a committed baseline.
+"""
+
+import json
+from pathlib import Path
+
+from common import banner, full_fidelity
+from repro.obs.profile import profile_workload
+
+RESULTS = Path(__file__).parent / "results"
+
+WORKLOADS = ("airsn-small", "inspiral-small", "montage-small", "sdss-small")
+
+
+def test_profile_breakdown(benchmark):
+    runs = 64 if full_fidelity() else 16
+
+    def run():
+        return {
+            name: profile_workload(name, mu_bit=1.0, mu_bs=16.0, runs=runs)
+            for name in WORKLOADS
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    payload = {"schema": 1, "bench": "profile", "runs": runs, "workloads": {}}
+    for name, report in reports.items():
+        print(banner(f"profile: {name}"))
+        print(report.render())
+        payload["workloads"][name] = {
+            "n_jobs": report.n_jobs,
+            "n_arcs": report.n_arcs,
+            "total_seconds": report.total_seconds,
+            "stages": {stage: seconds for stage, seconds in report.stages},
+            "engine_counters": report.engine_counters,
+            "engine_peaks": report.engine_peaks,
+        }
+        # The breakdown is exhaustive: stages sum to the total.
+        assert sum(payload["workloads"][name]["stages"].values()) == (
+            report.total_seconds
+        )
+        assert report.engine_counters["engine.runs"] == runs
+
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_profile.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}")

@@ -16,7 +16,9 @@ The package provides:
 * :mod:`repro.stats` — sampling distributions and ratio CIs of Sec. 4.2;
 * :mod:`repro.workloads` — AIRSN, Inspiral, Montage, SDSS and synthetic
   generators;
-* :mod:`repro.analysis` — the experiments behind every figure and table.
+* :mod:`repro.analysis` — the experiments behind every figure and table;
+* :mod:`repro.obs` — run telemetry and profiling (metrics registry,
+  JSONL event log, progress meters, the ``prio profile`` breakdown).
 
 Quickstart::
 
@@ -40,6 +42,12 @@ from .core import (
     reprioritize_remnant,
 )
 from .dag import Dag, DagBuilder, dag_shape
+from .obs import (
+    MetricsRegistry,
+    TelemetryRecorder,
+    profile_workload,
+    read_telemetry,
+)
 from .dagman import (
     flatten_dagman_file,
     lint_dagman,
@@ -63,9 +71,11 @@ __all__ = [
     "Dag",
     "DagBuilder",
     "ExecutionTrace",
+    "MetricsRegistry",
     "PrioResult",
     "SimParams",
     "SweepConfig",
+    "TelemetryRecorder",
     "__version__",
     "airsn",
     "dag_shape",
@@ -86,7 +96,9 @@ __all__ = [
     "parse_dagman_text",
     "prio_schedule",
     "prioritize_dagman_file",
+    "profile_workload",
     "ratio_sweep",
+    "read_telemetry",
     "reprioritize_remnant",
     "run_workflow",
     "sdss",

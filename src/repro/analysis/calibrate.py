@@ -15,6 +15,7 @@ sweeps and an honest statement of what a given budget can conclude.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -94,6 +95,9 @@ def calibrate_cell(
     metric: str = "execution_time",
     stop_when_excludes_one: bool = False,
     jobs: int = 1,
+    workload: str = "dag",
+    progress=None,
+    telemetry=None,
 ) -> CalibrationResult:
     """Double q (measurements per sample) until the CI is narrow enough.
 
@@ -103,6 +107,13 @@ def calibrate_cell(
     enough to certify the direction of the effect.  *jobs* fans each
     step's new replications out over worker processes (bit-identical to
     the serial trajectory).
+
+    *progress*, when given, is called with each completed
+    :class:`CalibrationStep` as the trajectory unfolds (the CLI prints a
+    live line per doubling).  *telemetry*, when given, is a
+    :class:`~repro.obs.recorder.TelemetryRecorder` receiving one
+    ``replication`` record per new simulation and one ``stage`` record
+    per doubling step; observational only, the trajectory is unchanged.
     """
     if p < 2:
         raise ValueError("p must be at least 2")
@@ -120,18 +131,31 @@ def calibrate_cell(
     q = start_q
     converged = False
     while True:
+        step_started = time.perf_counter()
         need = p * q - len(prio_vals)
         if need > 0:
             extra_p, seq_prio = seq_prio.spawn(2)
             extra_f, seq_fifo = seq_fifo.spawn(2)
+            loggers = {"prio": None, "fifo": None}
+            registry = None
+            if telemetry is not None:
+                registry = telemetry.registry
+                loggers = {
+                    side: telemetry.replication_logger(
+                        workload=workload, policy=side, params=params
+                    )
+                    for side in loggers
+                }
             prio_vals.extend(
                 run_replications(
-                    compiled, prio_factory, params, need, extra_p, jobs=jobs
+                    compiled, prio_factory, params, need, extra_p, jobs=jobs,
+                    metrics=registry, on_replication=loggers["prio"],
                 ).metric(metric)
             )
             fifo_vals.extend(
                 run_replications(
-                    compiled, fifo_factory, params, need, extra_f, jobs=jobs
+                    compiled, fifo_factory, params, need, extra_f, jobs=jobs,
+                    metrics=registry, on_replication=loggers["fifo"],
                 ).metric(metric)
             )
         # Interleave so each of the p samples mixes old and new runs.
@@ -144,6 +168,20 @@ def calibrate_cell(
             )
         step = CalibrationStep(p=p, q=q, stats=stats)
         steps.append(step)
+        if telemetry is not None:
+            telemetry.stage(
+                f"calibrate q={q}",
+                time.perf_counter() - step_started,
+                workload=workload,
+                p=p,
+                q=q,
+                median=stats.median,
+                ci_low=stats.ci_low,
+                ci_high=stats.ci_high,
+                width=step.width,
+            )
+        if progress is not None:
+            progress(step)
         excludes_one = stats.ci_high < 1.0 or stats.ci_low > 1.0
         if step.width <= target_width or (
             stop_when_excludes_one and excludes_one

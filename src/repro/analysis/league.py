@@ -59,6 +59,9 @@ def league(
     seed: int = 0,
     baseline: str | None = None,
     jobs: int = 1,
+    workload: str = "dag",
+    progress=None,
+    telemetry=None,
 ) -> list[LeagueRow]:
     """Run every entrant over the same *n_runs* seed streams.
 
@@ -67,6 +70,12 @@ def league(
     sorted by mean execution time, best first.  *jobs* fans each entrant's
     replications out over worker processes (bit-identical results; see
     :func:`repro.sim.replication.run_replications`).
+
+    *progress*, when given, is called with ``(entrants_done,
+    total_entrants)`` after each entrant's batch.  *telemetry*, when
+    given, is a :class:`~repro.obs.recorder.TelemetryRecorder` that
+    receives one ``replication`` record per simulation (``policy`` set to
+    the entrant's name); observational only, results are unchanged.
     """
     if not entrants:
         raise ValueError("need at least one entrant")
@@ -78,13 +87,23 @@ def league(
         raise ValueError(f"unknown baseline {baseline!r}")
     compiled = CompiledDag.from_dag(dag)
     metrics = {}
-    for e in entrants:
+    for done, e in enumerate(entrants, start=1):
         factory = policy_factory(
             e.kind, order=list(e.order) if e.order else None
         )
+        on_replication = None
+        registry = None
+        if telemetry is not None:
+            registry = telemetry.registry
+            on_replication = telemetry.replication_logger(
+                workload=workload, policy=e.name, params=params
+            )
         metrics[e.name] = run_replications(
-            compiled, factory, params, n_runs, seed=seed, jobs=jobs
+            compiled, factory, params, n_runs, seed=seed, jobs=jobs,
+            metrics=registry, on_replication=on_replication,
         )
+        if progress is not None:
+            progress(done, len(entrants))
     base_times = metrics[baseline].execution_time
     rows = []
     for e in entrants:

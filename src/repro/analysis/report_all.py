@@ -42,10 +42,15 @@ def full_report(
     *,
     progress=None,
     jobs: int = 1,
+    telemetry=None,
 ) -> list[WorkloadReport]:
     """Run every experiment for each workload; returns one report each.
 
     *jobs* parallelizes each workload's ratio sweep over worker processes.
+    *telemetry*, when given, is a
+    :class:`~repro.obs.recorder.TelemetryRecorder`: each workload's prio
+    pipeline phases land as ``stage`` records and its sweep emits
+    ``replication``/``cell`` records (see :func:`repro.analysis.sweep.ratio_sweep`).
     """
     config = config or SweepConfig(
         mu_bits=(1.0,), mu_bss=(1.0, 4.0, 16.0, 64.0, 256.0), p=8, q=2
@@ -55,8 +60,14 @@ def full_report(
         if progress is not None:
             progress(name, i, len(workloads))
         overhead, prio_result = measure_overhead(dag, name)
+        if telemetry is not None:
+            for phase, seconds in prio_result.phase_seconds.items():
+                telemetry.stage(phase, seconds, workload=name)
         curves = eligibility_curves(dag, name, prio_result=prio_result)
-        sweep = ratio_sweep(dag, prio_result.schedule, config, name, jobs=jobs)
+        sweep = ratio_sweep(
+            dag, prio_result.schedule, config, name, jobs=jobs,
+            telemetry=telemetry,
+        )
         regions = advantage_regions(sweep)
         reports.append(
             WorkloadReport(

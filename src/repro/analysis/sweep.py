@@ -207,6 +207,20 @@ def _cell_specs(config: SweepConfig):
     return specs
 
 
+def _emit_cell_telemetry(telemetry, workload: str, cell: CellResult) -> None:
+    """One ``cell`` summary record: the per-metric median PRIO/FIFO ratios."""
+    telemetry.emit(
+        "cell",
+        workload=workload,
+        mu_bit=cell.mu_bit,
+        mu_bs=cell.mu_bs,
+        median_ratios={
+            metric: (stats.median if stats is not None else None)
+            for metric, stats in cell.ratios.items()
+        },
+    )
+
+
 def ratio_sweep(
     dag: Dag,
     prio_order: Sequence[int],
@@ -216,6 +230,7 @@ def ratio_sweep(
     progress=None,
     jobs: int = 1,
     parallel: ParallelConfig | None = None,
+    telemetry=None,
 ) -> SweepResult:
     """Run the PRIO-vs-FIFO sweep for one dag.
 
@@ -229,6 +244,14 @@ def ratio_sweep(
     cell, so even a single-cell sweep saturates the pool.  Results are
     bit-identical to the serial sweep for the same config; only the order
     in which cells *finish* (and hence progress callbacks fire) changes.
+
+    *telemetry*, when given, is a
+    :class:`~repro.obs.recorder.TelemetryRecorder`: it receives one
+    ``replication`` record per simulation (policy ``"prio"`` or
+    ``"fifo"``) and one ``cell`` summary record per grid cell, and its
+    registry accumulates the simulator's event-loop counters.  Telemetry
+    is observational only — the sweep's results stay bit-identical with
+    it on or off, serial or parallel.
     """
     par = resolve_parallel(jobs, parallel)
     compiled = CompiledDag.from_dag(dag)
@@ -237,21 +260,34 @@ def ratio_sweep(
     fifo_factory = policy_factory("fifo")
     specs = _cell_specs(config)
     total = len(specs)
+    registry = telemetry.registry if telemetry is not None else None
 
     if not par.enabled:
         cells: list[CellResult] = []
         for done, (mu_bit, mu_bs, params, seed_prio, seed_fifo) in enumerate(
             specs, start=1
         ):
+            loggers = {"prio": None, "fifo": None}
+            if telemetry is not None:
+                loggers = {
+                    side: telemetry.replication_logger(
+                        workload=workload, policy=side, params=params
+                    )
+                    for side in loggers
+                }
             prio_metrics = run_replications(
-                compiled, prio_factory, params, count, seed_prio
+                compiled, prio_factory, params, count, seed_prio,
+                metrics=registry, on_replication=loggers["prio"],
             )
             fifo_metrics = run_replications(
-                compiled, fifo_factory, params, count, seed_fifo
+                compiled, fifo_factory, params, count, seed_fifo,
+                metrics=registry, on_replication=loggers["fifo"],
             )
             cells.append(
                 _cell_result(config, mu_bit, mu_bs, prio_metrics, fifo_metrics)
             )
+            if telemetry is not None:
+                _emit_cell_telemetry(telemetry, workload, cells[-1])
             if progress is not None:
                 progress(done, total)
         return SweepResult(workload=workload, config=config, cells=cells)
@@ -259,7 +295,9 @@ def ratio_sweep(
     # Parallel: flatten every (cell, policy) replication batch into chunk
     # tasks over one shared pool, then reassemble per cell as chunks land
     # (cells complete out of order; the cells list stays row-major).
+    collect = telemetry is not None
     slots: dict[tuple[int, str], list] = {}
+    elapsed: dict[tuple[int, str], list] = {}
     pending = [0] * total
     ordered_cells: list[CellResult | None] = [None] * total
     done = 0
@@ -276,19 +314,37 @@ def ratio_sweep(
             for side, factory, seedseq in sides:
                 children = seedseq.spawn(count)
                 slots[(index, side)] = [None] * count
+                elapsed[(index, side)] = [None] * count
                 for chunk in par.chunked(list(enumerate(children))):
                     future = executor.submit(
-                        run_chunk, compiled, factory, params, None, chunk
+                        run_chunk, compiled, factory, params, None, chunk,
+                        collect,
                     )
                     futures[future] = (index, side)
                     pending[index] += 1
         for future in as_completed(futures):
             index, side = futures[future]
-            for rep_index, result in future.result():
+            chunk_results, snapshot = future.result()
+            for rep_index, result, seconds in chunk_results:
                 slots[(index, side)][rep_index] = result
+                elapsed[(index, side)][rep_index] = seconds
+            if registry is not None and snapshot is not None:
+                registry.merge_snapshot(snapshot)
             pending[index] -= 1
             if pending[index] == 0:
                 mu_bit, mu_bs, params, _, _ = specs[index]
+                if telemetry is not None:
+                    for cell_side in ("prio", "fifo"):
+                        for rep, result in enumerate(slots[(index, cell_side)]):
+                            telemetry.replication(
+                                workload=workload,
+                                policy=cell_side,
+                                rep=rep,
+                                params=params,
+                                result=result,
+                                elapsed_seconds=elapsed[(index, cell_side)][rep],
+                            )
+                        del elapsed[(index, cell_side)]
                 ordered_cells[index] = _cell_result(
                     config,
                     mu_bit,
@@ -296,6 +352,10 @@ def ratio_sweep(
                     MetricArrays(slots.pop((index, "prio"))),
                     MetricArrays(slots.pop((index, "fifo"))),
                 )
+                if telemetry is not None:
+                    _emit_cell_telemetry(
+                        telemetry, workload, ordered_cells[index]
+                    )
                 done += 1
                 if progress is not None:
                     progress(done, total)

@@ -14,11 +14,15 @@ Subcommands::
     overhead  Sec. 3.6: pipeline running time and memory per workload
     run       execute a DAGMan workflow locally (priority-driven dispatch)
     report    one-shot reproduction report over several workloads
+    profile   per-stage timing breakdown of one workload (pipeline + sim)
 
 ``python -m repro.cli <subcommand> --help`` documents each.  The
 simulation-heavy subcommands (``sweep``, ``curves``, ``league``,
 ``calibrate``, ``regions``, ``report``) take ``--jobs N`` to fan work out
-over N worker processes; results are bit-identical to ``--jobs 1``.
+over N worker processes; results are bit-identical to ``--jobs 1``.  The
+same subcommands (plus ``profile``) take ``--telemetry PATH`` to write a
+structured JSONL telemetry log — one record per simulation replication —
+without changing any result (see docs/API.md, "Telemetry & profiling").
 """
 
 from __future__ import annotations
@@ -80,6 +84,37 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
             "results are bit-identical for any value)"
         ),
     )
+
+
+def _add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help=(
+            "write a structured JSONL telemetry log here (one record per "
+            "simulation replication plus run/cell/stage records); purely "
+            "observational — results are bit-identical with it on or off"
+        ),
+    )
+
+
+def _open_telemetry(args: argparse.Namespace, command: str, **run_fields):
+    """A TelemetryRecorder for ``--telemetry PATH``, or None without it."""
+    path = getattr(args, "telemetry", None)
+    if not path:
+        return None
+    from .obs.recorder import TelemetryRecorder
+
+    return TelemetryRecorder.open(path, command=command, **run_fields)
+
+
+def _close_telemetry(args: argparse.Namespace, telemetry) -> None:
+    if telemetry is not None:
+        telemetry.close()
+        print(
+            f"wrote {args.telemetry} ({telemetry.n_records} telemetry records)",
+            file=sys.stderr,
+        )
 
 
 def _cmd_prio(args: argparse.Namespace) -> int:
@@ -163,7 +198,13 @@ def _cmd_regions(args: argparse.Namespace) -> int:
         q=args.q,
         seed=args.seed,
     )
-    result = ratio_sweep(dag, order, config, name, jobs=args.jobs)
+    telemetry = _open_telemetry(args, "regions", workload=name, seed=args.seed)
+    try:
+        result = ratio_sweep(
+            dag, order, config, name, jobs=args.jobs, telemetry=telemetry
+        )
+    finally:
+        _close_telemetry(args, telemetry)
     print(render_regions(advantage_regions(result)))
     return 0
 
@@ -179,14 +220,30 @@ def _curves_for_spec(spec: str):
 
 
 def _cmd_curves(args: argparse.Namespace) -> int:
+    import time
+
+    telemetry = _open_telemetry(args, "curves", workloads=list(args.dag))
     if args.jobs > 1 and len(args.dag) > 1:
         from .sim.parallel import ParallelConfig
 
         config = ParallelConfig(jobs=min(args.jobs, len(args.dag)))
+        started = time.perf_counter()
         with config.executor() as executor:
             curves = list(executor.map(_curves_for_spec, args.dag))
+        if telemetry is not None:
+            telemetry.stage("curves", time.perf_counter() - started)
     else:
-        curves = [_curves_for_spec(spec) for spec in args.dag]
+        curves = []
+        for spec in args.dag:
+            started = time.perf_counter()
+            curves.append(_curves_for_spec(spec))
+            if telemetry is not None:
+                telemetry.stage(
+                    "curves",
+                    time.perf_counter() - started,
+                    workload=spec,
+                )
+    _close_telemetry(args, telemetry)
     print(render_curves_table(curves))
     if args.plot:
         from .analysis.figures import ascii_curve
@@ -236,11 +293,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     order = prio_schedule(dag).schedule
 
-    def progress(done: int, total: int) -> None:
-        print(f"\r  cell {done}/{total}", end="", file=sys.stderr, flush=True)
+    from .obs.progress import ProgressMeter
 
-    result = ratio_sweep(dag, order, config, name, progress=progress, jobs=args.jobs)
-    print(file=sys.stderr)
+    telemetry = _open_telemetry(
+        args, "sweep", workload=name, p=args.p, q=args.q, seed=args.seed
+    )
+    try:
+        with ProgressMeter(f"sweep {name}", unit="cell") as meter:
+            result = ratio_sweep(
+                dag, order, config, name,
+                progress=meter, jobs=args.jobs, telemetry=telemetry,
+            )
+    finally:
+        _close_telemetry(args, telemetry)
     print(render_sweep(result))
     if args.csv:
         from .analysis.export import sweep_to_csv
@@ -293,14 +358,26 @@ def _cmd_league(args: argparse.Namespace) -> int:
         Entrant("random", "random"),
         Entrant("fifo", "fifo"),
     ]
-    rows = league(
-        dag,
-        entrants,
-        SimParams(mu_bit=args.mu_bit, mu_bs=args.mu_bs),
-        n_runs=args.runs,
-        seed=args.seed,
-        jobs=args.jobs,
+    from .obs.progress import ProgressMeter
+
+    telemetry = _open_telemetry(
+        args, "league", workload=name, runs=args.runs, seed=args.seed
     )
+    try:
+        with ProgressMeter(f"league {name}", unit="entrant") as meter:
+            rows = league(
+                dag,
+                entrants,
+                SimParams(mu_bit=args.mu_bit, mu_bs=args.mu_bs),
+                n_runs=args.runs,
+                seed=args.seed,
+                jobs=args.jobs,
+                workload=name,
+                progress=meter,
+                telemetry=telemetry,
+            )
+    finally:
+        _close_telemetry(args, telemetry)
     print(f"policy league: {name} (mu_BIT={args.mu_bit:g}, "
           f"mu_BS={args.mu_bs:g}, {args.runs} runs each)")
     print(render_league(rows))
@@ -313,19 +390,37 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     dag, name = _load_dag(args.dag)
     order = prio_schedule(dag).schedule
     params = SimParams(mu_bit=args.mu_bit, mu_bs=args.mu_bs)
-    result = calibrate_cell(
-        dag,
-        order,
-        params,
-        target_width=args.target_width,
-        p=args.p,
-        start_q=args.start_q,
-        max_q=args.max_q,
-        seed=args.seed,
-        metric=args.metric,
-        stop_when_excludes_one=args.stop_when_excludes_one,
-        jobs=args.jobs,
+
+    def step_progress(step) -> None:
+        print(
+            f"  q={step.q}: {step.runs_per_algorithm} runs/algorithm, "
+            f"CI width {step.width:.3f}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    telemetry = _open_telemetry(
+        args, "calibrate", workload=name, metric=args.metric, seed=args.seed
     )
+    try:
+        result = calibrate_cell(
+            dag,
+            order,
+            params,
+            target_width=args.target_width,
+            p=args.p,
+            start_q=args.start_q,
+            max_q=args.max_q,
+            seed=args.seed,
+            metric=args.metric,
+            stop_when_excludes_one=args.stop_when_excludes_one,
+            jobs=args.jobs,
+            workload=name,
+            progress=step_progress,
+            telemetry=telemetry,
+        )
+    finally:
+        _close_telemetry(args, telemetry)
     print(
         f"calibration: {name} (mu_BIT={args.mu_bit:g}, mu_BS={args.mu_bs:g}, "
         f"metric={args.metric}, target width {args.target_width:g})"
@@ -433,15 +528,45 @@ def _cmd_report(args: argparse.Namespace) -> int:
     def progress(name: str, i: int, total: int) -> None:
         print(f"[{i + 1}/{total}] {name} ...", file=sys.stderr, flush=True)
 
-    text = render_report(
-        full_report(workloads, config, progress=progress, jobs=args.jobs)
+    telemetry = _open_telemetry(
+        args, "report", workloads=list(workloads), seed=args.seed
     )
+    try:
+        reports = full_report(
+            workloads, config, progress=progress, jobs=args.jobs,
+            telemetry=telemetry,
+        )
+    finally:
+        _close_telemetry(args, telemetry)
+    text = render_report(reports)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(text)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs.profile import profile_workload
+
+    telemetry = _open_telemetry(
+        args, "profile", workload=args.workload, runs=args.runs, seed=args.seed
+    )
+    try:
+        report = profile_workload(
+            args.workload,
+            mu_bit=args.mu_bit,
+            mu_bs=args.mu_bs,
+            runs=args.runs,
+            seed=args.seed,
+            jobs=args.jobs,
+            telemetry=telemetry,
+        )
+    finally:
+        _close_telemetry(args, telemetry)
+    print(report.render())
     return 0
 
 
@@ -515,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-q", type=int, default=3)
     p.add_argument("--seed", type=int, default=20060427)
     _add_jobs_argument(p)
+    _add_telemetry_argument(p)
     p.set_defaults(func=_cmd_regions)
 
     p = sub.add_parser("curves", help="Fig. 4 eligible-job curves")
@@ -522,6 +648,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dump", action="store_true", help="print full series")
     p.add_argument("--plot", action="store_true", help="ASCII line plot")
     _add_jobs_argument(p)
+    _add_telemetry_argument(p)
     p.set_defaults(func=_cmd_curves)
 
     p = sub.add_parser("simulate", help="one simulated execution")
@@ -551,6 +678,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", help="also write the cells as CSV")
     p.add_argument("--json", help="also write the cells as JSON")
     _add_jobs_argument(p)
+    _add_telemetry_argument(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -578,6 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also stop once the CI certifies the effect's direction",
     )
     _add_jobs_argument(p)
+    _add_telemetry_argument(p)
     p.set_defaults(func=_cmd_calibrate)
 
     p = sub.add_parser("overhead", help="Sec. 3.6 overhead table")
@@ -599,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=24)
     p.add_argument("--seed", type=int, default=0)
     _add_jobs_argument(p)
+    _add_telemetry_argument(p)
     p.set_defaults(func=_cmd_league)
 
     p = sub.add_parser("lint", help="check a DAGMan file for problems")
@@ -649,7 +779,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=20060427)
     p.add_argument("-o", "--output", help="write the report to a file")
     _add_jobs_argument(p)
+    _add_telemetry_argument(p)
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-stage timing breakdown: prio pipeline + simulation",
+    )
+    p.add_argument(
+        "-w",
+        "--workload",
+        required=True,
+        help="workload name (one of: %s)" % ", ".join(workload_names()),
+    )
+    p.add_argument("--mu-bit", type=float, default=1.0)
+    p.add_argument("--mu-bs", type=float, default=16.0)
+    p.add_argument(
+        "--runs", type=int, default=8, help="simulation replications to time"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    _add_jobs_argument(p)
+    _add_telemetry_argument(p)
+    p.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -49,8 +49,9 @@ class PrioResult:
     scheduled_components: list[ScheduledComponent] = field(repr=False)
     combine: CombineResult = field(repr=False)
     elapsed_seconds: float = 0.0
-    #: wall-clock per phase: "divide" (shortcuts + decomposition),
-    #: "recurse" (per-block schedules), "combine" (superdag emission)
+    #: wall-clock per phase: "transitive_reduction" (shortcut removal),
+    #: "decompose" (building blocks), "recurse" (per-block schedules),
+    #: "combine" (superdag emission)
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -83,6 +84,7 @@ def prio_schedule(
     outdegree_scope: str = "global",
     combine: str = "greedy",
     exact_bipartite_limit: int = 0,
+    metrics=None,
 ) -> PrioResult:
     """Run the prio heuristic on *dag*.
 
@@ -102,6 +104,10 @@ def prio_schedule(
         When positive, unrecognized bipartite blocks up to this many
         sources are scheduled exactly (IC-optimally) instead of by
         out-degree — an extension beyond the paper's catalog.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; each
+        pipeline phase's wall-clock is folded into the
+        ``prio.<phase>`` timers (purely observational).
     """
     if combine not in ("greedy", "topological"):
         raise ValueError(f"unknown combine mode: {combine!r}")
@@ -110,6 +116,7 @@ def prio_schedule(
         reduced, shortcuts = _remove_shortcuts(dag)
     else:
         reduced, shortcuts = dag, []
+    after_reduction = time.perf_counter()
     decomposition = decompose(reduced)
     after_divide = time.perf_counter()
     scheduled = [
@@ -132,10 +139,15 @@ def prio_schedule(
     finished = time.perf_counter()
     elapsed = finished - started
     phase_seconds = {
-        "divide": after_divide - started,
+        "transitive_reduction": after_reduction - started,
+        "decompose": after_divide - after_reduction,
         "recurse": after_recurse - after_divide,
         "combine": finished - after_recurse,
     }
+    if metrics is not None:
+        for phase, seconds in phase_seconds.items():
+            metrics.timer(f"prio.{phase}").add(seconds)
+        metrics.timer("prio.total").add(elapsed)
     return PrioResult(
         dag=dag,
         schedule=schedule,

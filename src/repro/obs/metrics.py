@@ -1,0 +1,157 @@
+"""In-process metrics: counters, gauges and wall-clock timers.
+
+A :class:`MetricsRegistry` is a named bag of instruments.  Instruments are
+created on first use (``registry.counter("engine.batches")``) so
+instrumented code never has to pre-declare what it measures, and a
+registry can be snapshotted into plain dicts for rendering or for a
+telemetry record.
+
+The convention throughout the codebase is that instrumented functions take
+``metrics: MetricsRegistry | None = None`` and guard every hook with
+``if metrics is not None`` — when telemetry is off the hot paths execute
+exactly the pre-instrumentation code.  Nothing here touches any random
+generator, so metrics can never perturb a simulation's RNG stream.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge instead")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; remembers its peak (useful for pool sizes)."""
+
+    __slots__ = ("name", "value", "peak", "_seen")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.peak = 0.0
+        self._seen = False
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if not self._seen or value > self.peak:
+            self.peak = value
+        self._seen = True
+
+
+class Timer:
+    """Accumulated wall-clock time with a context-manager API.
+
+    ``with registry.timer("recurse"): ...`` accumulates into ``total``;
+    externally measured durations can be folded in with :meth:`add` (used
+    when a callee already reports its own phase timings).  Not reentrant.
+    """
+
+    __slots__ = ("name", "total", "count", "last", "_started")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+        self.last = 0.0
+        self._started = None
+
+    def add(self, seconds: float) -> None:
+        """Fold in a duration measured elsewhere."""
+        if seconds < 0:
+            raise ValueError("durations must be non-negative")
+        self.total += seconds
+        self.count += 1
+        self.last = seconds
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._started
+        self._started = None
+        self.add(elapsed)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named counters, gauges and timers, created on first use."""
+
+    __slots__ = ("_counters", "_gauges", "_timers")
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def timer(self, name: str) -> Timer:
+        try:
+            return self._timers[name]
+        except KeyError:
+            instrument = self._timers[name] = Timer(name)
+            return instrument
+
+    def snapshot(self) -> dict:
+        """Plain-dict view (JSON-serializable) of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: {"value": g.value, "peak": g.peak}
+                for n, g in sorted(self._gauges.items())
+            },
+            "timers": {
+                n: {"total": t.total, "count": t.count, "mean": t.mean}
+                for n, t in sorted(self._timers.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used to aggregate worker-process engine counters into the parent's
+        run-level view (snapshots are plain dicts, cheap to pickle):
+        counters and timer totals add, gauge peaks take the max.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, view in snapshot.get("gauges", {}).items():
+            mine = self.gauge(name)
+            mine.set(view["value"])
+            if view["peak"] > mine.peak:
+                mine.peak = view["peak"]
+        for name, view in snapshot.get("timers", {}).items():
+            mine = self.timer(name)
+            mine.total += view["total"]
+            mine.count += view["count"]

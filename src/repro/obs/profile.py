@@ -1,0 +1,146 @@
+"""``repro profile``: where does a workload's wall-clock go?
+
+:func:`profile_workload` runs one named workload end-to-end — build the
+dag, run the prio pipeline (transitive reduction, decomposition, block
+scheduling, combine), compile for simulation, then a batch of simulated
+executions — and reports a per-stage timing breakdown plus the
+simulator's event-loop counters.  This is the measurement companion of
+the Sec. 3.6 overhead table: overhead measures the *tool*, profile
+measures the whole reproduction loop, so the next perf PR knows which
+stage to attack.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.prio import prio_schedule
+from ..sim.compile import CompiledDag
+from ..sim.engine import SimParams
+from ..sim.replication import policy_factory, run_replications
+from ..workloads.registry import get_workload
+from .metrics import MetricsRegistry
+
+__all__ = ["ProfileReport", "profile_workload"]
+
+#: prio pipeline stages in execution order (keys of ``phase_seconds``).
+PIPELINE_STAGES = ("transitive_reduction", "decompose", "recurse", "combine")
+
+
+@dataclass
+class ProfileReport:
+    """Per-stage wall-clock breakdown of one profiled workload run."""
+
+    workload: str
+    n_jobs: int
+    n_arcs: int
+    runs: int
+    params: SimParams
+    #: ``(stage name, seconds)`` in execution order.
+    stages: list[tuple[str, float]]
+    #: simulator event-loop counters summed over all replications.
+    engine_counters: dict[str, int] = field(default_factory=dict)
+    #: simulator gauge peaks (heap size, eligible pool) over all replications.
+    engine_peaks: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(seconds for _, seconds in self.stages)
+
+    def render(self) -> str:
+        """The per-stage breakdown table the CLI prints."""
+        total = self.total_seconds
+        lines = [
+            f"profile: {self.workload} ({self.n_jobs} jobs, {self.n_arcs} arcs; "
+            f"{self.runs} simulated runs at mu_BIT={self.params.mu_bit:g}, "
+            f"mu_BS={self.params.mu_bs:g})",
+            f"{'stage':<24s} {'seconds':>10s} {'share':>7s}",
+        ]
+        for name, seconds in self.stages:
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            lines.append(f"{name:<24s} {seconds:>10.4f} {share:>6.1f}%")
+        lines.append(f"{'total':<24s} {total:>10.4f} {100.0:>6.1f}%")
+        if self.engine_counters:
+            lines.append("engine counters (summed over runs):")
+            for name, value in sorted(self.engine_counters.items()):
+                lines.append(f"  {name:<22s} {value:>12d}")
+        if self.engine_peaks:
+            lines.append("engine peaks (max over runs):")
+            for name, value in sorted(self.engine_peaks.items()):
+                lines.append(f"  {name:<22s} {value:>12g}")
+        return "\n".join(lines)
+
+
+def profile_workload(
+    workload: str,
+    *,
+    mu_bit: float = 1.0,
+    mu_bs: float = 16.0,
+    runs: int = 8,
+    seed: int = 0,
+    jobs: int = 1,
+    telemetry=None,
+) -> ProfileReport:
+    """Profile one registered workload end-to-end.
+
+    Stages measured: ``load`` (build the dag), the four prio pipeline
+    phases, ``compile`` (dag -> :class:`CompiledDag`) and ``simulate``
+    (*runs* PRIO replications at the given cell, fanned out over *jobs*
+    workers).  *telemetry*, when given, is a
+    :class:`~repro.obs.recorder.TelemetryRecorder` that receives one
+    ``stage`` record per stage and one ``replication`` record per
+    simulated run.
+    """
+    if runs < 1:
+        raise ValueError("runs must be at least 1")
+    stages: list[tuple[str, float]] = []
+
+    started = time.perf_counter()
+    dag = get_workload(workload)
+    stages.append(("load", time.perf_counter() - started))
+
+    prio_result = prio_schedule(dag)
+    stages.extend(
+        (name, prio_result.phase_seconds[name]) for name in PIPELINE_STAGES
+    )
+
+    started = time.perf_counter()
+    compiled = CompiledDag.from_dag(dag)
+    stages.append(("compile", time.perf_counter() - started))
+
+    params = SimParams(mu_bit=mu_bit, mu_bs=mu_bs)
+    registry = MetricsRegistry()
+    on_replication = None
+    if telemetry is not None:
+        on_replication = telemetry.replication_logger(
+            workload=workload, policy="prio", params=params
+        )
+    started = time.perf_counter()
+    run_replications(
+        compiled,
+        policy_factory("oblivious", order=prio_result.schedule),
+        params,
+        runs,
+        seed=seed,
+        jobs=jobs,
+        metrics=registry,
+        on_replication=on_replication,
+    )
+    stages.append(("simulate", time.perf_counter() - started))
+
+    snapshot = registry.snapshot()
+    report = ProfileReport(
+        workload=workload,
+        n_jobs=dag.n,
+        n_arcs=dag.narcs,
+        runs=runs,
+        params=params,
+        stages=stages,
+        engine_counters=snapshot["counters"],
+        engine_peaks={n: g["peak"] for n, g in snapshot["gauges"].items()},
+    )
+    if telemetry is not None:
+        for name, seconds in stages:
+            telemetry.stage(name, seconds, workload=workload)
+    return report

@@ -1,0 +1,103 @@
+"""Progress + ETA lines for the long-running sweeps.
+
+The sweeps' progress callbacks receive ``(done, total)``; a
+:class:`ProgressMeter` is such a callback that also tracks wall-clock and
+prints a single self-overwriting line with elapsed time, throughput and
+the estimated time remaining::
+
+    sweep airsn-small: cell 7/15  46.7%  elapsed 12.3s  eta 14.1s
+
+ETA is the naive linear extrapolation (elapsed / done * remaining) — exact
+for the sweep's equal-cost cells, a sane first guess otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["ProgressMeter"]
+
+#: sentinel: resolve ``sys.stderr`` at write time, not at import time
+#: (pytest and redirections swap ``sys.stderr`` after this module loads).
+_STDERR = object()
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 100.0:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 100:
+        return f"{minutes:d}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours:d}h{minutes:02d}m"
+
+
+class ProgressMeter:
+    """A ``(done, total)`` progress callback with an ETA estimate.
+
+    *label* prefixes every line; *unit* names what is being counted
+    ("cell", "entrant", "step"...).  The meter writes to *stream*
+    (default stderr) and overwrites its own line; call :meth:`finish` (or
+    use it as a context manager) to terminate the line.  With
+    ``stream=None`` the meter stays silent but still tracks timing, so it
+    can double as a plain stopwatch in tests.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        *,
+        unit: str = "cell",
+        stream=_STDERR,
+        clock=time.perf_counter,
+    ):
+        self.label = label
+        self.unit = unit
+        self._stream = stream
+        self._clock = clock
+        self.started = clock()
+        self.done = 0
+        self.total = 0
+
+    @property
+    def stream(self):
+        return sys.stderr if self._stream is _STDERR else self._stream
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self.started
+
+    def eta(self) -> float | None:
+        """Estimated seconds remaining (None until the first completion)."""
+        if self.done <= 0 or self.total <= 0:
+            return None
+        return self.elapsed / self.done * (self.total - self.done)
+
+    def render(self) -> str:
+        parts = [f"{self.label}: {self.unit} {self.done}/{self.total}"]
+        if self.total > 0:
+            parts.append(f"{100.0 * self.done / self.total:5.1f}%")
+        parts.append(f"elapsed {_fmt_seconds(self.elapsed)}")
+        remaining = self.eta()
+        if remaining is not None and self.done < self.total:
+            parts.append(f"eta {_fmt_seconds(remaining)}")
+        return "  ".join(parts)
+
+    def __call__(self, done: int, total: int) -> None:
+        self.done = done
+        self.total = total
+        if self.stream is not None:
+            self.stream.write("\r" + self.render())
+            self.stream.flush()
+
+    def finish(self) -> None:
+        if self.stream is not None and self.total:
+            self.stream.write("\r" + self.render() + "\n")
+            self.stream.flush()
+
+    def __enter__(self) -> "ProgressMeter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()

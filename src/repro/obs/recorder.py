@@ -1,0 +1,127 @@
+"""The telemetry handle threaded from the CLI down to the simulator.
+
+A :class:`TelemetryRecorder` couples a JSONL :class:`~repro.obs.events.TelemetryWriter`
+with an optional :class:`~repro.obs.metrics.MetricsRegistry` and a set of
+*common fields* stamped onto every record (the workload name, the CLI
+subcommand...).  Analyses accept ``telemetry: TelemetryRecorder | None``
+and do nothing when it is ``None`` — the no-telemetry run executes the
+exact pre-instrumentation code path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO
+
+from .events import SCHEMA_VERSION, TelemetryWriter, replication_record
+from .metrics import MetricsRegistry
+
+__all__ = ["TelemetryRecorder"]
+
+
+class TelemetryRecorder:
+    """Write telemetry records with shared context.
+
+    ``common`` fields are merged into every record (explicit fields win).
+    The recorder owns its writer when constructed via :meth:`open` and is
+    a context manager either way.
+    """
+
+    def __init__(
+        self,
+        writer: TelemetryWriter,
+        *,
+        registry: MetricsRegistry | None = None,
+        common: dict | None = None,
+    ):
+        self.writer = writer
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.common = dict(common or {})
+
+    @classmethod
+    def open(
+        cls,
+        destination: str | Path | IO[str],
+        *,
+        command: str,
+        registry: MetricsRegistry | None = None,
+        **run_fields,
+    ) -> "TelemetryRecorder":
+        """Create a recorder and write the ``run`` header record."""
+        recorder = cls(TelemetryWriter(destination), registry=registry)
+        recorder.emit("run", command=command, **run_fields)
+        return recorder
+
+    @property
+    def n_records(self) -> int:
+        return self.writer.n_records
+
+    def emit(self, kind: str, **fields) -> None:
+        """Write one record of *kind* (common fields merged underneath)."""
+        record = {"schema": SCHEMA_VERSION, "kind": kind}
+        record.update(self.common)
+        record.update(fields)
+        self.writer.write(record)
+
+    def replication(
+        self,
+        *,
+        workload: str,
+        policy: str,
+        rep: int,
+        params,
+        result,
+        elapsed_seconds: float | None = None,
+        **extra,
+    ) -> None:
+        """Write one per-replication record (see :mod:`repro.obs.events`)."""
+        merged = {**self.common, **extra}
+        for explicit in ("workload", "policy", "rep", "params", "result",
+                         "elapsed_seconds", "schema", "kind"):
+            merged.pop(explicit, None)
+        self.writer.write(
+            replication_record(
+                workload=workload,
+                policy=policy,
+                rep=rep,
+                params=params,
+                result=result,
+                elapsed_seconds=elapsed_seconds,
+                **merged,
+            )
+        )
+
+    def replication_logger(self, *, workload: str, policy: str, params, **extra):
+        """A bound ``(rep, result, elapsed_seconds)`` callback.
+
+        This is the shape :func:`repro.sim.replication.run_replications`
+        accepts as ``on_replication``; the recorder pre-binds the context
+        the simulator does not know (workload and policy names, cell
+        fields).
+        """
+
+        def log(rep: int, result, elapsed_seconds: float | None) -> None:
+            self.replication(
+                workload=workload,
+                policy=policy,
+                rep=rep,
+                params=params,
+                result=result,
+                elapsed_seconds=elapsed_seconds,
+                **extra,
+            )
+
+        return log
+
+    def stage(self, stage: str, seconds: float, **extra) -> None:
+        """Write one pipeline/profiling ``stage`` timing record."""
+        self.emit("stage", stage=stage, seconds=float(seconds), **extra)
+
+    def close(self) -> None:
+        self.writer.close()
+
+    def __enter__(self) -> "TelemetryRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,4 +1,9 @@
-"""Event-driven grid simulator implementing the paper's system model."""
+"""Event-driven grid simulator implementing the paper's system model.
+
+Observability hooks (:class:`~repro.sim.trace.ExecutionTrace`, the
+``metrics``/``on_replication`` parameters fed by :mod:`repro.obs`) never
+draw from any random generator — enabling them cannot change a result.
+"""
 
 from .arrivals import BATCH_SIZE_DISTRIBUTIONS, BatchArrivals
 from .compile import CompiledDag

@@ -33,7 +33,11 @@ conclusions call for them), two extensions are provided:
   become eligible.
 
 Pass an :class:`~repro.sim.trace.ExecutionTrace` to record the time series
-of the eligible pool, running jobs and wasted workers.
+of the eligible pool, running jobs, wasted workers and (in rollover mode)
+the waiting pool; pass a :class:`~repro.obs.metrics.MetricsRegistry` as
+``metrics`` to collect event-loop counters.  Both are purely
+observational: they never draw from the generator, so results are
+bit-identical with or without them.
 """
 
 from __future__ import annotations
@@ -88,7 +92,14 @@ class SimParams:
 
 @dataclass(frozen=True)
 class SimResult:
-    """Outcome of one simulated execution."""
+    """Outcome of one simulated execution.
+
+    ``unserved_workers`` is the number of workers still waiting at the
+    server when the last job completed — nonzero only in rollover mode,
+    where unserved requests queue instead of being lost; it closes the
+    audit ``requests = jobs executed + wasted + unserved`` for the
+    rollover model.
+    """
 
     execution_time: float
     n_jobs: int
@@ -96,6 +107,7 @@ class SimResult:
     stalled_batches: int
     requests_until_last_assignment: int
     n_failures: int = 0
+    unserved_workers: int = 0
 
     @property
     def stalling_probability(self) -> float:
@@ -141,6 +153,7 @@ def simulate(
     *,
     trace=None,
     runtime_scale: np.ndarray | None = None,
+    metrics=None,
 ) -> SimResult:
     """Run one simulated execution of *dag* under *policy*.
 
@@ -148,9 +161,15 @@ def simulate(
     Determinism: identical inputs and generator state yield identical
     results.  *trace*, when given, is an
     :class:`~repro.sim.trace.ExecutionTrace` that receives one sample per
-    event.  *runtime_scale* relaxes the paper's equal-duration assumption:
-    job *u*'s duration is the sampled Normal times ``runtime_scale[u]``
-    (see :func:`repro.workloads.runtimes.stage_runtime_scale`).
+    event (plus the pre-assignment t=0 state).  *runtime_scale* relaxes
+    the paper's equal-duration assumption: job *u*'s duration is the
+    sampled Normal times ``runtime_scale[u]`` (see
+    :func:`repro.workloads.runtimes.stage_runtime_scale`).  *metrics*,
+    when given, is a :class:`~repro.obs.metrics.MetricsRegistry` receiving
+    event-loop counters (batches, stalls, failures, events) and peak
+    gauges (completion-heap size, eligible pool); neither *trace* nor
+    *metrics* ever touches *rng*, so enabling them cannot change the
+    result.
     """
     compiled = dag if isinstance(dag, CompiledDag) else CompiledDag.from_dag(dag)
     n = compiled.n
@@ -203,6 +222,17 @@ def simulate(
     heappush = heapq.heappush
     heappop = heapq.heappop
 
+    # The pre-assignment t=0 state: the eligible pool holds every source
+    # job before the first batch is served, so peak("eligible") reflects
+    # dags whose source count exceeds the first batch's size.
+    if trace is not None:
+        trace.record(0.0, len(policy), 0, 0, 0, 0)
+
+    track = metrics is not None
+    n_events = 0
+    peak_heap = 0
+    peak_eligible = len(policy) if track else 0
+
     def assign(t: float, capacity: int) -> int:
         """Hand out up to *capacity* eligible jobs at time *t*."""
         nonlocal n_assigned, n_running, makespan
@@ -253,6 +283,12 @@ def simulate(
                     policy.push(v)
 
     while n_executed < n:
+        if track:
+            n_events += 1
+            if len(completions) > peak_heap:
+                peak_heap = len(completions)
+            if len(policy) > peak_eligible:
+                peak_eligible = len(policy)
         # Batches stay relevant while jobs still need assignment; with
         # churn enabled any running job may yet fail and need a future
         # worker, so the arrival stream must keep advancing with the clock
@@ -269,7 +305,9 @@ def simulate(
                 if rollover and waiting > 0:
                     waiting -= assign(now, waiting)
                 if trace is not None:
-                    trace.record(now, len(policy), n_running, n_executed, wasted)
+                    trace.record(
+                        now, len(policy), n_running, n_executed, wasted, waiting
+                    )
                 continue
             t, b = arrivals.next_batch()
             now = t
@@ -284,14 +322,29 @@ def simulate(
             else:
                 wasted += b - served
             if trace is not None:
-                trace.record(now, len(policy), n_running, n_executed, wasted)
+                trace.record(
+                    now, len(policy), n_running, n_executed, wasted, waiting
+                )
         else:
             process_completion()
             # Failures may re-open assignment while batches are ignored;
             # rolled-over workers (none unless rollover) or the next batch
             # will pick the job up on the next loop iteration.
             if trace is not None:
-                trace.record(now, len(policy), n_running, n_executed, wasted)
+                trace.record(
+                    now, len(policy), n_running, n_executed, wasted, waiting
+                )
+
+    if metrics is not None:
+        metrics.counter("engine.runs").inc()
+        metrics.counter("engine.events").inc(n_events)
+        metrics.counter("engine.batches").inc(batches)
+        metrics.counter("engine.stalled_batches").inc(stalled)
+        metrics.counter("engine.requests").inc(requests)
+        metrics.counter("engine.failures").inc(n_failures)
+        metrics.counter("engine.wasted_workers").inc(wasted)
+        metrics.gauge("engine.peak_heap").set(peak_heap)
+        metrics.gauge("engine.peak_eligible").set(peak_eligible)
 
     return SimResult(
         execution_time=makespan,
@@ -300,4 +353,5 @@ def simulate(
         stalled_batches=stalled_at_last,
         requests_until_last_assignment=requests_at_last,
         n_failures=n_failures,
+        unserved_workers=waiting,
     )

@@ -110,29 +110,52 @@ def clone_seedseq(seq: np.random.SeedSequence) -> np.random.SeedSequence:
     )
 
 
-def run_chunk(compiled, build_policy, params, runtime_scale, entries):
+def run_chunk(compiled, build_policy, params, runtime_scale, entries, collect=False):
     """Worker task: simulate one chunk of index-tagged replications.
 
     *entries* is ``[(index, SeedSequence), ...]``; returns
-    ``[(index, SimResult), ...]`` so the parent can reassemble the batch in
-    spawn order regardless of task completion order.  Module-level so it is
-    picklable under every start method.
+    ``(results, snapshot)`` where *results* is
+    ``[(index, SimResult, elapsed_seconds), ...]`` so the parent can
+    reassemble the batch in spawn order regardless of task completion
+    order.  Module-level so it is picklable under every start method.
+
+    With ``collect=False`` (the default) no clock is read, every elapsed
+    slot is ``None`` and *snapshot* is ``None`` — the exact
+    pre-telemetry hot path.  With ``collect=True`` each replication is
+    wall-clock timed and simulated under a chunk-local
+    :class:`~repro.obs.metrics.MetricsRegistry` whose
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` comes back as
+    *snapshot* (plain dicts, cheap to pickle) for the parent to merge.
+    Telemetry never touches the generator, so results are bit-identical
+    either way.
     """
+    import time
+
     from .engine import simulate
 
+    registry = None
+    if collect:
+        from ..obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
     out = []
     for index, child_seq in entries:
         rng = np.random.default_rng(child_seq)
-        out.append(
-            (
-                index,
-                simulate(
-                    compiled,
-                    build_policy(rng),
-                    params,
-                    rng,
-                    runtime_scale=runtime_scale,
-                ),
+        policy = build_policy(rng)
+        if collect:
+            started = time.perf_counter()
+            result = simulate(
+                compiled,
+                policy,
+                params,
+                rng,
+                runtime_scale=runtime_scale,
+                metrics=registry,
             )
-        )
-    return out
+            out.append((index, result, time.perf_counter() - started))
+        else:
+            result = simulate(
+                compiled, policy, params, rng, runtime_scale=runtime_scale
+            )
+            out.append((index, result, None))
+    return out, registry.snapshot() if collect else None

@@ -14,6 +14,7 @@ reassembled in spawn order, so for a fixed root seed ``jobs=1`` and
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import as_completed
 
@@ -96,6 +97,8 @@ def run_replications(
     runtime_scale=None,
     jobs: int = 1,
     parallel: ParallelConfig | None = None,
+    metrics=None,
+    on_replication: Callable[[int, SimResult, float | None], None] | None = None,
 ) -> MetricArrays:
     """Run *count* independent simulations; returns per-run metrics.
 
@@ -104,6 +107,17 @@ def run_replications(
     bit-identical to the serial run for the same *seed*.  With worker
     processes, *build_policy* must be picklable — the factories from
     :func:`policy_factory` are.
+
+    Telemetry hooks (both observational — neither touches any generator,
+    so results are bit-identical with or without them, serial or
+    parallel):
+
+    * *metrics* — a :class:`~repro.obs.metrics.MetricsRegistry` receiving
+      the simulator's event-loop counters (worker-process counters are
+      merged back into it);
+    * *on_replication* — called as ``on_replication(rep, result,
+      elapsed_seconds)`` once per replication, in replication order
+      (``elapsed_seconds`` is the wall-clock of that simulation).
     """
     compiled = dag if isinstance(dag, CompiledDag) else CompiledDag.from_dag(dag)
     seedseq = (
@@ -113,33 +127,50 @@ def run_replications(
     )
     par = resolve_parallel(jobs, parallel)
     children = seedseq.spawn(count)
+    collect = metrics is not None or on_replication is not None
     if not par.enabled or count <= 1:
         results: list[SimResult] = []
-        for child_seq in children:
+        for rep, child_seq in enumerate(children):
             rng = np.random.default_rng(child_seq)
-            results.append(
-                simulate(
-                    compiled,
-                    build_policy(rng),
-                    params,
-                    rng,
-                    runtime_scale=runtime_scale,
-                )
+            policy = build_policy(rng)
+            if on_replication is not None:
+                started = time.perf_counter()
+            result = simulate(
+                compiled,
+                policy,
+                params,
+                rng,
+                runtime_scale=runtime_scale,
+                metrics=metrics,
             )
+            results.append(result)
+            if on_replication is not None:
+                on_replication(rep, result, time.perf_counter() - started)
         return MetricArrays(results)
 
     slots: list[SimResult | None] = [None] * count
+    elapsed: list[float | None] = [None] * count
     executor = par.executor()
     try:
         futures = [
             executor.submit(
-                run_chunk, compiled, build_policy, params, runtime_scale, chunk
+                run_chunk,
+                compiled,
+                build_policy,
+                params,
+                runtime_scale,
+                chunk,
+                collect,
             )
             for chunk in par.chunked(list(enumerate(children)))
         ]
         for future in as_completed(futures):
-            for index, result in future.result():
+            chunk_results, snapshot = future.result()
+            for index, result, seconds in chunk_results:
                 slots[index] = result
+                elapsed[index] = seconds
+            if metrics is not None and snapshot is not None:
+                metrics.merge_snapshot(snapshot)
     except BaseException:
         # Ctrl-C (or a worker error) must not drain the queue: drop
         # pending chunks and return immediately instead of blocking in
@@ -147,4 +178,7 @@ def run_replications(
         executor.shutdown(wait=False, cancel_futures=True)
         raise
     executor.shutdown(wait=True)
+    if on_replication is not None:
+        for rep, result in enumerate(slots):
+            on_replication(rep, result, elapsed[rep])
     return MetricArrays(slots)

@@ -3,9 +3,11 @@
 The paper motivates prio with an intuition — "when the number of eligible
 jobs is always large, high parallelism can be maintained" — that the
 summary metrics only capture indirectly.  An :class:`ExecutionTrace`
-records, at every simulation event, the eligible-unassigned pool size, the
-number of running jobs, the executed count and the cumulative wasted
-(unserved) workers, so that intuition can be plotted and tested directly.
+records, at the pre-assignment t=0 state and at every simulation event,
+the eligible-unassigned pool size, the number of running jobs, the
+executed count, the cumulative wasted (unserved, non-rollover) workers
+and the waiting pool (rolled-over workers queued at the server), so that
+intuition can be plotted and tested directly.
 
 Usage::
 
@@ -21,7 +23,7 @@ import numpy as np
 
 __all__ = ["ExecutionTrace"]
 
-_FIELDS = ("eligible", "running", "executed", "wasted")
+_FIELDS = ("eligible", "running", "executed", "wasted", "waiting")
 
 
 class ExecutionTrace:
@@ -33,16 +35,24 @@ class ExecutionTrace:
         self._running: list[int] = []
         self._executed: list[int] = []
         self._wasted: list[int] = []
+        self._waiting: list[int] = []
 
-    # Called by the engine on every event.
+    # Called by the engine once before the event loop and on every event.
     def record(
-        self, time: float, eligible: int, running: int, executed: int, wasted: int
+        self,
+        time: float,
+        eligible: int,
+        running: int,
+        executed: int,
+        wasted: int,
+        waiting: int = 0,
     ) -> None:
         self._times.append(time)
         self._eligible.append(eligible)
         self._running.append(running)
         self._executed.append(executed)
         self._wasted.append(wasted)
+        self._waiting.append(waiting)
 
     def __len__(self) -> int:
         return len(self._times)
@@ -71,22 +81,35 @@ class ExecutionTrace:
         """Cumulative unserved worker requests (non-rollover model)."""
         return np.asarray(self._wasted)
 
+    @property
+    def waiting(self) -> np.ndarray:
+        """Rolled-over workers waiting at the server (rollover model)."""
+        return np.asarray(self._waiting)
+
     def series(self, name: str) -> np.ndarray:
         if name not in _FIELDS:
             raise KeyError(f"unknown series {name!r}; choose from {_FIELDS}")
         return getattr(self, name)
 
     def time_average(self, name: str) -> float:
-        """Time-weighted average of a series (piecewise-constant between
-        events)."""
+        """Time-weighted average of a series.
+
+        Convention: the series is piecewise-constant and left-closed —
+        ``values[i]`` holds on ``[times[i], times[i+1])``, so the final
+        value carries no weight.  Degenerate traces follow the same
+        convention uniformly: when the trace spans zero time (a single
+        event, or every event sharing one timestamp) the series occupies
+        a single instant whose state is the **last** recorded value, and
+        that value is returned; an empty trace averages to 0.0.
+        """
         values = self.series(name)
         times = self.times
-        if len(times) < 2:
-            return float(values[0]) if len(values) else 0.0
-        spans = np.diff(times)
+        if len(values) == 0:
+            return 0.0
         total = float(times[-1] - times[0])
-        if total == 0.0:
-            return float(values.mean())
+        if len(values) == 1 or total == 0.0:
+            return float(values[-1])
+        spans = np.diff(times)
         return float((values[:-1] * spans).sum() / total)
 
     def peak(self, name: str) -> int:

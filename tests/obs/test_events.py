@@ -1,0 +1,208 @@
+"""Tests for the JSONL telemetry log: schema, writer, reader, recorder."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    TelemetryWriter,
+    read_telemetry,
+    replication_record,
+    validate_record,
+)
+from repro.obs.recorder import TelemetryRecorder
+from repro.sim.engine import SimParams, make_policy, simulate
+from repro.workloads.airsn import airsn
+
+
+def sample_result(seed=0):
+    dag = airsn(5)
+    rng = np.random.default_rng(seed)
+    params = SimParams(mu_bit=1.0, mu_bs=4.0)
+    return params, simulate(dag, make_policy("fifo"), params, rng)
+
+
+class TestValidateRecord:
+    def test_accepts_minimal_records(self):
+        validate_record({"schema": 1, "kind": "run", "command": "sweep"})
+        validate_record(
+            {"schema": 1, "kind": "stage", "stage": "combine", "seconds": 0.1}
+        )
+        validate_record(
+            {"schema": 1, "kind": "cell", "workload": "x", "mu_bit": 1, "mu_bs": 2}
+        )
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            validate_record([1, 2])
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_record({"schema": 99, "kind": "run", "command": "x"})
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown telemetry record kind"):
+            validate_record({"schema": 1, "kind": "mystery"})
+
+    def test_rejects_missing_field(self):
+        with pytest.raises(ValueError, match="missing required field 'command'"):
+            validate_record({"schema": 1, "kind": "run"})
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValueError, match="'seconds' must be Number"):
+            validate_record(
+                {"schema": 1, "kind": "stage", "stage": "x", "seconds": "fast"}
+            )
+
+    def test_rejects_bool_masquerading_as_number(self):
+        with pytest.raises(ValueError, match="got bool"):
+            validate_record(
+                {"schema": 1, "kind": "stage", "stage": "x", "seconds": True}
+            )
+
+    def test_allows_unknown_extra_fields(self):
+        validate_record(
+            {"schema": 1, "kind": "run", "command": "x", "future_field": [1]}
+        )
+
+
+class TestReplicationRecord:
+    def test_valid_by_construction(self):
+        params, result = sample_result()
+        record = replication_record(
+            workload="airsn", policy="fifo", rep=0, params=params, result=result
+        )
+        validate_record(record)
+        assert record["schema"] == SCHEMA_VERSION
+        assert record["mu_bs"] == 4.0
+        assert record["n_jobs"] == result.n_jobs
+        assert record["unserved_workers"] == result.unserved_workers
+        assert record["elapsed_seconds"] is None
+
+    def test_carries_timing_and_extras(self):
+        params, result = sample_result()
+        record = replication_record(
+            workload="airsn",
+            policy="prio",
+            rep=3,
+            params=params,
+            result=result,
+            elapsed_seconds=0.125,
+            seed=42,
+        )
+        assert record["elapsed_seconds"] == 0.125
+        assert record["seed"] == 42
+
+
+class TestWriterAndReader:
+    def test_round_trip_through_file(self, tmp_path):
+        """Tier-1 guarantee: everything written parses back identically."""
+        params, result = sample_result()
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetryWriter(path) as writer:
+            writer.write({"schema": 1, "kind": "run", "command": "test"})
+            for rep in range(3):
+                writer.write(
+                    replication_record(
+                        workload="airsn",
+                        policy="fifo",
+                        rep=rep,
+                        params=params,
+                        result=result,
+                        elapsed_seconds=0.01 * rep,
+                    )
+                )
+            writer.write(
+                {"schema": 1, "kind": "stage", "stage": "simulate", "seconds": 0.5}
+            )
+            assert writer.n_records == 5
+        records = read_telemetry(path)
+        assert len(records) == 5
+        assert [r["kind"] for r in records] == [
+            "run", "replication", "replication", "replication", "stage",
+        ]
+        # Line-by-line JSON equality: the log is exactly what was written.
+        lines = path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == records
+
+    def test_writer_rejects_invalid_before_touching_file(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        writer = TelemetryWriter(path)
+        with pytest.raises(ValueError):
+            writer.write({"schema": 1, "kind": "nope"})
+        writer.close()
+        assert read_telemetry(path) == []
+
+    def test_reader_reports_line_numbers(self):
+        bad = io.StringIO(
+            '{"schema": 1, "kind": "run", "command": "x"}\nnot json\n'
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            read_telemetry(bad)
+
+    def test_reader_never_returns_partial(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text(
+            '{"schema": 1, "kind": "run", "command": "x"}\n'
+            '{"schema": 1, "kind": "mystery"}\n'
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            read_telemetry(path)
+
+    def test_blank_lines_skipped(self):
+        src = io.StringIO('\n{"schema": 1, "kind": "run", "command": "x"}\n\n')
+        assert len(read_telemetry(src)) == 1
+
+
+class TestTelemetryRecorder:
+    def test_open_writes_run_header(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TelemetryRecorder.open(path, command="sweep", workload="w") as rec:
+            assert rec.n_records == 1
+        records = read_telemetry(path)
+        assert records[0]["kind"] == "run"
+        assert records[0]["command"] == "sweep"
+        assert records[0]["workload"] == "w"
+
+    def test_replication_logger_binds_context(self, tmp_path):
+        params, result = sample_result()
+        path = tmp_path / "t.jsonl"
+        with TelemetryRecorder.open(path, command="test") as rec:
+            log = rec.replication_logger(
+                workload="airsn", policy="prio", params=params, mu_extra=7
+            )
+            log(0, result, 0.5)
+            log(1, result, None)
+        records = read_telemetry(path)
+        reps = [r for r in records if r["kind"] == "replication"]
+        assert [r["rep"] for r in reps] == [0, 1]
+        assert all(r["policy"] == "prio" for r in reps)
+        assert reps[0]["mu_extra"] == 7
+        assert reps[1]["elapsed_seconds"] is None
+
+    def test_common_fields_do_not_collide_with_explicit(self, tmp_path):
+        # A recorder whose common fields include "workload" must not make
+        # replication() raise a duplicate-keyword error.
+        params, result = sample_result()
+        buffer = io.StringIO()
+        from repro.obs.events import TelemetryWriter as W
+
+        rec = TelemetryRecorder(W(buffer), common={"workload": "common", "tag": 1})
+        rec.replication(
+            workload="explicit", policy="fifo", rep=0, params=params, result=result
+        )
+        record = json.loads(buffer.getvalue())
+        assert record["workload"] == "explicit"
+        assert record["tag"] == 1
+
+    def test_stage_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TelemetryRecorder.open(path, command="profile") as rec:
+            rec.stage("combine", 0.25, workload="w")
+        stage = read_telemetry(path)[1]
+        assert stage["stage"] == "combine"
+        assert stage["seconds"] == 0.25
+        assert stage["workload"] == "w"

@@ -1,0 +1,111 @@
+"""Tests for the metrics registry: counters, gauges, timers, merging."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_tracks_value_and_peak(self):
+        g = Gauge("pool")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        assert g.peak == 7
+
+    def test_peak_of_all_negative_values(self):
+        # The peak must be the largest *seen* value, not max(seen, 0).
+        g = Gauge("depth")
+        g.set(-5)
+        g.set(-2)
+        assert g.peak == -2
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer("work")
+        with t:
+            pass
+        with t:
+            pass
+        assert t.count == 2
+        assert t.total >= 0.0
+        assert t.mean == pytest.approx(t.total / 2)
+
+    def test_add_folds_external_durations(self):
+        t = Timer("phase")
+        t.add(1.5)
+        t.add(0.5)
+        assert t.total == pytest.approx(2.0)
+        assert t.last == pytest.approx(0.5)
+        with pytest.raises(ValueError, match="non-negative"):
+            t.add(-0.1)
+
+    def test_mean_of_empty_timer(self):
+        assert Timer("idle").mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_instruments_created_on_first_use(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.timer("c") is reg.timer("c")
+
+    def test_snapshot_is_plain_and_sorted(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("z.count").inc(3)
+        reg.counter("a.count").inc(1)
+        reg.gauge("pool").set(9)
+        reg.timer("phase").add(0.25)
+        snap = reg.snapshot()
+        json.dumps(snap)  # JSON-serializable by construction
+        assert list(snap["counters"]) == ["a.count", "z.count"]
+        assert snap["counters"]["z.count"] == 3
+        assert snap["gauges"]["pool"] == {"value": 9, "peak": 9}
+        assert snap["timers"]["phase"]["total"] == pytest.approx(0.25)
+        assert snap["timers"]["phase"]["count"] == 1
+
+    def test_merge_snapshot_adds_counts_and_maxes_peaks(self):
+        parent = MetricsRegistry()
+        parent.counter("events").inc(10)
+        parent.gauge("heap").set(4)
+        parent.timer("sim").add(1.0)
+
+        worker = MetricsRegistry()
+        worker.counter("events").inc(5)
+        worker.counter("only.worker").inc(2)
+        worker.gauge("heap").set(9)
+        worker.timer("sim").add(0.5)
+
+        parent.merge_snapshot(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["events"] == 15
+        assert snap["counters"]["only.worker"] == 2
+        assert snap["gauges"]["heap"]["peak"] == 9
+        assert snap["timers"]["sim"]["total"] == pytest.approx(1.5)
+        assert snap["timers"]["sim"]["count"] == 2
+
+    def test_merge_keeps_parent_peak_when_higher(self):
+        parent = MetricsRegistry()
+        parent.gauge("heap").set(20)
+        worker = MetricsRegistry()
+        worker.gauge("heap").set(3)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.gauge("heap").peak == 20

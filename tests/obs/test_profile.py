@@ -1,0 +1,89 @@
+"""Tests for the end-to-end workload profiler and the progress meter."""
+
+import io
+
+import pytest
+
+from repro.obs.profile import PIPELINE_STAGES, profile_workload
+from repro.obs.progress import ProgressMeter
+from repro.obs.recorder import TelemetryRecorder
+
+
+class TestProfileWorkload:
+    def test_stage_breakdown_covers_the_whole_loop(self):
+        report = profile_workload("airsn-small", runs=2, seed=0)
+        names = [name for name, _ in report.stages]
+        assert names == ["load", *PIPELINE_STAGES, "compile", "simulate"]
+        assert all(seconds >= 0.0 for _, seconds in report.stages)
+        assert report.total_seconds > 0.0
+        assert report.n_jobs == 143
+
+    def test_engine_counters_collected(self):
+        report = profile_workload("airsn-small", runs=3, seed=1)
+        assert report.engine_counters["engine.runs"] == 3
+        assert report.engine_counters["engine.batches"] > 0
+        assert report.engine_peaks["engine.peak_heap"] >= 1
+
+    def test_render_mentions_every_stage(self):
+        report = profile_workload("airsn-small", runs=1, seed=0)
+        text = report.render()
+        for name in ("load", "decompose", "simulate", "total"):
+            assert name in text
+        assert "engine counters" in text
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ValueError, match="runs"):
+            profile_workload("airsn-small", runs=0)
+
+    def test_telemetry_gets_stage_and_replication_records(self, tmp_path):
+        path = tmp_path / "profile.jsonl"
+        with TelemetryRecorder.open(path, command="profile") as telemetry:
+            profile_workload("airsn-small", runs=2, seed=0, telemetry=telemetry)
+        from repro.obs.events import read_telemetry
+
+        records = read_telemetry(path)
+        kinds = [r["kind"] for r in records]
+        assert kinds.count("replication") == 2
+        stage_names = [r["stage"] for r in records if r["kind"] == "stage"]
+        assert stage_names == ["load", *PIPELINE_STAGES, "compile", "simulate"]
+
+    def test_parallel_profile_matches_serial_counters(self):
+        serial = profile_workload("airsn-small", runs=4, seed=7, jobs=1)
+        parallel = profile_workload("airsn-small", runs=4, seed=7, jobs=2)
+        assert serial.engine_counters == parallel.engine_counters
+
+
+class TestProgressMeter:
+    def test_callback_updates_and_renders(self):
+        stream = io.StringIO()
+        ticks = iter([0.0, 2.0, 4.0, 4.0])
+        meter = ProgressMeter(
+            "sweep x", unit="cell", stream=stream, clock=lambda: next(ticks)
+        )
+        meter(1, 4)
+        line = stream.getvalue()
+        assert "sweep x: cell 1/4" in line
+        assert "25.0%" in line
+        assert "eta" in line
+
+    def test_eta_linear_extrapolation(self):
+        ticks = iter([0.0, 10.0, 10.0])
+        meter = ProgressMeter("m", stream=None, clock=lambda: next(ticks))
+        meter(2, 8)
+        assert meter.eta() == pytest.approx(30.0)
+
+    def test_silent_mode_still_tracks(self):
+        meter = ProgressMeter("quiet", stream=None)
+        meter(3, 3)
+        assert meter.done == 3 and meter.total == 3
+        assert meter.eta() is not None
+
+    def test_finish_terminates_the_line(self):
+        stream = io.StringIO()
+        with ProgressMeter("m", stream=stream) as meter:
+            meter(2, 2)
+        assert stream.getvalue().endswith("\n")
+
+    def test_no_eta_before_first_completion(self):
+        meter = ProgressMeter("m", stream=None)
+        assert meter.eta() is None

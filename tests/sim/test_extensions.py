@@ -163,3 +163,97 @@ class TestExecutionTrace:
         trace = ExecutionTrace()
         assert trace.time_average("eligible") == 0.0
         assert trace.peak("running") == 0
+
+    def test_starts_with_pre_assignment_snapshot(self):
+        # Regression: the t=0 pre-assignment state used to be dropped, so
+        # a trace never showed the initial eligible pool (all sources) and
+        # peak("eligible") missed dags whose source count exceeds the
+        # first batch.
+        d = fork_join(8)  # 1 source fans out to 8, joined by 1 sink
+        trace = ExecutionTrace()
+        run(d, trace=trace)
+        assert trace.times[0] == 0.0
+        assert trace.eligible[0] == 1  # the single source, nothing assigned
+        assert trace.running[0] == 0
+        assert trace.executed[0] == 0
+
+    def test_initial_snapshot_captures_wide_source_layer(self):
+        # 30 sources, one sink: with small batches the first *recorded*
+        # post-assignment state already has most sources assigned, so only
+        # the pre-assignment snapshot exhibits the full pool.
+        d = Dag(31, [(i, 30) for i in range(30)])
+        trace = ExecutionTrace()
+        run(d, mu_bs=1.0, seed=0, trace=trace)
+        assert trace.eligible[0] == 30
+        assert trace.peak("eligible") == 30
+
+    def test_time_average_single_instant_uses_last_value(self):
+        # Degenerate trace spanning zero time: the state at that single
+        # instant is the last recorded value — not an unweighted mean of
+        # everything that was ever recorded there.
+        trace = ExecutionTrace()
+        trace.record(5.0, 10, 0, 0, 0)
+        trace.record(5.0, 2, 0, 0, 0)
+        assert trace.time_average("eligible") == 2.0
+
+    def test_time_average_single_sample(self):
+        trace = ExecutionTrace()
+        trace.record(3.0, 7, 0, 0, 0)
+        assert trace.time_average("eligible") == 7.0
+
+    def test_final_sample_carries_no_weight(self):
+        # values[i] holds on [times[i], times[i+1]); the last sample is an
+        # instant at the right edge.
+        trace = ExecutionTrace()
+        trace.record(0.0, 4, 0, 0, 0)
+        trace.record(2.0, 1000, 0, 0, 0)
+        assert trace.time_average("eligible") == 4.0
+
+
+class TestRolloverTraceAndAccounting:
+    def test_waiting_series_recorded_in_rollover_mode(self):
+        # Regression: rollover mode never exposed the waiting pool, so the
+        # trace showed wasted == 0 *and* no waiting workers — the unserved
+        # requests simply vanished from observability.
+        trace = ExecutionTrace()
+        run(chain(6), mu_bit=100.0, mu_bs=64.0, rollover=True, seed=0,
+            trace=trace)
+        assert trace.waiting.max() > 0
+        assert trace.wasted[-1] == 0  # rollover loses nobody
+
+    def test_wasted_zero_only_under_rollover(self):
+        kept = ExecutionTrace()
+        run(chain(3), mu_bs=512.0, rollover=True, seed=1, trace=kept)
+        lost = ExecutionTrace()
+        run(chain(3), mu_bs=512.0, seed=1, trace=lost)
+        assert kept.wasted[-1] == 0
+        assert lost.wasted[-1] > 0
+
+    def test_unserved_workers_surfaced_on_result(self):
+        # A chain with huge batches: nearly the whole first batch queues
+        # and is still waiting when the last job completes.
+        result = run(chain(4), mu_bit=100.0, mu_bs=256.0, rollover=True,
+                     seed=2)
+        assert result.unserved_workers > 0
+
+    def test_unserved_workers_zero_without_rollover(self, diamond):
+        assert run(diamond, mu_bs=512.0).unserved_workers == 0
+
+    def test_rollover_request_audit_closes(self):
+        # requests = executed + wasted + still-waiting: with rollover no
+        # request is lost, so the audit closes exactly when the final
+        # waiting pool is surfaced.
+        trace = ExecutionTrace()
+        result = run(chain(5), mu_bit=50.0, mu_bs=128.0, rollover=True,
+                     seed=3, trace=trace)
+        # Requests counted to the last *assignment*; after it no batch is
+        # taken (the chain finishes on completions), so the audit holds at
+        # the snapshot.
+        assert result.requests_until_last_assignment == (
+            result.n_jobs + trace.wasted[-1] + result.unserved_workers
+        )
+
+    def test_waiting_default_zero_in_plain_model(self, diamond):
+        trace = ExecutionTrace()
+        run(diamond, trace=trace)
+        assert (trace.waiting == 0).all()

@@ -203,3 +203,125 @@ class TestAnalysisParallel:
         serial = calibrate_cell(dag, list(order), params, **kwargs)
         parallel = calibrate_cell(dag, list(order), params, jobs=2, **kwargs)
         assert serial == parallel
+
+
+class TestTelemetryDoesNotPerturb:
+    """Telemetry and metrics are observational: enabling them must not
+    change any simulation result, serially or in parallel."""
+
+    def make_recorder(self, tmp_path, name="t.jsonl"):
+        from repro.obs.recorder import TelemetryRecorder
+
+        return TelemetryRecorder.open(tmp_path / name, command="test")
+
+    def test_metrics_do_not_change_results(self, params):
+        from repro.obs.metrics import MetricsRegistry
+
+        dag = fork_join(8)
+        factory = policy_factory("fifo")
+        plain = run_replications(dag, factory, params, 10, seed=42)
+        registry = MetricsRegistry()
+        metered = run_replications(
+            dag, factory, params, 10, seed=42, metrics=registry
+        )
+        assert metrics_equal(plain, metered)
+        snap = registry.snapshot()
+        assert snap["counters"]["engine.runs"] == 10
+        assert snap["counters"]["engine.batches"] > 0
+
+    def test_on_replication_called_in_order_with_results(self, params):
+        dag = fork_join(6)
+        factory = policy_factory("fifo")
+        seen = []
+        metered = run_replications(
+            dag, factory, params, 7, seed=9,
+            on_replication=lambda rep, res, el: seen.append((rep, res, el)),
+        )
+        assert [rep for rep, _, _ in seen] == list(range(7))
+        assert [r.execution_time for _, r, _ in seen] == list(
+            metered.execution_time
+        )
+        assert all(el is None or el >= 0.0 for _, _, el in seen)
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_parallel_with_telemetry_bit_identical_to_plain_serial(
+        self, params, jobs, tmp_path
+    ):
+        from repro.obs.events import read_telemetry
+        from repro.obs.metrics import MetricsRegistry
+
+        dag = fork_join(8)
+        factory = policy_factory("fifo")
+        plain = run_replications(dag, factory, params, 13, seed=42)
+        registry = MetricsRegistry()
+        with self.make_recorder(tmp_path) as telemetry:
+            logged = run_replications(
+                dag, factory, params, 13, seed=42, jobs=jobs,
+                metrics=registry,
+                on_replication=telemetry.replication_logger(
+                    workload="fj8", policy="fifo", params=params
+                ),
+            )
+        assert metrics_equal(plain, logged)
+        # Worker counters merged back into the parent registry.
+        assert registry.snapshot()["counters"]["engine.runs"] == 13
+        # One valid record per replication, in replication order.
+        records = read_telemetry(tmp_path / "t.jsonl")
+        reps = [r for r in records if r["kind"] == "replication"]
+        assert [r["rep"] for r in reps] == list(range(13))
+        assert [r["execution_time"] for r in reps] == list(
+            plain.execution_time
+        )
+
+    def test_no_simresult_field_changes_with_metrics_on(self, params):
+        # Field-by-field: the full SimResult tuple must be unchanged, not
+        # just the three headline metrics.
+        import dataclasses
+
+        from repro.obs.metrics import MetricsRegistry
+        from repro.sim.compile import CompiledDag
+        from repro.sim.engine import simulate
+
+        dag = CompiledDag.from_dag(fork_join(8))
+        seed = np.random.SeedSequence(11)
+
+        def one(metrics):
+            rng = np.random.default_rng(clone_seedseq(seed))
+            return simulate(
+                dag, policy_factory("fifo")(rng), params, rng, metrics=metrics
+            )
+
+        assert dataclasses.asdict(one(None)) == dataclasses.asdict(
+            one(MetricsRegistry())
+        )
+
+    def test_sweep_with_telemetry_bit_identical(self, tmp_path):
+        from repro.obs.events import read_telemetry
+
+        dag = airsn(10)
+        order = prio_schedule(dag).schedule
+        cfg = SweepConfig(mu_bits=(1.0,), mu_bss=(2.0, 8.0), p=3, q=2, seed=7)
+        plain = ratio_sweep(dag, order, cfg, "x")
+        with self.make_recorder(tmp_path) as telemetry:
+            serial = ratio_sweep(dag, order, cfg, "x", telemetry=telemetry)
+        with self.make_recorder(tmp_path, "p.jsonl") as telemetry:
+            parallel = ratio_sweep(
+                dag, order, cfg, "x", jobs=3, telemetry=telemetry
+            )
+        for a, b, c in zip(plain.cells, serial.cells, parallel.cells):
+            assert a.ratios == b.ratios == c.ratios
+        # Serial and parallel logs agree modulo wall-clock timings.
+        def stable(path):
+            out = []
+            for r in read_telemetry(path):
+                r = dict(r)
+                r.pop("elapsed_seconds", None)
+                r.pop("seconds", None)
+                out.append(r)
+            return out
+
+        s, p = stable(tmp_path / "t.jsonl"), stable(tmp_path / "p.jsonl")
+        assert s == p
+        reps = [r for r in s if r["kind"] == "replication"]
+        # One record per replication: cells x sides x (p * q).
+        assert len(reps) == 2 * 2 * (3 * 2)

@@ -219,13 +219,66 @@ class TestRunCommand:
         assert "JOB one touch.sub DONE" in rescue.read_text()
 
 
+class TestProfileCommand:
+    def test_prints_stage_breakdown(self, capsys):
+        assert main(["profile", "--workload", "airsn-small", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        for stage in (
+            "load", "transitive_reduction", "decompose", "recurse",
+            "combine", "compile", "simulate", "total",
+        ):
+            assert stage in out
+        assert "engine counters" in out
+
+    def test_telemetry_written(self, tmp_path, capsys):
+        from repro.obs.events import read_telemetry
+
+        path = tmp_path / "profile.jsonl"
+        main([
+            "profile", "-w", "airsn-small", "--runs", "3",
+            "--telemetry", str(path),
+        ])
+        records = read_telemetry(path)
+        assert records[0]["kind"] == "run"
+        assert records[0]["command"] == "profile"
+        reps = [r for r in records if r["kind"] == "replication"]
+        assert len(reps) == 3
+        assert "wrote" in capsys.readouterr().err
+
+
+class TestSweepTelemetry:
+    def test_one_record_per_replication_and_unchanged_output(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.events import read_telemetry
+
+        args = [
+            "sweep", "airsn-small", "--mu-bit", "1.0", "--mu-bs", "8.0",
+            "-p", "3", "-q", "2", "--seed", "5",
+        ]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        path = tmp_path / "sweep.jsonl"
+        assert main(args + ["--telemetry", str(path)]) == 0
+        logged = capsys.readouterr().out
+        assert logged == plain  # telemetry never changes the results
+        records = read_telemetry(path)
+        reps = [r for r in records if r["kind"] == "replication"]
+        # one cell x two sides (prio, fifo) x p*q replications
+        assert len(reps) == 2 * 3 * 2
+        assert {r["policy"] for r in reps} == {"prio", "fifo"}
+        cells = [r for r in records if r["kind"] == "cell"]
+        assert len(cells) == 1
+        assert cells[0]["mu_bs"] == 8.0
+
+
 class TestHelpSurface:
     @pytest.mark.parametrize(
         "command",
         [
             "prio", "schedule", "decompose", "dot", "curves", "simulate",
             "sweep", "regions", "overhead", "rounds", "league", "lint",
-            "export", "run", "report",
+            "export", "run", "report", "profile", "calibrate",
         ],
     )
     def test_every_subcommand_has_help(self, command, capsys):

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.stats",
     "repro.workloads",
     "repro.analysis",
+    "repro.obs",
 ]
 
 
