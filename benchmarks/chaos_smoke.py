@@ -1,0 +1,189 @@
+"""Chaos smoke test — drive every recovery path end-to-end, on purpose.
+
+Each scenario injects a deterministic fault (via
+:class:`repro.robust.FaultPlan` or a scripted interrupt) into a real
+experiment batch and checks the recovery invariant: results bit-identical
+to the fault-free run, with the expected recovery counters ticked.  This
+is the CI chaos job's payload; it is a plain script (not a pytest bench)
+so a wedged pool shows up as a hang/non-zero exit rather than a skipped
+assertion.
+
+Run:  PYTHONPATH=src python benchmarks/chaos_smoke.py
+Writes a machine-readable verdict to benchmarks/results/CHAOS_smoke.json.
+"""
+
+import json
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.sweep import SweepConfig, ratio_sweep
+from repro.core.prio import prio_schedule
+from repro.dag.builders import fork_join
+from repro.obs.metrics import MetricsRegistry
+from repro.robust import (
+    Checkpoint,
+    FaultPlan,
+    RetryPolicy,
+    corrupt_checkpoint,
+    fingerprint,
+    write_atomic,
+)
+from repro.sim.engine import SimParams
+from repro.sim.replication import policy_factory, run_replications
+
+RESULTS = Path(__file__).parent / "results"
+
+DAG = fork_join(8)
+PARAMS = SimParams(mu_bit=1.0, mu_bs=8.0)
+N_RUNS = 32
+FAST_RETRY = dict(max_attempts=3, base_delay=0.0)
+
+
+def batch(*, retry=None, faults=None, metrics=None):
+    return run_replications(
+        DAG,
+        policy_factory("fifo"),
+        PARAMS,
+        N_RUNS,
+        seed=20060427,
+        jobs=2,
+        retry=retry,
+        faults=faults,
+        metrics=metrics,
+    )
+
+
+def check_identical(clean, recovered):
+    for metric in ("execution_time", "stalling_probability", "utilization"):
+        assert np.array_equal(clean.metric(metric), recovered.metric(metric)), (
+            f"recovered batch diverged on {metric}"
+        )
+
+
+def scenario_killed_worker(clean):
+    """A worker OOM-kill mid-chunk: pool rebuild, then bit-identical."""
+    registry = MetricsRegistry()
+    recovered = batch(
+        retry=RetryPolicy(**FAST_RETRY),
+        faults=FaultPlan(kills={(0, 0)}),
+        metrics=registry,
+    )
+    check_identical(clean, recovered)
+    rebuilds = registry.counter("robust.pool_rebuild").value
+    assert rebuilds >= 1, "kill fault did not force a pool rebuild"
+    return f"pool rebuilds: {rebuilds}"
+
+
+def scenario_hung_chunk(clean):
+    """A chunk hangs past the progress deadline: rebuild, bit-identical."""
+    registry = MetricsRegistry()
+    recovered = batch(
+        retry=RetryPolicy(timeout=0.5, **FAST_RETRY),
+        faults=FaultPlan(delays={(0, 0): 3.0}),
+        metrics=registry,
+    )
+    check_identical(clean, recovered)
+    timeouts = registry.counter("robust.timeout").value
+    assert timeouts >= 1, "delay fault did not trip the progress deadline"
+    return f"deadline trips: {timeouts}"
+
+
+def scenario_serial_degradation(clean):
+    """A chunk fails on every pool attempt: in-process fallback saves it."""
+    registry = MetricsRegistry()
+    recovered = batch(
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+        faults=FaultPlan(failures={(1, 0), (1, 1)}),
+        metrics=registry,
+    )
+    check_identical(clean, recovered)
+    degraded = registry.counter("robust.degraded_serial").value
+    assert degraded >= 1, "exhausted chunk did not degrade to serial"
+    return f"serial fallbacks: {degraded}"
+
+
+class _Interrupt(Exception):
+    pass
+
+
+def scenario_interrupt_resume(tmp_dir):
+    """Ctrl-C after one cell, resume from checkpoint: bit-identical."""
+    order = prio_schedule(DAG).schedule
+    config = SweepConfig(mu_bits=(1.0,), mu_bss=(1.0, 8.0, 64.0), p=4, q=2)
+    baseline = ratio_sweep(DAG, order, config, "chaos")
+
+    def interrupt_after_one(done, total):
+        if done == 1:
+            raise _Interrupt
+
+    path = tmp_dir / "chaos-checkpoint.jsonl"
+    fp = fingerprint({"suite": "chaos-smoke"})
+    checkpoint = Checkpoint.open(path, fp)
+    try:
+        ratio_sweep(
+            DAG, order, config, "chaos",
+            checkpoint=checkpoint, progress=interrupt_after_one,
+        )
+        raise AssertionError("scripted interrupt never fired")
+    except _Interrupt:
+        pass
+    assert checkpoint.n_done == 1
+
+    resumed = ratio_sweep(
+        DAG, order, config, "chaos", jobs=2,
+        checkpoint=Checkpoint.open(path, fp, require_existing=True),
+    )
+    assert resumed.cells == baseline.cells, "resumed sweep diverged"
+
+    # A torn trailing record (crash mid-write) is dropped, its cell redone.
+    last_line = len(path.read_text().splitlines()) - 1
+    corrupt_checkpoint(path, line=last_line, how="truncate")
+    reopened = Checkpoint.open(path, fp)
+    redone = ratio_sweep(
+        DAG, order, config, "chaos", checkpoint=reopened
+    )
+    assert redone.cells == baseline.cells, "post-corruption sweep diverged"
+    return f"resumed at 1/{len(baseline.cells)}, torn-record recovery ok"
+
+
+def main():
+    clean = batch()
+    tmp_dir = Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
+    scenarios = [
+        ("killed-worker", lambda: scenario_killed_worker(clean)),
+        ("hung-chunk", lambda: scenario_hung_chunk(clean)),
+        ("serial-degradation", lambda: scenario_serial_degradation(clean)),
+        ("interrupt-resume", lambda: scenario_interrupt_resume(tmp_dir)),
+    ]
+    RESULTS.mkdir(exist_ok=True)
+    verdicts = {}
+    failed = False
+    for name, run in scenarios:
+        try:
+            detail = run()
+            verdicts[name] = {"ok": True, "detail": detail}
+            print(f"chaos {name}: OK ({detail})")
+        except Exception:
+            failed = True
+            verdicts[name] = {"ok": False, "detail": traceback.format_exc()}
+            print(f"chaos {name}: FAILED")
+            traceback.print_exc()
+    write_atomic(
+        RESULTS / "CHAOS_smoke.json",
+        json.dumps(
+            {"schema": 1, "bench": "chaos_smoke", "scenarios": verdicts},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+    )
+    print(f"wrote {RESULTS / 'CHAOS_smoke.json'}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

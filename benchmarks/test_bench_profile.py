@@ -13,6 +13,7 @@ from pathlib import Path
 
 from common import banner, full_fidelity
 from repro.obs.profile import profile_workload
+from repro.robust import write_atomic
 
 RESULTS = Path(__file__).parent / "results"
 
@@ -49,5 +50,5 @@ def test_profile_breakdown(benchmark):
 
     RESULTS.mkdir(exist_ok=True)
     out = RESULTS / "BENCH_profile.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_atomic(out, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {out}")

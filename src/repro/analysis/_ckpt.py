@@ -1,0 +1,56 @@
+"""Shared checkpoint-serialization helpers for the analysis drivers.
+
+Checkpointed work units (a sweep cell, a league entrant, a calibration
+step) store the raw per-replication :class:`~repro.sim.engine.SimResult`
+rows when telemetry is active, so a resumed run can re-emit the exact
+``replication`` records an uninterrupted run would have written.  Rows
+are plain lists in :data:`RESULT_FIELDS` order — floats round-trip
+exactly through JSON, so restored results are bit-identical.
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import SimResult
+
+__all__ = [
+    "RESULT_FIELDS",
+    "CollectingLogger",
+    "result_from_row",
+    "result_to_row",
+]
+
+#: SimResult's stored fields, in checkpoint row order.
+RESULT_FIELDS = (
+    "execution_time",
+    "n_jobs",
+    "batches_until_last_assignment",
+    "stalled_batches",
+    "requests_until_last_assignment",
+    "n_failures",
+    "unserved_workers",
+)
+
+
+def result_to_row(result: SimResult) -> list:
+    return [getattr(result, field) for field in RESULT_FIELDS]
+
+
+def result_from_row(row) -> SimResult:
+    return SimResult(**dict(zip(RESULT_FIELDS, row)))
+
+
+class CollectingLogger:
+    """Wrap an ``on_replication`` callback, keeping each SimResult so a
+    completed unit of work can be checkpointed for telemetry-faithful
+    resume."""
+
+    __slots__ = ("results", "_logger")
+
+    def __init__(self, logger):
+        self.results: list[SimResult] = []
+        self._logger = logger
+
+    def __call__(self, rep, result, elapsed_seconds):
+        self.results.append(result)
+        if self._logger is not None:
+            self._logger(rep, result, elapsed_seconds)

@@ -25,6 +25,7 @@ from ..sim.compile import CompiledDag
 from ..sim.engine import SimParams
 from ..sim.replication import policy_factory, run_replications
 from ..stats.ratio import RatioStatistics, ratio_statistics
+from ._ckpt import CollectingLogger, result_from_row, result_to_row
 
 __all__ = ["CalibrationStep", "CalibrationResult", "calibrate_cell"]
 
@@ -98,6 +99,9 @@ def calibrate_cell(
     workload: str = "dag",
     progress=None,
     telemetry=None,
+    checkpoint=None,
+    retry=None,
+    faults=None,
 ) -> CalibrationResult:
     """Double q (measurements per sample) until the CI is narrow enough.
 
@@ -114,6 +118,14 @@ def calibrate_cell(
     :class:`~repro.obs.recorder.TelemetryRecorder` receiving one
     ``replication`` record per new simulation and one ``stage`` record
     per doubling step; observational only, the trajectory is unchanged.
+
+    *checkpoint* (a :class:`~repro.robust.checkpoint.Checkpoint`) records
+    the cumulative metric vectors after each doubling; a resumed
+    trajectory restores completed steps (advancing the seed spawn tree
+    exactly as a fresh run would, so later steps stay bit-identical) and
+    simulates only what is missing.  *retry* / *faults* configure the
+    fault-tolerant parallel executor (see
+    :func:`repro.sim.replication.run_replications`).
     """
     if p < 2:
         raise ValueError("p must be at least 2")
@@ -130,10 +142,39 @@ def calibrate_cell(
     steps: list[CalibrationStep] = []
     q = start_q
     converged = False
+    store_reps = checkpoint is not None and telemetry is not None
     while True:
         step_started = time.perf_counter()
         need = p * q - len(prio_vals)
-        if need > 0:
+        payload = (
+            checkpoint.get(f"step/q{q}") if checkpoint is not None else None
+        )
+        if payload is not None:
+            # Restored step: advance the spawn tree exactly as a fresh
+            # run would (spawning is stateful), then reuse its values.
+            if need > 0:
+                seq_prio = seq_prio.spawn(2)[1]
+                seq_fifo = seq_fifo.spawn(2)[1]
+            prio_vals[:] = payload["prio_vals"]
+            fifo_vals[:] = payload["fifo_vals"]
+            if telemetry is not None:
+                replications = payload.get("replications", {})
+                # prio first, matching a fresh step's emission order (the
+                # JSON object's key order is sorted, i.e. fifo first).
+                for side in sorted(replications, key=lambda s: s != "prio"):
+                    for rep, row in enumerate(replications[side]):
+                        telemetry.replication(
+                            workload=workload,
+                            policy=side,
+                            rep=rep,
+                            params=params,
+                            result=result_from_row(row),
+                            elapsed_seconds=None,
+                        )
+                telemetry.checkpoint(
+                    event="restore", path=checkpoint.path, done=len(steps) + 1
+                )
+        elif need > 0:
             extra_p, seq_prio = seq_prio.spawn(2)
             extra_f, seq_fifo = seq_fifo.spawn(2)
             loggers = {"prio": None, "fifo": None}
@@ -146,18 +187,42 @@ def calibrate_cell(
                     )
                     for side in loggers
                 }
+            if store_reps:
+                loggers = {
+                    side: CollectingLogger(logger)
+                    for side, logger in loggers.items()
+                }
             prio_vals.extend(
                 run_replications(
                     compiled, prio_factory, params, need, extra_p, jobs=jobs,
                     metrics=registry, on_replication=loggers["prio"],
+                    retry=retry, faults=faults,
                 ).metric(metric)
             )
             fifo_vals.extend(
                 run_replications(
                     compiled, fifo_factory, params, need, extra_f, jobs=jobs,
                     metrics=registry, on_replication=loggers["fifo"],
+                    retry=retry, faults=faults,
                 ).metric(metric)
             )
+            if checkpoint is not None:
+                step_payload = {
+                    "prio_vals": [float(v) for v in prio_vals],
+                    "fifo_vals": [float(v) for v in fifo_vals],
+                }
+                if store_reps:
+                    step_payload["replications"] = {
+                        side: [result_to_row(r) for r in logger.results]
+                        for side, logger in loggers.items()
+                    }
+                checkpoint.record(f"step/q{q}", step_payload)
+                if telemetry is not None:
+                    telemetry.checkpoint(
+                        event="record",
+                        path=checkpoint.path,
+                        done=checkpoint.n_done,
+                    )
         # Interleave so each of the p samples mixes old and new runs.
         s_prio = np.asarray(prio_vals).reshape(q, p).mean(axis=0)
         s_fifo = np.asarray(fifo_vals).reshape(q, p).mean(axis=0)

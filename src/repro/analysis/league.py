@@ -18,8 +18,9 @@ import numpy as np
 from ..dag.graph import Dag
 from ..sim.compile import CompiledDag
 from ..sim.engine import SimParams
-from ..sim.replication import policy_factory, run_replications
+from ..sim.replication import MetricArrays, policy_factory, run_replications
 from ..stats.tests import sign_test
+from ._ckpt import CollectingLogger, result_from_row, result_to_row
 
 __all__ = ["Entrant", "LeagueRow", "league", "render_league"]
 
@@ -62,6 +63,9 @@ def league(
     workload: str = "dag",
     progress=None,
     telemetry=None,
+    checkpoint=None,
+    retry=None,
+    faults=None,
 ) -> list[LeagueRow]:
     """Run every entrant over the same *n_runs* seed streams.
 
@@ -76,6 +80,14 @@ def league(
     given, is a :class:`~repro.obs.recorder.TelemetryRecorder` that
     receives one ``replication`` record per simulation (``policy`` set to
     the entrant's name); observational only, results are unchanged.
+
+    *checkpoint* (a :class:`~repro.robust.checkpoint.Checkpoint`) records
+    each completed entrant's metric vectors durably; entrants already
+    recorded are restored instead of re-simulated (bit-identical — every
+    entrant derives its seeds from the shared root independently, so
+    skipping one cannot shift another's streams).  *retry* / *faults*
+    configure the fault-tolerant parallel executor (see
+    :func:`repro.sim.replication.run_replications`).
     """
     if not entrants:
         raise ValueError("need at least one entrant")
@@ -86,8 +98,35 @@ def league(
     if baseline not in names:
         raise ValueError(f"unknown baseline {baseline!r}")
     compiled = CompiledDag.from_dag(dag)
+    store_reps = checkpoint is not None and telemetry is not None
     metrics = {}
+    restored = 0
     for done, e in enumerate(entrants, start=1):
+        payload = (
+            checkpoint.get(f"entrant/{e.name}")
+            if checkpoint is not None
+            else None
+        )
+        if payload is not None:
+            metrics[e.name] = MetricArrays.from_arrays(
+                payload["execution_time"],
+                payload["stalling_probability"],
+                payload["utilization"],
+            )
+            restored += 1
+            if telemetry is not None:
+                for rep, row in enumerate(payload.get("replications", [])):
+                    telemetry.replication(
+                        workload=workload,
+                        policy=e.name,
+                        rep=rep,
+                        params=params,
+                        result=result_from_row(row),
+                        elapsed_seconds=None,
+                    )
+            if progress is not None:
+                progress(done, len(entrants))
+            continue
         factory = policy_factory(
             e.kind, order=list(e.order) if e.order else None
         )
@@ -98,12 +137,37 @@ def league(
             on_replication = telemetry.replication_logger(
                 workload=workload, policy=e.name, params=params
             )
-        metrics[e.name] = run_replications(
+        if store_reps:
+            on_replication = CollectingLogger(on_replication)
+        m = run_replications(
             compiled, factory, params, n_runs, seed=seed, jobs=jobs,
             metrics=registry, on_replication=on_replication,
+            retry=retry, faults=faults,
         )
+        metrics[e.name] = m
+        if checkpoint is not None:
+            payload = {
+                "execution_time": m.execution_time.tolist(),
+                "stalling_probability": m.stalling_probability.tolist(),
+                "utilization": m.utilization.tolist(),
+            }
+            if store_reps:
+                payload["replications"] = [
+                    result_to_row(r) for r in on_replication.results
+                ]
+            checkpoint.record(f"entrant/{e.name}", payload)
+            if telemetry is not None:
+                telemetry.checkpoint(
+                    event="record",
+                    path=checkpoint.path,
+                    done=checkpoint.n_done,
+                )
         if progress is not None:
             progress(done, len(entrants))
+    if telemetry is not None and restored:
+        telemetry.checkpoint(
+            event="restore", path=checkpoint.path, done=restored
+        )
     base_times = metrics[baseline].execution_time
     rows = []
     for e in entrants:

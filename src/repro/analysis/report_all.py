@@ -43,6 +43,9 @@ def full_report(
     progress=None,
     jobs: int = 1,
     telemetry=None,
+    checkpoint=None,
+    retry=None,
+    faults=None,
 ) -> list[WorkloadReport]:
     """Run every experiment for each workload; returns one report each.
 
@@ -51,6 +54,12 @@ def full_report(
     :class:`~repro.obs.recorder.TelemetryRecorder`: each workload's prio
     pipeline phases land as ``stage`` records and its sweep emits
     ``replication``/``cell`` records (see :func:`repro.analysis.sweep.ratio_sweep`).
+
+    *checkpoint* (a :class:`~repro.robust.checkpoint.Checkpoint`) makes
+    the simulation-heavy part — each workload's ratio sweep — resumable:
+    every workload gets a ``{name}/``-scoped view of the same file, so
+    one checkpoint covers the whole report.  *retry* / *faults* configure
+    the sweeps' fault-tolerant parallel executor.
     """
     config = config or SweepConfig(
         mu_bits=(1.0,), mu_bss=(1.0, 4.0, 16.0, 64.0, 256.0), p=8, q=2
@@ -67,6 +76,12 @@ def full_report(
         sweep = ratio_sweep(
             dag, prio_result.schedule, config, name, jobs=jobs,
             telemetry=telemetry,
+            checkpoint=(
+                checkpoint.scoped(f"{name}/") if checkpoint is not None
+                else None
+            ),
+            retry=retry,
+            faults=faults,
         )
         regions = advantage_regions(sweep)
         reports.append(

@@ -20,20 +20,20 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from concurrent.futures import as_completed
-
 from ..dag.graph import Dag
 from ..sim.compile import CompiledDag
-from ..sim.engine import SimParams
+from ..sim.engine import SimParams, SimResult
 from ..sim.parallel import (
     ParallelConfig,
     clone_seedseq,
+    iter_chunk_results,
     resolve_parallel,
     run_chunk,
 )
 from ..sim.replication import MetricArrays, policy_factory, run_replications
 from ..stats.ratio import RatioStatistics, ratio_statistics
 from ..stats.sampling import sampling_distribution_from_values
+from ._ckpt import CollectingLogger, result_from_row, result_to_row
 
 __all__ = [
     "METRICS",
@@ -207,6 +207,129 @@ def _cell_specs(config: SweepConfig):
     return specs
 
 
+# --- checkpoint serialization -------------------------------------------
+#
+# A checkpointed cell stores exactly what an uninterrupted run would have
+# produced: the ratio statistics (always) and, when telemetry is active,
+# the per-replication SimResult rows needed to re-emit the replication
+# records on resume.  Floats survive the JSON round trip exactly, so
+# restored cells are bit-identical to freshly computed ones.
+
+
+def _stats_to_dict(stats: RatioStatistics | None) -> dict | None:
+    if stats is None:
+        return None
+    return {
+        "mean": stats.mean,
+        "std": stats.std,
+        "median": stats.median,
+        "ci_low": stats.ci_low,
+        "ci_high": stats.ci_high,
+        "confidence": stats.confidence,
+    }
+
+
+def _stats_from_dict(payload: dict | None) -> RatioStatistics | None:
+    if payload is None:
+        return None
+    return RatioStatistics(**payload)
+
+
+def _cell_payload(
+    cell: CellResult, reps: dict[str, list[SimResult]] | None = None
+) -> dict:
+    payload = {
+        "mu_bit": cell.mu_bit,
+        "mu_bs": cell.mu_bs,
+        "ratios": {m: _stats_to_dict(s) for m, s in cell.ratios.items()},
+    }
+    if reps is not None:
+        payload["replications"] = {
+            side: [result_to_row(result) for result in results]
+            for side, results in reps.items()
+        }
+    return payload
+
+
+def _cell_from_payload(payload: dict) -> CellResult:
+    return CellResult(
+        mu_bit=payload["mu_bit"],
+        mu_bs=payload["mu_bs"],
+        ratios={
+            metric: _stats_from_dict(stats)
+            for metric, stats in payload["ratios"].items()
+        },
+    )
+
+
+def _emit_restored_cell(
+    telemetry, workload: str, params: SimParams, payload: dict, cell: CellResult
+) -> None:
+    """Re-emit a restored cell's telemetry so a resumed run's log matches
+    an uninterrupted one (modulo wall-clock fields, which are ``None`` for
+    restored replications — the work was not redone)."""
+    replications = payload.get("replications", {})
+    # Emit in the order a fresh cell would (the JSON object's key order is
+    # sorted, which would put fifo first).
+    for side in sorted(replications, key=lambda s: s != "prio"):
+        for rep, row in enumerate(replications[side]):
+            telemetry.replication(
+                workload=workload,
+                policy=side,
+                rep=rep,
+                params=params,
+                result=result_from_row(row),
+                elapsed_seconds=None,
+            )
+    _emit_cell_telemetry(telemetry, workload, cell)
+
+
+def _restore_cells(
+    checkpoint, telemetry, workload: str, specs
+) -> dict[int, CellResult]:
+    """Load completed cells from the checkpoint (empty dict without one)."""
+    if checkpoint is None:
+        return {}
+    restored: dict[int, CellResult] = {}
+    for index, (mu_bit, mu_bs, params, _, _) in enumerate(specs):
+        payload = checkpoint.get(f"cell/{index}")
+        if payload is None:
+            continue
+        if payload["mu_bit"] != mu_bit or payload["mu_bs"] != mu_bs:
+            from ..robust.checkpoint import CheckpointError
+
+            raise CheckpointError(
+                f"checkpoint cell {index} is for "
+                f"(mu_bit={payload['mu_bit']}, mu_bs={payload['mu_bs']}), "
+                f"expected ({mu_bit}, {mu_bs})"
+            )
+        restored[index] = _cell_from_payload(payload)
+        if telemetry is not None:
+            _emit_restored_cell(
+                telemetry, workload, params, payload, restored[index]
+            )
+    if telemetry is not None and restored:
+        telemetry.checkpoint(
+            event="restore", path=checkpoint.path, done=len(restored)
+        )
+    return restored
+
+
+def _record_cell(
+    checkpoint,
+    telemetry,
+    index: int,
+    cell: CellResult,
+    reps: dict[str, list[SimResult]] | None,
+) -> None:
+    """Durably record one completed cell (atomic rewrite + fsync)."""
+    checkpoint.record(f"cell/{index}", _cell_payload(cell, reps=reps))
+    if telemetry is not None:
+        telemetry.checkpoint(
+            event="record", path=checkpoint.path, done=checkpoint.n_done
+        )
+
+
 def _emit_cell_telemetry(telemetry, workload: str, cell: CellResult) -> None:
     """One ``cell`` summary record: the per-metric median PRIO/FIFO ratios."""
     telemetry.emit(
@@ -231,6 +354,9 @@ def ratio_sweep(
     jobs: int = 1,
     parallel: ParallelConfig | None = None,
     telemetry=None,
+    checkpoint=None,
+    retry=None,
+    faults=None,
 ) -> SweepResult:
     """Run the PRIO-vs-FIFO sweep for one dag.
 
@@ -252,6 +378,24 @@ def ratio_sweep(
     registry accumulates the simulator's event-loop counters.  Telemetry
     is observational only — the sweep's results stay bit-identical with
     it on or off, serial or parallel.
+
+    Fault tolerance:
+
+    * *checkpoint* — a :class:`~repro.robust.checkpoint.Checkpoint`
+      (opened by the caller against the sweep's fingerprint).  Each
+      completed cell is durably recorded; cells already in the
+      checkpoint are restored instead of recomputed, and the resumed
+      sweep's result is bit-identical to an uninterrupted run.  When
+      telemetry is active, each cell's per-replication results ride
+      along in the checkpoint so restored cells re-emit their
+      ``replication`` records too (``elapsed_seconds`` becomes ``None``
+      — the work was not redone).
+    * *retry* / *faults* — a
+      :class:`~repro.robust.retry.RetryPolicy` and/or
+      :class:`~repro.robust.faults.FaultPlan` for the parallel path's
+      chunk executor (see :func:`repro.sim.parallel.iter_chunk_results`).
+      Recovery cannot change results; the serial path has no pool and
+      ignores both.
     """
     par = resolve_parallel(jobs, parallel)
     compiled = CompiledDag.from_dag(dag)
@@ -261,12 +405,22 @@ def ratio_sweep(
     specs = _cell_specs(config)
     total = len(specs)
     registry = telemetry.registry if telemetry is not None else None
+    restored = _restore_cells(checkpoint, telemetry, workload, specs)
+    # Store per-replication rows only when a resumed run will need them
+    # to reproduce the telemetry log.
+    store_reps = checkpoint is not None and telemetry is not None
 
     if not par.enabled:
         cells: list[CellResult] = []
         for done, (mu_bit, mu_bs, params, seed_prio, seed_fifo) in enumerate(
             specs, start=1
         ):
+            index = done - 1
+            if index in restored:
+                cells.append(restored[index])
+                if progress is not None:
+                    progress(done, total)
+                continue
             loggers = {"prio": None, "fifo": None}
             if telemetry is not None:
                 loggers = {
@@ -274,6 +428,11 @@ def ratio_sweep(
                         workload=workload, policy=side, params=params
                     )
                     for side in loggers
+                }
+            if store_reps:
+                loggers = {
+                    side: CollectingLogger(logger)
+                    for side, logger in loggers.items()
                 }
             prio_metrics = run_replications(
                 compiled, prio_factory, params, count, seed_prio,
@@ -288,81 +447,104 @@ def ratio_sweep(
             )
             if telemetry is not None:
                 _emit_cell_telemetry(telemetry, workload, cells[-1])
+            if checkpoint is not None:
+                reps = (
+                    {side: logger.results for side, logger in loggers.items()}
+                    if store_reps
+                    else None
+                )
+                _record_cell(checkpoint, telemetry, index, cells[-1], reps)
             if progress is not None:
                 progress(done, total)
         return SweepResult(workload=workload, config=config, cells=cells)
 
-    # Parallel: flatten every (cell, policy) replication batch into chunk
-    # tasks over one shared pool, then reassemble per cell as chunks land
-    # (cells complete out of order; the cells list stays row-major).
+    # Parallel: flatten every unfinished (cell, policy) replication batch
+    # into chunk tasks over one shared pool, then reassemble per cell as
+    # chunks land (cells complete out of order; the cells list stays
+    # row-major).
     collect = telemetry is not None
     slots: dict[tuple[int, str], list] = {}
     elapsed: dict[tuple[int, str], list] = {}
     pending = [0] * total
     ordered_cells: list[CellResult | None] = [None] * total
     done = 0
-    executor = par.executor()
-    try:
-        futures = {}
-        for index, (mu_bit, mu_bs, params, seed_prio, seed_fifo) in enumerate(
-            specs
-        ):
-            sides = (
-                ("prio", prio_factory, seed_prio),
-                ("fifo", fifo_factory, seed_fifo),
-            )
-            for side, factory, seedseq in sides:
-                children = seedseq.spawn(count)
-                slots[(index, side)] = [None] * count
-                elapsed[(index, side)] = [None] * count
-                for chunk in par.chunked(list(enumerate(children))):
-                    future = executor.submit(
-                        run_chunk, compiled, factory, params, None, chunk,
-                        collect,
+    for index, cell in restored.items():
+        ordered_cells[index] = cell
+        done += 1
+        if progress is not None:
+            progress(done, total)
+    tasks = []
+    for index, (mu_bit, mu_bs, params, seed_prio, seed_fifo) in enumerate(
+        specs
+    ):
+        if index in restored:
+            continue
+        sides = (
+            ("prio", prio_factory, seed_prio),
+            ("fifo", fifo_factory, seed_fifo),
+        )
+        for side, factory, seedseq in sides:
+            children = seedseq.spawn(count)
+            slots[(index, side)] = [None] * count
+            elapsed[(index, side)] = [None] * count
+            for chunk_no, chunk in enumerate(
+                par.chunked(list(enumerate(children)))
+            ):
+                tasks.append(
+                    (
+                        (index, side, chunk_no),
+                        (compiled, factory, params, None, chunk, collect),
                     )
-                    futures[future] = (index, side)
-                    pending[index] += 1
-        for future in as_completed(futures):
-            index, side = futures[future]
-            chunk_results, snapshot = future.result()
-            for rep_index, result, seconds in chunk_results:
-                slots[(index, side)][rep_index] = result
-                elapsed[(index, side)][rep_index] = seconds
-            if registry is not None and snapshot is not None:
-                registry.merge_snapshot(snapshot)
-            pending[index] -= 1
-            if pending[index] == 0:
-                mu_bit, mu_bs, params, _, _ = specs[index]
-                if telemetry is not None:
-                    for cell_side in ("prio", "fifo"):
-                        for rep, result in enumerate(slots[(index, cell_side)]):
-                            telemetry.replication(
-                                workload=workload,
-                                policy=cell_side,
-                                rep=rep,
-                                params=params,
-                                result=result,
-                                elapsed_seconds=elapsed[(index, cell_side)][rep],
-                            )
-                        del elapsed[(index, cell_side)]
-                ordered_cells[index] = _cell_result(
-                    config,
-                    mu_bit,
-                    mu_bs,
-                    MetricArrays(slots.pop((index, "prio"))),
-                    MetricArrays(slots.pop((index, "fifo"))),
                 )
-                if telemetry is not None:
-                    _emit_cell_telemetry(
-                        telemetry, workload, ordered_cells[index]
-                    )
-                done += 1
-                if progress is not None:
-                    progress(done, total)
-    except BaseException:
-        # Ctrl-C (or a worker error) must not drain the queue: drop
-        # pending chunks instead of blocking until the whole grid ran.
-        executor.shutdown(wait=False, cancel_futures=True)
-        raise
-    executor.shutdown(wait=True)
+                pending[index] += 1
+    for key, (chunk_results, snapshot) in iter_chunk_results(
+        run_chunk, tasks, par, retry=retry, faults=faults, metrics=registry
+    ):
+        index, side = key[0], key[1]
+        for rep_index, result, seconds in chunk_results:
+            slots[(index, side)][rep_index] = result
+            elapsed[(index, side)][rep_index] = seconds
+        if registry is not None and snapshot is not None:
+            registry.merge_snapshot(snapshot)
+        pending[index] -= 1
+        if pending[index] == 0:
+            mu_bit, mu_bs, params, _, _ = specs[index]
+            results = {
+                cell_side: slots.pop((index, cell_side))
+                for cell_side in ("prio", "fifo")
+            }
+            if telemetry is not None:
+                for cell_side in ("prio", "fifo"):
+                    for rep, result in enumerate(results[cell_side]):
+                        telemetry.replication(
+                            workload=workload,
+                            policy=cell_side,
+                            rep=rep,
+                            params=params,
+                            result=result,
+                            elapsed_seconds=elapsed[(index, cell_side)][rep],
+                        )
+                    del elapsed[(index, cell_side)]
+            ordered_cells[index] = _cell_result(
+                config,
+                mu_bit,
+                mu_bs,
+                MetricArrays(results["prio"]),
+                MetricArrays(results["fifo"]),
+            )
+            if telemetry is not None:
+                _emit_cell_telemetry(
+                    telemetry, workload, ordered_cells[index]
+                )
+            if checkpoint is not None:
+                _record_cell(
+                    checkpoint,
+                    telemetry,
+                    index,
+                    ordered_cells[index],
+                    results if store_reps else None,
+                )
+            done += 1
+            if progress is not None:
+                progress(done, total)
     return SweepResult(workload=workload, config=config, cells=ordered_cells)

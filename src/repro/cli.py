@@ -23,6 +23,16 @@ over N worker processes; results are bit-identical to ``--jobs 1``.  The
 same subcommands (plus ``profile``) take ``--telemetry PATH`` to write a
 structured JSONL telemetry log — one record per simulation replication —
 without changing any result (see docs/API.md, "Telemetry & profiling").
+
+The long-running drivers (``sweep``, ``league``, ``calibrate``,
+``report``) additionally take ``--checkpoint PATH`` (record completed
+work durably), ``--resume PATH`` (continue from an existing checkpoint;
+bit-identical to an uninterrupted run), and ``--max-attempts`` /
+``--chunk-timeout`` (the fault-tolerant parallel executor; see
+docs/API.md, "Fault tolerance, checkpointing & resume").  Ctrl-C exits
+with status 130 after the checkpoint is safely on disk; predictable
+errors (unknown workload, fingerprint mismatch, unreadable checkpoint)
+exit with status 2 and a one-line message.
 """
 
 from __future__ import annotations
@@ -47,11 +57,21 @@ from .workloads.registry import get_workload, workload_names
 __all__ = ["main"]
 
 
+class CliError(Exception):
+    """A predictable user-facing failure: one-line message, exit status 2."""
+
+
 def _load_dag(spec: str) -> tuple[Dag, str]:
     """Resolve a workload name or a .dag file path to a dag."""
     if spec.endswith(".dag"):
-        return parse_dagman_file(spec).to_dag(), spec
-    return get_workload(spec), spec
+        try:
+            return parse_dagman_file(spec).to_dag(), spec
+        except OSError as exc:
+            raise CliError(f"cannot read {spec}: {exc.strerror or exc}") from None
+    try:
+        return get_workload(spec), spec
+    except KeyError as exc:
+        raise CliError(exc.args[0] if exc.args else str(exc)) from None
 
 
 def _add_dag_argument(parser: argparse.ArgumentParser) -> None:
@@ -113,6 +133,107 @@ def _close_telemetry(args: argparse.Namespace, telemetry) -> None:
         telemetry.close()
         print(
             f"wrote {args.telemetry} ({telemetry.n_records} telemetry records)",
+            file=sys.stderr,
+        )
+
+
+def _add_robust_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help=(
+            "record completed work units here (atomic, fingerprinted); an "
+            "existing compatible checkpoint is continued"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        help=(
+            "resume from an existing checkpoint (error if missing or "
+            "written by a different configuration); the resumed run is "
+            "bit-identical to an uninterrupted one"
+        ),
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=None,
+        help=(
+            "retry failed/crashed simulation chunks up to N times with "
+            "exponential backoff before falling back to in-process "
+            "execution (enables the fault-tolerant executor; needs "
+            "--jobs > 1 to matter)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "progress deadline for the worker pool: if no chunk completes "
+            "within SECONDS the pool is declared hung and rebuilt "
+            "(enables the fault-tolerant executor)"
+        ),
+    )
+
+
+def _config_payload(config) -> dict:
+    """A SweepConfig as a JSON-safe dict (for checkpoint fingerprints)."""
+    from dataclasses import asdict
+
+    return {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in asdict(config).items()
+    }
+
+
+def _open_checkpoint(args: argparse.Namespace, payload: dict):
+    """A Checkpoint for ``--checkpoint``/``--resume``, or None without."""
+    resume = getattr(args, "resume", None)
+    path = resume or getattr(args, "checkpoint", None)
+    if not path:
+        return None
+    from .robust import Checkpoint, fingerprint
+
+    checkpoint = Checkpoint.open(
+        path,
+        fingerprint(payload),
+        meta={"driver": payload.get("driver")},
+        require_existing=bool(resume),
+    )
+    if checkpoint.n_done:
+        print(
+            f"checkpoint {checkpoint.path}: "
+            f"{checkpoint.n_done} completed unit(s) on file",
+            file=sys.stderr,
+        )
+    return checkpoint
+
+
+def _retry_policy(args: argparse.Namespace):
+    """A RetryPolicy for ``--max-attempts``/``--chunk-timeout``, or None."""
+    max_attempts = getattr(args, "max_attempts", None)
+    timeout = getattr(args, "chunk_timeout", None)
+    if max_attempts is None and timeout is None:
+        return None
+    from .robust import RetryPolicy
+
+    kwargs = {}
+    if max_attempts is not None:
+        kwargs["max_attempts"] = max_attempts
+    if timeout is not None:
+        kwargs["timeout"] = timeout
+    return RetryPolicy(**kwargs)
+
+
+def _resume_hint(checkpoint) -> None:
+    """On Ctrl-C: completed work is already durable; say how to continue."""
+    if checkpoint is not None:
+        print(
+            f"interrupted — {checkpoint.n_done} completed unit(s) saved; "
+            f"continue with --resume {checkpoint.path}",
             file=sys.stderr,
         )
 
@@ -295,6 +416,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     from .obs.progress import ProgressMeter
 
+    checkpoint = _open_checkpoint(
+        args,
+        {
+            "driver": "sweep",
+            "workload": name,
+            "config": _config_payload(config),
+            "telemetry": bool(getattr(args, "telemetry", None)),
+        },
+    )
     telemetry = _open_telemetry(
         args, "sweep", workload=name, p=args.p, q=args.q, seed=args.seed
     )
@@ -303,7 +433,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             result = ratio_sweep(
                 dag, order, config, name,
                 progress=meter, jobs=args.jobs, telemetry=telemetry,
+                checkpoint=checkpoint, retry=_retry_policy(args),
             )
+    except KeyboardInterrupt:
+        _resume_hint(checkpoint)
+        raise
     finally:
         _close_telemetry(args, telemetry)
     print(render_sweep(result))
@@ -360,6 +494,22 @@ def _cmd_league(args: argparse.Namespace) -> int:
     ]
     from .obs.progress import ProgressMeter
 
+    checkpoint = _open_checkpoint(
+        args,
+        {
+            "driver": "league",
+            "workload": name,
+            "entrants": [
+                [e.name, e.kind, list(e.order) if e.order else None]
+                for e in entrants
+            ],
+            "mu_bit": args.mu_bit,
+            "mu_bs": args.mu_bs,
+            "runs": args.runs,
+            "seed": args.seed,
+            "telemetry": bool(getattr(args, "telemetry", None)),
+        },
+    )
     telemetry = _open_telemetry(
         args, "league", workload=name, runs=args.runs, seed=args.seed
     )
@@ -375,7 +525,12 @@ def _cmd_league(args: argparse.Namespace) -> int:
                 workload=name,
                 progress=meter,
                 telemetry=telemetry,
+                checkpoint=checkpoint,
+                retry=_retry_policy(args),
             )
+    except KeyboardInterrupt:
+        _resume_hint(checkpoint)
+        raise
     finally:
         _close_telemetry(args, telemetry)
     print(f"policy league: {name} (mu_BIT={args.mu_bit:g}, "
@@ -399,6 +554,23 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    checkpoint = _open_checkpoint(
+        args,
+        {
+            "driver": "calibrate",
+            "workload": name,
+            "mu_bit": args.mu_bit,
+            "mu_bs": args.mu_bs,
+            "target_width": args.target_width,
+            "p": args.p,
+            "start_q": args.start_q,
+            "max_q": args.max_q,
+            "seed": args.seed,
+            "metric": args.metric,
+            "stop_when_excludes_one": args.stop_when_excludes_one,
+            "telemetry": bool(getattr(args, "telemetry", None)),
+        },
+    )
     telemetry = _open_telemetry(
         args, "calibrate", workload=name, metric=args.metric, seed=args.seed
     )
@@ -418,7 +590,12 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
             workload=name,
             progress=step_progress,
             telemetry=telemetry,
+            checkpoint=checkpoint,
+            retry=_retry_policy(args),
         )
+    except KeyboardInterrupt:
+        _resume_hint(checkpoint)
+        raise
     finally:
         _close_telemetry(args, telemetry)
     print(
@@ -528,6 +705,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
     def progress(name: str, i: int, total: int) -> None:
         print(f"[{i + 1}/{total}] {name} ...", file=sys.stderr, flush=True)
 
+    checkpoint = _open_checkpoint(
+        args,
+        {
+            "driver": "report",
+            "workloads": list(workloads),
+            "config": _config_payload(config),
+            "telemetry": bool(getattr(args, "telemetry", None)),
+        },
+    )
     telemetry = _open_telemetry(
         args, "report", workloads=list(workloads), seed=args.seed
     )
@@ -535,13 +721,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
         reports = full_report(
             workloads, config, progress=progress, jobs=args.jobs,
             telemetry=telemetry,
+            checkpoint=checkpoint, retry=_retry_policy(args),
         )
+    except KeyboardInterrupt:
+        _resume_hint(checkpoint)
+        raise
     finally:
         _close_telemetry(args, telemetry)
     text = render_report(reports)
     if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(text + "\n")
+        from .robust import write_atomic
+
+        write_atomic(args.output, text + "\n")
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(text)
@@ -679,6 +870,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", help="also write the cells as JSON")
     _add_jobs_argument(p)
     _add_telemetry_argument(p)
+    _add_robust_arguments(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -707,6 +899,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(p)
     _add_telemetry_argument(p)
+    _add_robust_arguments(p)
     p.set_defaults(func=_cmd_calibrate)
 
     p = sub.add_parser("overhead", help="Sec. 3.6 overhead table")
@@ -729,6 +922,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_jobs_argument(p)
     _add_telemetry_argument(p)
+    _add_robust_arguments(p)
     p.set_defaults(func=_cmd_league)
 
     p = sub.add_parser("lint", help="check a DAGMan file for problems")
@@ -780,6 +974,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write the report to a file")
     _add_jobs_argument(p)
     _add_telemetry_argument(p)
+    _add_robust_arguments(p)
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(
@@ -805,6 +1000,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .robust import CheckpointError
+
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
@@ -815,6 +1012,14 @@ def main(argv: list[str] | None = None) -> int:
         except Exception:
             pass
         return 0
+    except KeyboardInterrupt:
+        # Completed work is already durable (checkpoints are rewritten
+        # atomically per unit); the command printed a --resume hint.
+        print("interrupted", file=sys.stderr)
+        return 130
+    except (CliError, CheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -23,6 +23,10 @@ Record kinds and their required fields:
     per-metric median PRIO/FIFO ratios that survived.
 ``stage``
     One per pipeline/profiling stage: ``stage`` and ``seconds``.
+``checkpoint``
+    One per checkpoint action: ``event`` (``"record"`` or ``"restore"``),
+    ``path`` (the checkpoint file) and ``done`` (completed work units
+    recorded/restored).
 
 Unknown extra fields are always allowed (forward compatibility); unknown
 *kinds* and missing required fields are rejected by :func:`validate_record`
@@ -33,6 +37,7 @@ completely or fails loudly.
 from __future__ import annotations
 
 import json
+import os
 from numbers import Number
 from pathlib import Path
 from typing import IO, Any
@@ -65,6 +70,7 @@ _REQUIRED_FIELDS: dict[str, tuple[tuple[str, type], ...]] = {
     ),
     "cell": (("workload", str), ("mu_bit", Number), ("mu_bs", Number)),
     "stage": (("stage", str), ("seconds", Number)),
+    "checkpoint": (("event", str), ("path", str), ("done", int)),
 }
 
 
@@ -145,8 +151,13 @@ class TelemetryWriter:
     """Append-one-JSON-object-per-line writer.
 
     Records are validated before they touch the file, so a telemetry log
-    can always be read back with :func:`read_telemetry`.  Usable as a
-    context manager; ``close()`` is idempotent.
+    can always be read back with :func:`read_telemetry`.  When the writer
+    owns a path it streams into a staging file next to the destination
+    and publishes it atomically on ``close()`` (fsync + rename, see
+    :mod:`repro.robust.io`) — the log at the destination path only ever
+    exists complete; a crashed run leaves the staging file behind
+    instead of a torn log.  Usable as a context manager; ``close()`` is
+    idempotent.
     """
 
     def __init__(self, destination: str | Path | IO[str]):
@@ -154,9 +165,13 @@ class TelemetryWriter:
             self._fh: IO[str] = destination
             self._owns = False
             self.path = None
+            self._staging = None
         else:
             self.path = Path(destination)
-            self._fh = open(self.path, "w", encoding="utf-8")
+            self._staging = self.path.with_name(
+                f".{self.path.name}.partial-{os.getpid()}"
+            )
+            self._fh = open(self._staging, "w", encoding="utf-8")
             self._owns = True
         self.n_records = 0
 
@@ -165,9 +180,16 @@ class TelemetryWriter:
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self.n_records += 1
 
+    def flush(self) -> None:
+        """Push buffered records to the OS (staging file, if path-owned)."""
+        if not self._fh.closed:
+            self._fh.flush()
+
     def close(self) -> None:
         if self._owns and not self._fh.closed:
-            self._fh.close()
+            from ..robust.io import publish_atomic
+
+            publish_atomic(self._fh, self._staging, self.path)
 
     def __enter__(self) -> "TelemetryWriter":
         return self

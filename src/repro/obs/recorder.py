@@ -117,6 +117,15 @@ class TelemetryRecorder:
         """Write one pipeline/profiling ``stage`` timing record."""
         self.emit("stage", stage=stage, seconds=float(seconds), **extra)
 
+    def checkpoint(self, *, event: str, path, done: int, **extra) -> None:
+        """Write one ``checkpoint`` record (a cell recorded/restored)."""
+        self.emit(
+            "checkpoint", event=event, path=str(path), done=int(done), **extra
+        )
+
+    def flush(self) -> None:
+        self.writer.flush()
+
     def close(self) -> None:
         self.writer.close()
 

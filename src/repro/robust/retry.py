@@ -1,0 +1,226 @@
+"""Retry with exponential backoff, progress deadlines and graceful
+degradation for worker-pool chunk execution.
+
+The sweep experiments fan replication chunks out over a
+``ProcessPoolExecutor``; at production scale a worker is eventually
+OOM-killed, a chunk hangs on a sick node, or the pool's machinery itself
+breaks.  :func:`run_robust_chunks` wraps the fan-out so one bad chunk
+cannot sink hours of completed work:
+
+* every chunk failure (a worker exception) is retried with exponential
+  backoff up to ``RetryPolicy.max_attempts`` times;
+* a progress deadline (``RetryPolicy.timeout``) declares the pool hung
+  when **no** chunk completes within it; the pool is torn down, rebuilt,
+  and the unfinished chunks resubmitted — likewise on
+  ``BrokenProcessPool`` (a worker died hard);
+* after ``max_pool_rebuilds`` rebuilds the pool is declared unhealthy
+  and every remaining chunk runs serially in the parent process — slow,
+  but the batch completes;
+* a chunk that exhausts its pool attempts gets one final in-process
+  attempt before its failure is allowed to propagate.
+
+None of this can change results: chunks are pure functions of their
+submitted arguments (each replication depends only on its own
+``SeedSequence``), so re-running a chunk — in a new pool or in-process —
+is bit-identical to the first attempt.  Recovery actions are counted in
+an optional :class:`~repro.obs.metrics.MetricsRegistry` under
+``robust.retry``, ``robust.timeout``, ``robust.pool_rebuild`` and
+``robust.degraded_serial``.
+
+:class:`~repro.robust.faults.FaultPlan` hooks into the same machinery to
+*inject* failures deterministically — the test suite and the CI chaos
+job drive every path above on purpose.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from .faults import InjectedFault
+
+__all__ = ["RetryPolicy", "run_robust_chunks"]
+
+
+class _PoolStalled(Exception):
+    """No chunk completed within the progress deadline."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to fight for a chunk before giving up on the pool.
+
+    ``max_attempts`` — pool attempts per chunk before the final
+    in-process attempt.  ``base_delay``/``max_delay`` — exponential
+    backoff between attempts: ``min(max_delay, base_delay * 2**n)``.
+    ``timeout`` — progress deadline in seconds: if no chunk completes
+    within it the pool is declared hung and rebuilt (``None`` disables;
+    set it above the worst-case chunk runtime).  ``max_pool_rebuilds`` —
+    rebuilds tolerated before the pool is declared unhealthy and the
+    remaining chunks run serially in-process.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    timeout: float | None = None
+    max_pool_rebuilds: int = 2
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be non-negative")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number *attempt* (counting from 0)."""
+        return min(self.max_delay, self.base_delay * (2.0 ** attempt))
+
+
+def _invoke(fn, args, spec, in_worker: bool = True):
+    """Run one chunk, applying an injected fault first when scheduled.
+
+    Module-level so it is picklable under every start method.  A
+    ``kill`` fault exits the worker process hard (the parent sees
+    ``BrokenProcessPool``); outside a worker it raises instead, so a
+    fault plan can never take the parent down.
+    """
+    if spec is not None:
+        kind, value = spec
+        if kind == "delay":
+            time.sleep(value)
+        elif kind == "fail":
+            raise InjectedFault("injected chunk failure")
+        elif kind == "kill":
+            if in_worker:
+                os._exit(17)
+            raise InjectedFault("injected worker kill (outside a worker)")
+        else:  # pragma: no cover - FaultPlan cannot produce other kinds
+            raise ValueError(f"unknown fault kind {kind!r}")
+    return fn(*args)
+
+
+def run_robust_chunks(fn, tasks, par, *, retry=None, faults=None, metrics=None):
+    """Yield ``(key, fn(*args))`` for every task, surviving pool failures.
+
+    *tasks* is ``[(key, args), ...]`` with unique keys; *par* is a
+    :class:`~repro.sim.parallel.ParallelConfig` whose ``executor()``
+    builds (and rebuilds) the pool.  Results are yielded as they
+    complete, in no particular order — callers reassemble by key, so
+    retries and rebuilds cannot reorder anything they observe.
+
+    Fault-plan chunk numbers are task positions (0-based, submission
+    order).  Raises whatever the chunk raised once every recovery avenue
+    (retries, rebuilt pools, the final in-process attempt) is exhausted —
+    a genuinely poisoned chunk still fails loudly rather than spinning.
+    """
+    policy = retry if retry is not None else RetryPolicy()
+    tasks = list(tasks)
+    keys = [key for key, _ in tasks]
+    if len(set(keys)) != len(keys):
+        raise ValueError("task keys must be unique")
+    args_by_key = dict(tasks)
+    number = {key: i for i, key in enumerate(keys)}
+    attempts = dict.fromkeys(keys, 0)
+    remaining = set(keys)
+
+    def count(name: str, amount: int = 1) -> None:
+        if metrics is not None:
+            metrics.counter(name).inc(amount)
+
+    def fault_spec(key):
+        if faults is None:
+            return None
+        return faults.spec(number[key], attempts[key])
+
+    def run_serial(key):
+        """The last resort: run the chunk in this process."""
+        count("robust.degraded_serial")
+        result = _invoke(fn, args_by_key[key], fault_spec(key), in_worker=False)
+        remaining.discard(key)
+        return key, result
+
+    rebuilds = 0
+    executor = None
+    try:
+        while remaining:
+            exhausted = [
+                key
+                for key in sorted(remaining, key=number.__getitem__)
+                if attempts[key] >= policy.max_attempts
+            ]
+            for key in exhausted:
+                yield run_serial(key)
+            if not remaining:
+                break
+            if rebuilds > policy.max_pool_rebuilds:
+                # Pool declared unhealthy: finish everything in-process.
+                for key in sorted(remaining, key=number.__getitem__):
+                    yield run_serial(key)
+                break
+            executor = par.executor()
+            futures: dict = {}
+
+            def submit(key):
+                future = executor.submit(
+                    _invoke, fn, args_by_key[key], fault_spec(key)
+                )
+                futures[future] = key
+                return future
+
+            try:
+                pending = {
+                    submit(key)
+                    for key in sorted(remaining, key=number.__getitem__)
+                }
+                while pending:
+                    done, pending = wait(
+                        pending,
+                        timeout=policy.timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not done:
+                        count("robust.timeout", len(pending))
+                        raise _PoolStalled
+                    for future in done:
+                        key = futures.pop(future)
+                        try:
+                            result = future.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception:
+                            attempts[key] += 1
+                            count("robust.retry")
+                            if attempts[key] >= policy.max_attempts:
+                                yield run_serial(key)
+                            else:
+                                time.sleep(policy.delay(attempts[key] - 1))
+                                pending.add(submit(key))
+                        else:
+                            remaining.discard(key)
+                            yield key, result
+            except (BrokenProcessPool, _PoolStalled):
+                # The pool is gone (worker died) or hung (no progress):
+                # tear it down, charge every unfinished chunk one
+                # attempt, back off, rebuild, resubmit.
+                rebuilds += 1
+                count("robust.pool_rebuild")
+                count("robust.retry", len(remaining))
+                for key in remaining:
+                    attempts[key] += 1
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = None
+                time.sleep(policy.delay(rebuilds - 1))
+            else:
+                executor.shutdown(wait=True)
+                executor = None
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)

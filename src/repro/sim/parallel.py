@@ -22,12 +22,17 @@ entirely and is exactly the historical serial code path.
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ParallelConfig", "run_chunk", "clone_seedseq"]
+__all__ = [
+    "ParallelConfig",
+    "iter_chunk_results",
+    "run_chunk",
+    "clone_seedseq",
+]
 
 #: Target number of chunks per worker when ``chunk_size`` is not forced.
 #: Several chunks per worker keeps the pool load-balanced when replication
@@ -94,6 +99,46 @@ def resolve_parallel(
     if parallel is not None:
         return parallel
     return ParallelConfig(jobs=1 if jobs is None else jobs)
+
+
+def iter_chunk_results(
+    fn, tasks, par: ParallelConfig, *, retry=None, faults=None, metrics=None
+):
+    """Yield ``(key, fn(*args))`` for each ``(key, args)`` task as results
+    complete, over one worker pool.
+
+    This is the single fan-out primitive behind ``run_replications`` and
+    the sweep drivers.  The pool's lifetime is owned here: on *any* exit —
+    clean completion, a worker exception, Ctrl-C in the consumer, or the
+    consumer abandoning the iterator — the pool is shut down and pending
+    futures are cancelled, so an error mid-batch can never leak live
+    worker processes or block draining a queue of doomed chunks.
+
+    With *retry* (a :class:`~repro.robust.retry.RetryPolicy`) or *faults*
+    (a :class:`~repro.robust.faults.FaultPlan`) the robust executor takes
+    over: failed or timed-out chunks are retried with backoff against
+    rebuilt pools, degrading to in-process execution when the pool is
+    unhealthy (recovery counters land in *metrics* when given).  Results
+    are bit-identical either way — chunks are pure functions of their
+    arguments, and callers reassemble by key.
+    """
+    if retry is not None or faults is not None:
+        from ..robust.retry import run_robust_chunks
+
+        yield from run_robust_chunks(
+            fn, tasks, par, retry=retry, faults=faults, metrics=metrics
+        )
+        return
+    executor = par.executor()
+    try:
+        futures = {executor.submit(fn, *args): key for key, args in tasks}
+        for future in as_completed(futures):
+            yield futures[future], future.result()
+        executor.shutdown(wait=True)
+    finally:
+        # Reached with futures still pending only on error/early exit:
+        # cancel them instead of blocking until every doomed chunk ran.
+        executor.shutdown(wait=False, cancel_futures=True)
 
 
 def clone_seedseq(seq: np.random.SeedSequence) -> np.random.SeedSequence:

@@ -16,14 +16,18 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import as_completed
 
 import numpy as np
 
 from ..dag.graph import Dag
 from .compile import CompiledDag
 from .engine import SimParams, SimResult, make_policy, simulate
-from .parallel import ParallelConfig, resolve_parallel, run_chunk
+from .parallel import (
+    ParallelConfig,
+    iter_chunk_results,
+    resolve_parallel,
+    run_chunk,
+)
 from .policies import Policy
 
 __all__ = ["MetricArrays", "run_replications", "policy_factory"]
@@ -44,6 +48,30 @@ class MetricArrays:
         self.utilization = np.array(
             [r.utilization for r in results], dtype=np.float64
         )
+
+    @classmethod
+    def from_arrays(
+        cls, execution_time, stalling_probability, utilization
+    ) -> "MetricArrays":
+        """Rebuild from stored metric vectors (checkpoint resume).
+
+        Values restored from a checkpoint round-trip exactly (JSON uses
+        shortest-repr floats), so a resumed batch is bit-identical to
+        the one originally measured.
+        """
+        arrays = cls.__new__(cls)
+        arrays.execution_time = np.asarray(execution_time, dtype=np.float64)
+        arrays.stalling_probability = np.asarray(
+            stalling_probability, dtype=np.float64
+        )
+        arrays.utilization = np.asarray(utilization, dtype=np.float64)
+        if not (
+            len(arrays.execution_time)
+            == len(arrays.stalling_probability)
+            == len(arrays.utilization)
+        ):
+            raise ValueError("metric vectors must have equal lengths")
+        return arrays
 
     def __len__(self) -> int:
         return len(self.execution_time)
@@ -99,6 +127,8 @@ def run_replications(
     parallel: ParallelConfig | None = None,
     metrics=None,
     on_replication: Callable[[int, SimResult, float | None], None] | None = None,
+    retry=None,
+    faults=None,
 ) -> MetricArrays:
     """Run *count* independent simulations; returns per-run metrics.
 
@@ -108,13 +138,21 @@ def run_replications(
     processes, *build_policy* must be picklable — the factories from
     :func:`policy_factory` are.
 
+    *retry* (a :class:`~repro.robust.retry.RetryPolicy`) and *faults*
+    (a :class:`~repro.robust.faults.FaultPlan`) enable the fault-tolerant
+    executor for the parallel path: crashed, failed or hung chunks are
+    retried with backoff against rebuilt pools, degrading to in-process
+    execution when the pool is unhealthy.  Replications are pure
+    functions of their seeds, so recovery never changes the metrics.
+    (Serial runs have no pool; both are ignored when ``jobs=1``.)
+
     Telemetry hooks (both observational — neither touches any generator,
     so results are bit-identical with or without them, serial or
     parallel):
 
     * *metrics* — a :class:`~repro.obs.metrics.MetricsRegistry` receiving
       the simulator's event-loop counters (worker-process counters are
-      merged back into it);
+      merged back into it) plus the robust executor's recovery counters;
     * *on_replication* — called as ``on_replication(rep, result,
       elapsed_seconds)`` once per replication, in replication order
       (``elapsed_seconds`` is the wall-clock of that simulation).
@@ -150,34 +188,18 @@ def run_replications(
 
     slots: list[SimResult | None] = [None] * count
     elapsed: list[float | None] = [None] * count
-    executor = par.executor()
-    try:
-        futures = [
-            executor.submit(
-                run_chunk,
-                compiled,
-                build_policy,
-                params,
-                runtime_scale,
-                chunk,
-                collect,
-            )
-            for chunk in par.chunked(list(enumerate(children)))
-        ]
-        for future in as_completed(futures):
-            chunk_results, snapshot = future.result()
-            for index, result, seconds in chunk_results:
-                slots[index] = result
-                elapsed[index] = seconds
-            if metrics is not None and snapshot is not None:
-                metrics.merge_snapshot(snapshot)
-    except BaseException:
-        # Ctrl-C (or a worker error) must not drain the queue: drop
-        # pending chunks and return immediately instead of blocking in
-        # shutdown(wait=True) until every queued simulation has run.
-        executor.shutdown(wait=False, cancel_futures=True)
-        raise
-    executor.shutdown(wait=True)
+    tasks = [
+        (i, (compiled, build_policy, params, runtime_scale, chunk, collect))
+        for i, chunk in enumerate(par.chunked(list(enumerate(children))))
+    ]
+    for _key, (chunk_results, snapshot) in iter_chunk_results(
+        run_chunk, tasks, par, retry=retry, faults=faults, metrics=metrics
+    ):
+        for index, result, seconds in chunk_results:
+            slots[index] = result
+            elapsed[index] = seconds
+        if metrics is not None and snapshot is not None:
+            metrics.merge_snapshot(snapshot)
     if on_replication is not None:
         for rep, result in enumerate(slots):
             on_replication(rep, result, elapsed[rep])

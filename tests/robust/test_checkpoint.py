@@ -1,0 +1,165 @@
+"""Tests for fingerprinted, atomically-written checkpoints."""
+
+import json
+
+import pytest
+
+from repro.robust import (
+    CHECKPOINT_SCHEMA,
+    Checkpoint,
+    CheckpointError,
+    FingerprintMismatch,
+    corrupt_checkpoint,
+    fingerprint,
+)
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert fingerprint({"a": 1}) == fingerprint({"a": 1})
+
+    def test_key_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_payload_sensitive(self):
+        assert fingerprint({"seed": 1}) != fingerprint({"seed": 2})
+
+    def test_folds_in_schema_versions(self, monkeypatch):
+        before = fingerprint({"a": 1})
+        import repro.robust.checkpoint as mod
+
+        monkeypatch.setattr(mod, "CODE_SCHEMA_VERSION", 999)
+        assert fingerprint({"a": 1}) != before
+
+
+class TestCheckpointLifecycle:
+    def test_fresh_checkpoint_written_immediately(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        ck = Checkpoint.open(path, fingerprint({"x": 1}), meta={"driver": "t"})
+        assert path.exists()
+        assert ck.n_done == 0
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kind"] == "header"
+        assert header["schema"] == CHECKPOINT_SCHEMA
+        assert header["meta"] == {"driver": "t"}
+
+    def test_record_and_get(self, tmp_path):
+        ck = Checkpoint.open(tmp_path / "ck.jsonl", fingerprint({}))
+        assert ck.get("cell/0") is None
+        ck.record("cell/0", {"value": 1.5})
+        assert ck.get("cell/0") == {"value": 1.5}
+        assert ck.n_done == 1
+        assert ck.done_keys == ["cell/0"]
+
+    def test_reopen_restores_records(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        fp = fingerprint({"cfg": 3})
+        ck = Checkpoint.open(path, fp)
+        ck.record("a", [1, 2])
+        ck.record("b", {"nested": True})
+        again = Checkpoint.open(path, fp)
+        assert again.get("a") == [1, 2]
+        assert again.get("b") == {"nested": True}
+        assert again.n_done == 2
+
+    def test_float_payloads_roundtrip_exactly(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        fp = fingerprint({})
+        values = [0.1 + 0.2, 1e-300, 136.3032690499477, 3.141592653589793]
+        Checkpoint.open(path, fp).record("vals", values)
+        assert Checkpoint.open(path, fp).get("vals") == values
+
+    def test_fingerprint_mismatch_hard_errors(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        Checkpoint.open(path, fingerprint({"seed": 1})).record("k", 0)
+        with pytest.raises(FingerprintMismatch):
+            Checkpoint.open(path, fingerprint({"seed": 2}))
+
+    def test_require_existing(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            Checkpoint.open(
+                tmp_path / "missing.jsonl", fingerprint({}),
+                require_existing=True,
+            )
+
+    def test_scoped_view_shares_file(self, tmp_path):
+        ck = Checkpoint.open(tmp_path / "ck.jsonl", fingerprint({}))
+        scoped = ck.scoped("wl/")
+        scoped.record("cell/0", 42)
+        assert ck.get("wl/cell/0") == 42
+        assert scoped.get("cell/0") == 42
+        nested = scoped.scoped("inner/")
+        nested.record("x", 1)
+        assert ck.get("wl/inner/x") == 1
+
+    def test_no_staging_residue(self, tmp_path):
+        ck = Checkpoint.open(tmp_path / "ck.jsonl", fingerprint({}))
+        ck.record("k", 1)
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.jsonl"]
+
+
+class TestDamageTolerance:
+    def _fresh(self, tmp_path, n_records=3):
+        path = tmp_path / "ck.jsonl"
+        fp = fingerprint({"damage": True})
+        ck = Checkpoint.open(path, fp)
+        for i in range(n_records):
+            ck.record(f"cell/{i}", {"i": i})
+        return path, fp
+
+    def test_torn_trailing_line_dropped(self, tmp_path):
+        path, fp = self._fresh(tmp_path)
+        corrupt_checkpoint(path, line=3, how="truncate")
+        ck = Checkpoint.open(path, fp)
+        # The torn record's work is simply redone; the rest survives.
+        assert ck.n_done == 2
+        assert ck.get("cell/2") is None
+        assert ck.get("cell/1") == {"i": 1}
+
+    def test_interior_garbage_rejected(self, tmp_path):
+        path, fp = self._fresh(tmp_path)
+        corrupt_checkpoint(path, line=1, how="garbage")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            Checkpoint.open(path, fp)
+
+    def test_interior_truncation_rejected(self, tmp_path):
+        path, fp = self._fresh(tmp_path)
+        corrupt_checkpoint(path, line=2, how="truncate")
+        with pytest.raises(CheckpointError):
+            Checkpoint.open(path, fp)
+
+    def test_damaged_header_rejected(self, tmp_path):
+        path, fp = self._fresh(tmp_path)
+        corrupt_checkpoint(path, line=0, how="garbage")
+        with pytest.raises(CheckpointError):
+            Checkpoint.open(path, fp)
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(CheckpointError, match="not a checkpoint header"):
+            Checkpoint.open(path, fingerprint({}))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(CheckpointError, match="empty"):
+            Checkpoint.open(path, fingerprint({}))
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps(
+                {"schema": 99, "kind": "header", "fingerprint": "f", "meta": {}}
+            )
+            + "\n"
+        )
+        with pytest.raises(CheckpointError, match="schema"):
+            Checkpoint.open(path, fingerprint({}))
+
+    def test_corrupt_helper_validates_args(self, tmp_path):
+        path, _ = self._fresh(tmp_path, n_records=1)
+        with pytest.raises(IndexError):
+            corrupt_checkpoint(path, line=10)
+        with pytest.raises(ValueError):
+            corrupt_checkpoint(path, line=0, how="nonsense")

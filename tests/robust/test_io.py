@@ -1,0 +1,71 @@
+"""Tests for atomic file writes."""
+
+import os
+
+import pytest
+
+from repro.robust.io import publish_atomic, write_atomic
+
+
+class TestWriteAtomic:
+    def test_creates_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        returned = write_atomic(target, "hello\n")
+        assert returned == target
+        assert target.read_text() == "hello\n"
+
+    def test_overwrites_whole(self, tmp_path):
+        target = tmp_path / "out.txt"
+        write_atomic(target, "first version\n")
+        write_atomic(target, "x\n")
+        assert target.read_text() == "x\n"
+
+    def test_no_staging_residue(self, tmp_path):
+        target = tmp_path / "out.txt"
+        write_atomic(target, "data\n")
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "out.txt"]
+        assert leftovers == []
+
+    def test_nested_directory_must_exist(self, tmp_path):
+        with pytest.raises(OSError):
+            write_atomic(tmp_path / "missing" / "out.txt", "data")
+
+    def test_failure_cleans_staging(self, tmp_path):
+        target = tmp_path / "out.txt"
+
+        class Boom:
+            def __str__(self):
+                raise RuntimeError("boom")
+
+        # str coercion failing mid-write must not leave a staging file.
+        with pytest.raises(TypeError):
+            write_atomic(target, Boom())  # type: ignore[arg-type]
+        assert list(tmp_path.iterdir()) == []
+
+    def test_relative_path(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_atomic("rel.txt", "ok\n")
+        assert (tmp_path / "rel.txt").read_text() == "ok\n"
+
+
+class TestPublishAtomic:
+    def test_streaming_publish(self, tmp_path):
+        final = tmp_path / "log.jsonl"
+        staging = tmp_path / ".log.jsonl.partial"
+        fh = open(staging, "w", encoding="utf-8")
+        fh.write("line 1\n")
+        fh.write("line 2\n")
+        # Nothing visible at the final path until published.
+        assert not final.exists()
+        publish_atomic(fh, staging, final)
+        assert fh.closed
+        assert final.read_text() == "line 1\nline 2\n"
+        assert not staging.exists()
+
+    def test_publish_already_closed_handle(self, tmp_path):
+        final = tmp_path / "log.jsonl"
+        staging = tmp_path / ".staging"
+        with open(staging, "w", encoding="utf-8") as fh:
+            fh.write("done\n")
+        publish_atomic(fh, staging, final)
+        assert final.read_text() == "done\n"

@@ -1,0 +1,259 @@
+"""Checkpoint/resume properties of the analysis drivers.
+
+The pinned property: interrupting a run after *any* completed unit of
+work and resuming from its checkpoint yields results — and telemetry
+replication/cell records — bit-identical to an uninterrupted run (only
+wall-clock fields may differ; restored work reports ``elapsed_seconds``
+of ``None`` because it was not redone).
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.calibrate import calibrate_cell
+from repro.analysis.league import Entrant, league
+from repro.analysis.sweep import SweepConfig, ratio_sweep
+from repro.core.prio import prio_schedule
+from repro.dag.builders import fork_join
+from repro.obs.recorder import TelemetryRecorder
+from repro.robust import Checkpoint, CheckpointError, FaultPlan, RetryPolicy, fingerprint
+from repro.sim.engine import SimParams
+
+
+class Interrupt(Exception):
+    """Stands in for Ctrl-C at a deterministic point."""
+
+
+def interrupt_after(n):
+    def progress(done, total):
+        if done == n:
+            raise Interrupt
+
+    return progress
+
+
+def open_telemetry():
+    buf = io.StringIO()
+    return TelemetryRecorder.open(buf, command="test"), buf
+
+
+def comparable_records(buf):
+    """Telemetry records minus wall-clock and checkpoint bookkeeping."""
+    records = []
+    for line in buf.getvalue().splitlines():
+        record = json.loads(line)
+        if record["kind"] == "checkpoint":
+            continue
+        record.pop("elapsed_seconds", None)
+        if record["kind"] == "stage":
+            record.pop("seconds", None)
+        records.append(record)
+    return records
+
+
+@pytest.fixture(scope="module")
+def sweep_setup():
+    dag = fork_join(6)
+    order = prio_schedule(dag).schedule
+    config = SweepConfig(mu_bits=(1.0,), mu_bss=(1.0, 4.0, 16.0), p=4, q=2)
+    return dag, order, config
+
+
+@pytest.fixture(scope="module")
+def baseline(sweep_setup):
+    dag, order, config = sweep_setup
+    telemetry, buf = open_telemetry()
+    result = ratio_sweep(dag, order, config, "wl", telemetry=telemetry)
+    return result, comparable_records(buf)
+
+
+FP = fingerprint({"suite": "resume-tests"})
+
+
+class TestSweepResume:
+    @pytest.mark.parametrize("interrupt_at", [1, 2, 3])
+    def test_interrupt_anywhere_then_resume_is_bit_identical(
+        self, tmp_path, sweep_setup, baseline, interrupt_at
+    ):
+        dag, order, config = sweep_setup
+        base_result, base_records = baseline
+        path = tmp_path / "ck.jsonl"
+
+        telemetry, _ = open_telemetry()
+        checkpoint = Checkpoint.open(path, FP)
+        try:
+            ratio_sweep(
+                dag, order, config, "wl",
+                telemetry=telemetry, checkpoint=checkpoint,
+                progress=interrupt_after(interrupt_at),
+            )
+        except Interrupt:
+            pass
+        assert checkpoint.n_done == interrupt_at
+
+        resumed_ck = Checkpoint.open(path, FP, require_existing=True)
+        telemetry, buf = open_telemetry()
+        resumed = ratio_sweep(
+            dag, order, config, "wl",
+            telemetry=telemetry, checkpoint=resumed_ck,
+        )
+        assert resumed.cells == base_result.cells
+        # The resumed log reproduces every replication and cell record.
+        assert comparable_records(buf) == base_records
+
+    def test_parallel_resume_matches_serial_baseline(
+        self, tmp_path, sweep_setup, baseline
+    ):
+        dag, order, config = sweep_setup
+        base_result, _ = baseline
+        path = tmp_path / "ck.jsonl"
+        checkpoint = Checkpoint.open(path, FP)
+        try:
+            ratio_sweep(
+                dag, order, config, "wl",
+                checkpoint=checkpoint, progress=interrupt_after(1),
+            )
+        except Interrupt:
+            pass
+        resumed = ratio_sweep(
+            dag, order, config, "wl",
+            checkpoint=Checkpoint.open(path, FP, require_existing=True),
+            jobs=2,
+        )
+        assert resumed.cells == base_result.cells
+
+    def test_resume_without_telemetry(self, tmp_path, sweep_setup, baseline):
+        dag, order, config = sweep_setup
+        base_result, _ = baseline
+        path = tmp_path / "ck.jsonl"
+        checkpoint = Checkpoint.open(path, FP)
+        try:
+            ratio_sweep(
+                dag, order, config, "wl",
+                checkpoint=checkpoint, progress=interrupt_after(2),
+            )
+        except Interrupt:
+            pass
+        resumed = ratio_sweep(
+            dag, order, config, "wl",
+            checkpoint=Checkpoint.open(path, FP, require_existing=True),
+        )
+        assert resumed.cells == base_result.cells
+
+    def test_completed_checkpoint_resumes_without_simulating(
+        self, tmp_path, sweep_setup, baseline
+    ):
+        dag, order, config = sweep_setup
+        base_result, _ = baseline
+        path = tmp_path / "ck.jsonl"
+        ratio_sweep(
+            dag, order, config, "wl", checkpoint=Checkpoint.open(path, FP)
+        )
+        resumed = ratio_sweep(
+            dag, order, config, "wl",
+            checkpoint=Checkpoint.open(path, FP, require_existing=True),
+        )
+        assert resumed.cells == base_result.cells
+
+    def test_checkpoint_for_wrong_grid_rejected(
+        self, tmp_path, sweep_setup
+    ):
+        # The fingerprint normally prevents this; a hand-built collision
+        # (same fingerprint, different grid) must still be caught by the
+        # per-cell parameter check.
+        dag, order, config = sweep_setup
+        path = tmp_path / "ck.jsonl"
+        checkpoint = Checkpoint.open(path, FP)
+        checkpoint.record(
+            "cell/0",
+            {"mu_bit": 123.0, "mu_bs": 456.0, "ratios": {}},
+        )
+        with pytest.raises(CheckpointError, match="cell 0"):
+            ratio_sweep(dag, order, config, "wl", checkpoint=checkpoint)
+
+
+class TestFaultInjectedSweep:
+    def test_faulty_sweep_bit_identical_to_fault_free(self, sweep_setup, baseline):
+        dag, order, config = sweep_setup
+        base_result, _ = baseline
+        faults = FaultPlan(
+            kills={(0, 0)}, failures={(2, 0)}, delays={(3, 0): 0.05}
+        )
+        faulty = ratio_sweep(
+            dag, order, config, "wl", jobs=2,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            faults=faults,
+        )
+        assert faulty.cells == base_result.cells
+
+
+class TestLeagueResume:
+    def test_interrupt_then_resume(self, tmp_path):
+        dag = fork_join(6)
+        order = prio_schedule(dag).schedule
+        params = SimParams(mu_bit=1.0, mu_bs=4.0)
+        entrants = [
+            Entrant.from_schedule("prio", order),
+            Entrant("fifo", "fifo"),
+        ]
+        telemetry, base_buf = open_telemetry()
+        base = league(
+            dag, entrants, params, n_runs=8, seed=3, workload="wl",
+            telemetry=telemetry,
+        )
+        path = tmp_path / "ck.jsonl"
+        checkpoint = Checkpoint.open(path, FP)
+        telemetry, _ = open_telemetry()
+        with pytest.raises(Interrupt):
+            league(
+                dag, entrants, params, n_runs=8, seed=3, workload="wl",
+                telemetry=telemetry, checkpoint=checkpoint,
+                progress=interrupt_after(1),
+            )
+        assert checkpoint.n_done == 1
+        telemetry, buf = open_telemetry()
+        resumed = league(
+            dag, entrants, params, n_runs=8, seed=3, workload="wl",
+            telemetry=telemetry,
+            checkpoint=Checkpoint.open(path, FP, require_existing=True),
+        )
+        assert resumed == base
+        assert comparable_records(buf) == comparable_records(base_buf)
+
+
+class TestCalibrateResume:
+    def test_interrupt_then_resume(self, tmp_path):
+        dag = fork_join(6)
+        order = prio_schedule(dag).schedule
+        params = SimParams(mu_bit=1.0, mu_bs=4.0)
+        kwargs = dict(
+            p=4, start_q=1, max_q=4, target_width=1e-6, seed=5, workload="wl"
+        )
+        telemetry, base_buf = open_telemetry()
+        base = calibrate_cell(dag, order, params, telemetry=telemetry, **kwargs)
+        assert len(base.steps) == 3  # q = 1, 2, 4
+
+        def stop_at_q2(step):
+            if step.q == 2:
+                raise Interrupt
+
+        path = tmp_path / "ck.jsonl"
+        checkpoint = Checkpoint.open(path, FP)
+        telemetry, _ = open_telemetry()
+        with pytest.raises(Interrupt):
+            calibrate_cell(
+                dag, order, params, checkpoint=checkpoint,
+                telemetry=telemetry, progress=stop_at_q2, **kwargs,
+            )
+        assert checkpoint.n_done == 2
+        telemetry, buf = open_telemetry()
+        resumed = calibrate_cell(
+            dag, order, params, telemetry=telemetry,
+            checkpoint=Checkpoint.open(path, FP, require_existing=True),
+            **kwargs,
+        )
+        assert resumed.steps == base.steps
+        assert resumed.converged == base.converged
+        assert comparable_records(buf) == comparable_records(base_buf)

@@ -54,3 +54,47 @@ class TestRunReplications:
         assert (m.stalling_probability >= 0).all()
         assert (m.stalling_probability <= 1).all()
         assert (m.execution_time > 0).all()
+
+
+class PoisonedFactory:
+    """Picklable policy factory that fails in the worker, every time."""
+
+    def __call__(self, rng):
+        raise RuntimeError("poisoned build_policy")
+
+
+class TestPoolCleanup:
+    """Regression: a worker error mid-batch must not leak pool processes."""
+
+    def _drain_children(self, timeout=10.0):
+        import multiprocessing
+        import time
+
+        deadline = time.monotonic() + timeout
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        return multiprocessing.active_children()
+
+    def test_worker_error_propagates_and_pool_is_reaped(self, params):
+        with pytest.raises(RuntimeError, match="poisoned"):
+            run_replications(
+                fork_join(5), PoisonedFactory(), params, 8, seed=1, jobs=2
+            )
+        assert self._drain_children() == []
+
+    def test_from_arrays_roundtrip(self, params):
+        m = run_replications(fork_join(5), policy_factory("fifo"), params, 6)
+        rebuilt = MetricArrays.from_arrays(
+            m.execution_time.tolist(),
+            m.stalling_probability.tolist(),
+            m.utilization.tolist(),
+        )
+        assert np.array_equal(rebuilt.execution_time, m.execution_time)
+        assert np.array_equal(
+            rebuilt.stalling_probability, m.stalling_probability
+        )
+        assert np.array_equal(rebuilt.utilization, m.utilization)
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            MetricArrays.from_arrays([1.0, 2.0], [0.5], [0.9, 0.8])

