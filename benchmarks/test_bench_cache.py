@@ -1,0 +1,119 @@
+"""Engineering — what the schedule cache and the fast kernel buy.
+
+Two measurements, written to ``benchmarks/results/BENCH_cache.json``:
+
+* **Repeated scheduling** — the sweep-cell scenario: many grid cells (and
+  league entrants, report workloads, resumed runs) asking for the same
+  dag's PRIO schedule.  Uncached, every cell pays the full pipeline;
+  cached, the first call computes and the rest hit the in-memory LRU.
+  The acceptance gate asserts at least a 3x speedup.
+* **Kernel vs reference engine** — a batch of simulations on the same
+  workload via the array-compiled kernel and via the reference event
+  loop (``REPRO_NO_KERNEL`` semantics, forced per-call here).  The
+  results must be bit-identical; the speedup is reported, not gated
+  (it varies with dag shape and operating point).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+from common import banner, full_fidelity
+
+from repro.core.prio import prio_schedule
+from repro.perf import ScheduleCache
+from repro.robust import write_atomic
+from repro.sim.compile import CompiledDag
+from repro.sim.engine import SimParams, make_policy, simulate
+from repro.workloads.registry import get_workload
+
+RESULTS = Path(__file__).parent / "results"
+
+WORKLOAD = "sdss-small"
+
+
+def _time(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def test_cache_repeated_scheduling_speedup(benchmark):
+    """Sweep-cell scenario: R cells, one dag, one schedule each."""
+    dag = get_workload(WORKLOAD)
+    cells = 60 if full_fidelity() else 20
+
+    def uncached():
+        return [prio_schedule(dag).schedule for _ in range(cells)]
+
+    cache = ScheduleCache()
+
+    def cached():
+        return [cache.schedule(dag, "prio") for _ in range(cells)]
+
+    # Warm-up outside the timed region (imports, allocator, fingerprint).
+    reference = prio_schedule(dag).schedule
+    uncached_seconds = _time(uncached)
+    cached_seconds = _time(cached)
+    orders = benchmark.pedantic(cached, rounds=1, iterations=1)
+
+    assert all(order == reference for order in orders)
+    assert cache.hits >= cells - 1 and cache.misses == 1
+    speedup = uncached_seconds / cached_seconds
+    print(banner(f"schedule cache: {WORKLOAD}, {cells} cells"))
+    print(f"uncached: {uncached_seconds:.4f}s  cached: {cached_seconds:.4f}s  "
+          f"speedup: {speedup:.1f}x")
+    assert speedup >= 3.0, (
+        f"cache speedup {speedup:.2f}x below the 3x acceptance floor"
+    )
+
+    payload = _kernel_measurement(dag)
+    payload.update(
+        schema=1,
+        bench="cache",
+        workload=WORKLOAD,
+        cells=cells,
+        uncached_seconds=uncached_seconds,
+        cached_seconds=cached_seconds,
+        schedule_speedup=speedup,
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+    )
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_cache.json"
+    write_atomic(out, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}")
+
+
+def _kernel_measurement(dag) -> dict:
+    """Time kernel vs reference over one replication batch; verify equality."""
+    runs = 128 if full_fidelity() else 32
+    compiled = CompiledDag.from_dag(dag)
+    order = prio_schedule(dag).schedule
+    params = SimParams(mu_bit=1.0, mu_bs=16.0)
+
+    def batch(kernel: bool):
+        results = []
+        for rep in range(runs):
+            rng = np.random.default_rng(rep)
+            policy = make_policy("oblivious", order=order)
+            results.append(
+                simulate(compiled, policy, params, rng, kernel=kernel)
+            )
+        return results
+
+    reference = batch(False)
+    reference_seconds = _time(lambda: batch(False))
+    kernel_seconds = _time(lambda: batch(True))
+    assert batch(True) == reference  # bit-identical SimResults
+    speedup = reference_seconds / kernel_seconds
+    print(banner(f"fast kernel: {WORKLOAD}, {runs} runs"))
+    print(f"reference: {reference_seconds:.4f}s  kernel: {kernel_seconds:.4f}s  "
+          f"speedup: {speedup:.2f}x")
+    return {
+        "kernel_runs": runs,
+        "reference_seconds": reference_seconds,
+        "kernel_seconds": kernel_seconds,
+        "kernel_speedup": speedup,
+    }

@@ -102,6 +102,7 @@ def calibrate_cell(
     checkpoint=None,
     retry=None,
     faults=None,
+    cache=None,
 ) -> CalibrationResult:
     """Double q (measurements per sample) until the CI is narrow enough.
 
@@ -126,12 +127,17 @@ def calibrate_cell(
     simulates only what is missing.  *retry* / *faults* configure the
     fault-tolerant parallel executor (see
     :func:`repro.sim.replication.run_replications`).
+
+    *cache* (a :class:`~repro.perf.cache.ScheduleCache`) memoizes the
+    compiled dag across calibration runs; bit-identical either way.
     """
     if p < 2:
         raise ValueError("p must be at least 2")
     if start_q < 1 or max_q < start_q:
         raise ValueError("need 1 <= start_q <= max_q")
-    compiled = CompiledDag.from_dag(dag)
+    compiled = (
+        cache.compiled(dag) if cache is not None else CompiledDag.from_dag(dag)
+    )
     prio_factory = policy_factory("oblivious", order=order)
     fifo_factory = policy_factory("fifo")
     root = np.random.SeedSequence(seed)

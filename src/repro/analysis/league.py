@@ -66,6 +66,7 @@ def league(
     checkpoint=None,
     retry=None,
     faults=None,
+    cache=None,
 ) -> list[LeagueRow]:
     """Run every entrant over the same *n_runs* seed streams.
 
@@ -88,6 +89,11 @@ def league(
     skipping one cannot shift another's streams).  *retry* / *faults*
     configure the fault-tolerant parallel executor (see
     :func:`repro.sim.replication.run_replications`).
+
+    *cache* (a :class:`~repro.perf.cache.ScheduleCache`) memoizes the
+    compiled dag across league runs over the same structure (entrant
+    schedules are the caller's to cache when building the entrant list).
+    Results are bit-identical with or without it.
     """
     if not entrants:
         raise ValueError("need at least one entrant")
@@ -97,7 +103,9 @@ def league(
     baseline = baseline if baseline is not None else names[-1]
     if baseline not in names:
         raise ValueError(f"unknown baseline {baseline!r}")
-    compiled = CompiledDag.from_dag(dag)
+    compiled = (
+        cache.compiled(dag) if cache is not None else CompiledDag.from_dag(dag)
+    )
     store_reps = checkpoint is not None and telemetry is not None
     metrics = {}
     restored = 0

@@ -46,6 +46,7 @@ def full_report(
     checkpoint=None,
     retry=None,
     faults=None,
+    cache=None,
 ) -> list[WorkloadReport]:
     """Run every experiment for each workload; returns one report each.
 
@@ -60,6 +61,11 @@ def full_report(
     every workload gets a ``{name}/``-scoped view of the same file, so
     one checkpoint covers the whole report.  *retry* / *faults* configure
     the sweeps' fault-tolerant parallel executor.
+
+    *cache* (a :class:`~repro.perf.cache.ScheduleCache`) is threaded into
+    each workload's sweep so repeated reports share compiled dags.  The
+    overhead measurement always runs the real pipeline — timing it is the
+    point — so the cache never short-circuits it.
     """
     config = config or SweepConfig(
         mu_bits=(1.0,), mu_bss=(1.0, 4.0, 16.0, 64.0, 256.0), p=8, q=2
@@ -82,6 +88,7 @@ def full_report(
             ),
             retry=retry,
             faults=faults,
+            cache=cache,
         )
         regions = advantage_regions(sweep)
         reports.append(

@@ -357,6 +357,7 @@ def ratio_sweep(
     checkpoint=None,
     retry=None,
     faults=None,
+    cache=None,
 ) -> SweepResult:
     """Run the PRIO-vs-FIFO sweep for one dag.
 
@@ -396,9 +397,17 @@ def ratio_sweep(
       chunk executor (see :func:`repro.sim.parallel.iter_chunk_results`).
       Recovery cannot change results; the serial path has no pool and
       ignores both.
+
+    *cache* (a :class:`~repro.perf.cache.ScheduleCache`) memoizes the
+    compiled dag across sweeps over the same structure; callers that also
+    resolve ``prio_order`` through the cache skip recomputing the schedule
+    per invocation.  Purely structural reuse — results are bit-identical
+    with or without it.
     """
     par = resolve_parallel(jobs, parallel)
-    compiled = CompiledDag.from_dag(dag)
+    compiled = (
+        cache.compiled(dag) if cache is not None else CompiledDag.from_dag(dag)
+    )
     count = config.p * config.q
     prio_factory = policy_factory("oblivious", order=list(prio_order))
     fifo_factory = policy_factory("fifo")

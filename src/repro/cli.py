@@ -29,7 +29,13 @@ The long-running drivers (``sweep``, ``league``, ``calibrate``,
 work durably), ``--resume PATH`` (continue from an existing checkpoint;
 bit-identical to an uninterrupted run), and ``--max-attempts`` /
 ``--chunk-timeout`` (the fault-tolerant parallel executor; see
-docs/API.md, "Fault tolerance, checkpointing & resume").  Ctrl-C exits
+docs/API.md, "Fault tolerance, checkpointing & resume").  The
+schedule-computing subcommands (``schedule``, ``simulate``, ``sweep``,
+``regions``, ``league``, ``calibrate``, ``report``) take ``--cache-dir
+PATH`` (persist computed schedules, content-addressed by dag fingerprint,
+and reuse them across invocations) and ``--no-cache`` (disable caching);
+cached and uncached runs are bit-identical (see docs/API.md, "Schedule
+cache & fast kernel").  Ctrl-C exits
 with status 130 after the checkpoint is safely on disk; predictable
 errors (unknown workload, fingerprint mismatch, unreadable checkpoint)
 exit with status 2 and a one-line message.
@@ -46,7 +52,6 @@ from .analysis.eligibility_curves import eligibility_curves
 from .analysis.overhead import measure_overhead, render_overhead_table
 from .analysis.report import render_curves_table, render_sweep
 from .analysis.sweep import SweepConfig, paper_grid, ratio_sweep
-from .core.fifo import fifo_schedule
 from .core.prio import prio_schedule
 from .core.tool import prioritize_dagman_file
 from .dag.graph import Dag
@@ -135,6 +140,40 @@ def _close_telemetry(args: argparse.Namespace, telemetry) -> None:
             f"wrote {args.telemetry} ({telemetry.n_records} telemetry records)",
             file=sys.stderr,
         )
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help=(
+            "persist computed schedules here (content-addressed by dag "
+            "fingerprint) and reuse them across invocations; results are "
+            "bit-identical with the cache on or off"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable schedule/compiled-dag caching entirely",
+    )
+
+
+def _schedule_cache(args: argparse.Namespace, telemetry=None):
+    """A ScheduleCache honouring --cache-dir/--no-cache, or None.
+
+    Always-on in-memory tier (one process) unless ``--no-cache``; the
+    on-disk tier is added by ``--cache-dir``.  When telemetry is active
+    the cache's hit/miss counters land in its registry.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    from .perf import ScheduleCache
+
+    cache = ScheduleCache(directory=getattr(args, "cache_dir", None))
+    if telemetry is not None:
+        cache.attach_metrics(telemetry.registry)
+    return cache
 
 
 def _add_robust_arguments(parser: argparse.ArgumentParser) -> None:
@@ -256,11 +295,12 @@ def _cmd_prio(args: argparse.Namespace) -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
+    from .perf.cache import cached_schedule
+
     dag, name = _load_dag(args.dag)
-    if args.algorithm == "fifo":
-        order = fifo_schedule(dag)
-    else:
-        order = prio_schedule(dag).schedule
+    order = cached_schedule(
+        dag, args.algorithm, cache=_schedule_cache(args)
+    )
     labels = (dag.label(u) for u in order)
     print("\n".join(labels) if args.one_per_line else ", ".join(labels))
     return 0
@@ -310,8 +350,11 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 def _cmd_regions(args: argparse.Namespace) -> int:
     from .analysis.crossover import advantage_regions, render_regions
 
+    from .perf.cache import cached_schedule
+
     dag, name = _load_dag(args.dag)
-    order = prio_schedule(dag).schedule
+    cache = _schedule_cache(args)
+    order = cached_schedule(dag, "prio", cache=cache)
     config = SweepConfig(
         mu_bits=tuple(args.mu_bit),
         mu_bss=tuple(args.mu_bs),
@@ -320,9 +363,12 @@ def _cmd_regions(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     telemetry = _open_telemetry(args, "regions", workload=name, seed=args.seed)
+    if cache is not None and telemetry is not None:
+        cache.attach_metrics(telemetry.registry)
     try:
         result = ratio_sweep(
-            dag, order, config, name, jobs=args.jobs, telemetry=telemetry
+            dag, order, config, name, jobs=args.jobs, telemetry=telemetry,
+            cache=cache,
         )
     finally:
         _close_telemetry(args, telemetry)
@@ -386,11 +432,14 @@ def _cmd_curves(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .perf.cache import cached_schedule
+
     dag, name = _load_dag(args.dag)
     params = SimParams(mu_bit=args.mu_bit, mu_bs=args.mu_bs)
     rng = np.random.default_rng(args.seed)
     if args.algorithm == "prio":
-        policy = make_policy("oblivious", order=prio_schedule(dag).schedule)
+        order = cached_schedule(dag, "prio", cache=_schedule_cache(args))
+        policy = make_policy("oblivious", order=order)
     else:
         policy = make_policy(args.algorithm, rng=rng)
     result = simulate(dag, policy, params, rng)
@@ -412,7 +461,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     config = SweepConfig(
         mu_bits=mu_bits, mu_bss=mu_bss, p=args.p, q=args.q, seed=args.seed
     )
-    order = prio_schedule(dag).schedule
+    from .perf.cache import cached_schedule
+
+    cache = _schedule_cache(args)
+    order = cached_schedule(dag, "prio", cache=cache)
 
     from .obs.progress import ProgressMeter
 
@@ -428,12 +480,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     telemetry = _open_telemetry(
         args, "sweep", workload=name, p=args.p, q=args.q, seed=args.seed
     )
+    if cache is not None and telemetry is not None:
+        cache.attach_metrics(telemetry.registry)
     try:
         with ProgressMeter(f"sweep {name}", unit="cell") as meter:
             result = ratio_sweep(
                 dag, order, config, name,
                 progress=meter, jobs=args.jobs, telemetry=telemetry,
                 checkpoint=checkpoint, retry=_retry_policy(args),
+                cache=cache,
             )
     except KeyboardInterrupt:
         _resume_hint(checkpoint)
@@ -482,12 +537,17 @@ def _cmd_league(args: argparse.Namespace) -> int:
     from .analysis.league import Entrant, league, render_league
     from .sim.engine import SimParams
 
+    from .perf.cache import cached_schedule
+
     dag, name = _load_dag(args.dag)
+    cache = _schedule_cache(args)
     entrants = [
-        Entrant.from_schedule("prio", prio_schedule(dag).schedule),
+        Entrant.from_schedule(
+            "prio", cached_schedule(dag, "prio", cache=cache)
+        ),
         Entrant.from_schedule(
             "prio-topological",
-            prio_schedule(dag, combine="topological").schedule,
+            cached_schedule(dag, "prio", cache=cache, combine="topological"),
         ),
         Entrant("random", "random"),
         Entrant("fifo", "fifo"),
@@ -513,6 +573,8 @@ def _cmd_league(args: argparse.Namespace) -> int:
     telemetry = _open_telemetry(
         args, "league", workload=name, runs=args.runs, seed=args.seed
     )
+    if cache is not None and telemetry is not None:
+        cache.attach_metrics(telemetry.registry)
     try:
         with ProgressMeter(f"league {name}", unit="entrant") as meter:
             rows = league(
@@ -527,6 +589,7 @@ def _cmd_league(args: argparse.Namespace) -> int:
                 telemetry=telemetry,
                 checkpoint=checkpoint,
                 retry=_retry_policy(args),
+                cache=cache,
             )
     except KeyboardInterrupt:
         _resume_hint(checkpoint)
@@ -541,9 +604,11 @@ def _cmd_league(args: argparse.Namespace) -> int:
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .analysis.calibrate import calibrate_cell
+    from .perf.cache import cached_schedule
 
     dag, name = _load_dag(args.dag)
-    order = prio_schedule(dag).schedule
+    cache = _schedule_cache(args)
+    order = cached_schedule(dag, "prio", cache=cache)
     params = SimParams(mu_bit=args.mu_bit, mu_bs=args.mu_bs)
 
     def step_progress(step) -> None:
@@ -574,6 +639,8 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     telemetry = _open_telemetry(
         args, "calibrate", workload=name, metric=args.metric, seed=args.seed
     )
+    if cache is not None and telemetry is not None:
+        cache.attach_metrics(telemetry.registry)
     try:
         result = calibrate_cell(
             dag,
@@ -592,6 +659,7 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             checkpoint=checkpoint,
             retry=_retry_policy(args),
+            cache=cache,
         )
     except KeyboardInterrupt:
         _resume_hint(checkpoint)
@@ -717,11 +785,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     telemetry = _open_telemetry(
         args, "report", workloads=list(workloads), seed=args.seed
     )
+    cache = _schedule_cache(args, telemetry)
     try:
         reports = full_report(
             workloads, config, progress=progress, jobs=args.jobs,
             telemetry=telemetry,
             checkpoint=checkpoint, retry=_retry_policy(args),
+            cache=cache,
         )
     except KeyboardInterrupt:
         _resume_hint(checkpoint)
@@ -804,6 +874,7 @@ def build_parser() -> argparse.ArgumentParser:
         "-a", "--algorithm", choices=("prio", "fifo"), default="prio"
     )
     p.add_argument("-1", "--one-per-line", action="store_true")
+    _add_cache_arguments(p)
     p.set_defaults(func=_cmd_schedule)
 
     p = sub.add_parser("decompose", help="building blocks and families")
@@ -832,6 +903,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=20060427)
     _add_jobs_argument(p)
     _add_telemetry_argument(p)
+    _add_cache_arguments(p)
     p.set_defaults(func=_cmd_regions)
 
     p = sub.add_parser("curves", help="Fig. 4 eligible-job curves")
@@ -853,6 +925,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mu-bit", type=float, default=1.0)
     p.add_argument("--mu-bs", type=float, default=16.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_cache_arguments(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="Figs. 6-9 ratio sweep")
@@ -871,6 +944,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(p)
     _add_telemetry_argument(p)
     _add_robust_arguments(p)
+    _add_cache_arguments(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -900,6 +974,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(p)
     _add_telemetry_argument(p)
     _add_robust_arguments(p)
+    _add_cache_arguments(p)
     p.set_defaults(func=_cmd_calibrate)
 
     p = sub.add_parser("overhead", help="Sec. 3.6 overhead table")
@@ -923,6 +998,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(p)
     _add_telemetry_argument(p)
     _add_robust_arguments(p)
+    _add_cache_arguments(p)
     p.set_defaults(func=_cmd_league)
 
     p = sub.add_parser("lint", help="check a DAGMan file for problems")
@@ -975,6 +1051,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(p)
     _add_telemetry_argument(p)
     _add_robust_arguments(p)
+    _add_cache_arguments(p)
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(

@@ -53,7 +53,15 @@ class Dag:
         transformation of an existing :class:`Dag`).
     """
 
-    __slots__ = ("_n", "_children", "_parents", "_labels", "_label_to_id", "_narcs")
+    __slots__ = (
+        "_n",
+        "_children",
+        "_parents",
+        "_labels",
+        "_label_to_id",
+        "_narcs",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -96,6 +104,7 @@ class Dag:
         else:
             self._labels = None
             self._label_to_id = None
+        self._fingerprint: str | None = None
         if check_acyclic:
             self._assert_acyclic()
 
@@ -213,6 +222,32 @@ class Dag:
 
     def is_sink(self, u: int) -> bool:
         return not self._children[u]
+
+    def fingerprint(self) -> str:
+        """Canonical content hash of the dag's adjacency structure.
+
+        The fingerprint is a SHA-256 digest over the node count and the
+        arc list in canonical (sorted) order.  Job *labels* do not
+        participate: relabelling a dag (renaming its jobs) leaves the
+        fingerprint unchanged, while any change to the adjacency — a
+        different node count, an added, dropped or redirected arc —
+        produces a different digest.  Node *ids* do participate, which is
+        exactly what schedule caching needs: a schedule is a list of node
+        ids, so two dags may share a cache entry only when their id
+        structure is identical.
+
+        The digest is computed once and memoized (the dag is immutable).
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(b"dag-v1:%d" % self._n)
+            for u in range(self._n):
+                for v in sorted(self._children[u]):
+                    h.update(b";%d>%d" % (u, v))
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Structure queries

@@ -1,0 +1,34 @@
+"""Hot-path performance layer: schedule caching and the fast kernel.
+
+Two independent mechanisms, both with a hard bit-identity guarantee
+against the code paths they replace:
+
+* :class:`~repro.perf.cache.ScheduleCache` — schedules (PRIO, FIFO,
+  ablation variants) and compiled dags are computed once per unique dag
+  and reused across replications, sweep cells, league rounds and resumed
+  runs.  Keys are :meth:`repro.dag.graph.Dag.fingerprint` content hashes;
+  an optional on-disk store (``directory=``) makes the cache survive
+  process boundaries and CLI invocations.
+* :func:`~repro.perf.kernel.simulate_fast` — an array-compiled
+  specialization of the reference event loop in
+  :mod:`repro.sim.engine` (integer job ids, flat adjacency, preallocated
+  eligibility frontier, no per-event method dispatch).
+  :func:`repro.sim.engine.simulate` dispatches to it automatically for
+  the policies it supports and falls back to the reference engine
+  otherwise; both paths consume the random stream identically, so
+  results are bit-identical.
+
+The equivalence suite (``tests/perf/``) holds both guarantees under
+property-based random dags and the paper workloads.
+"""
+
+from .cache import ScheduleCache, cached_schedule, schedule_algorithms
+from .kernel import kernel_supported, simulate_fast
+
+__all__ = [
+    "ScheduleCache",
+    "cached_schedule",
+    "schedule_algorithms",
+    "kernel_supported",
+    "simulate_fast",
+]

@@ -1,0 +1,368 @@
+"""Array-compiled simulation kernel: the reference event loop, specialized.
+
+:func:`simulate_fast` executes exactly the model of
+:func:`repro.sim.engine.simulate` — same events, same metrics, same
+random stream — but compiled down to flat data structures:
+
+* jobs are dense integer ids over a memoized list-of-lists adjacency
+  (:meth:`repro.sim.compile.CompiledDag.child_lists`), shared by every
+  simulation of the same compiled dag;
+* the remaining-parent counts live in a plain int vector seeded from the
+  compiled in-degree array;
+* the eligibility frontier is preallocated: FIFO keeps a flat queue with
+  a head cursor (no deque, no policy object), the oblivious policy keeps
+  a rank heap over precomputed rank tables;
+* the arrival and runtime sample buffers are read as Python lists
+  (refilled by the same chunked generators, in the same order), so the
+  inner loop never pays numpy scalar dispatch.
+
+**Bit-identity contract.**  The kernel draws from the generator through
+the same :class:`~repro.sim.arrivals.BatchArrivals` and
+:class:`~repro.sim.runtime.RuntimeSampler` refills, in the same order, at
+the same event boundaries as the reference engine, and performs the same
+float arithmetic on the samples.  For any supported policy, fixed seed
+and parameter set — including worker churn and rollover — it returns a
+:class:`~repro.sim.engine.SimResult` and records an
+:class:`~repro.sim.trace.ExecutionTrace` bit-identical to the reference
+engine's.  ``tests/perf/`` enforces this property over random dags and
+the paper workloads; any divergence is a bug in this module.
+
+Policies with their own random draws (:class:`~repro.sim.policies.RandomPolicy`)
+or user-defined policy classes are not compiled;
+:func:`repro.sim.engine.simulate` detects that via :func:`kernel_supported`
+and falls back to the reference loop.
+"""
+
+from __future__ import annotations
+
+import time
+from heapq import heappop, heappush
+
+import numpy as np
+
+from ..sim.arrivals import BatchArrivals
+from ..sim.compile import CompiledDag
+from ..sim.policies import FifoPolicy, ObliviousPolicy, Policy
+from ..sim.runtime import RuntimeSampler
+
+from ..sim.engine import SimResult
+
+__all__ = ["kernel_supported", "simulate_fast"]
+
+
+def kernel_supported(policy: Policy) -> bool:
+    """Whether *policy* can be compiled by the fast kernel.
+
+    Exact-type checks on purpose: a subclass may override ``push``/``pop``
+    semantics, and the kernel inlines them.
+    """
+    return type(policy) is FifoPolicy or type(policy) is ObliviousPolicy
+
+
+def simulate_fast(
+    dag: CompiledDag,
+    policy: Policy,
+    params,
+    rng: np.random.Generator,
+    *,
+    trace=None,
+    runtime_scale: np.ndarray | None = None,
+    metrics=None,
+):
+    """Run one simulated execution on the compiled kernel.
+
+    Same contract as :func:`repro.sim.engine.simulate` (which is the
+    normal way to reach this function); *policy* must be freshly
+    constructed and of a supported type.  The policy object itself is
+    never mutated — its configuration (the oblivious rank tables) is read
+    and the frontier state lives in kernel-local structures.
+    """
+    if not kernel_supported(policy):
+        raise TypeError(
+            f"fast kernel does not support {type(policy).__name__}; "
+            "call repro.sim.engine.simulate for the reference path"
+        )
+    if len(policy):
+        raise ValueError("policy must be freshly constructed (empty)")
+
+    setup_started = time.perf_counter() if metrics is not None else 0.0
+
+    compiled = dag if isinstance(dag, CompiledDag) else CompiledDag.from_dag(dag)
+    n = compiled.n
+    if n == 0:
+        return SimResult(0.0, 0, 0, 0, 0)
+    children = compiled.child_lists()
+    remaining = compiled.indegree.tolist()
+
+    arrivals = BatchArrivals(
+        params.mu_bit, params.mu_bs, rng, size_dist=params.batch_size_dist
+    )
+    runtimes = RuntimeSampler(
+        rng, mean=params.runtime_mean, std=params.runtime_std
+    )
+    failure_prob = params.failure_prob
+    failure_fraction = params.failure_time_fraction
+    rollover = params.rollover
+    scale = None
+    if runtime_scale is not None:
+        scale_arr = np.asarray(runtime_scale, dtype=np.float64)
+        if scale_arr.shape != (n,):
+            raise ValueError(
+                f"runtime_scale must have one entry per job ({n}), got "
+                f"shape {scale_arr.shape}"
+            )
+        if (scale_arr <= 0).any():
+            raise ValueError("runtime_scale entries must be positive")
+        scale = scale_arr.tolist()
+
+    # --- eligibility frontier -----------------------------------------
+    # FIFO: a flat queue with a head cursor (append = push, cursor bump =
+    # pop), preallocated with the sources.  Oblivious: a heap of ranks
+    # over the policy's precomputed tables.  Either way the frontier
+    # starts with every source job in ascending id order — exactly the
+    # reference engine's initial pushes.
+    frontier = compiled.initial_frontier()
+    if type(policy) is ObliviousPolicy:
+        rank = policy._rank
+        job_of_rank = policy._job_of_rank
+        heap: list[int] = sorted(rank[u] for u in frontier)
+        queue = None
+        qhead = 0
+        size = len(heap)
+    else:
+        rank = None
+        job_of_rank = None
+        heap = None
+        queue = list(frontier)
+        qhead = 0
+        size = len(queue)
+
+    # --- arrival / runtime sample buffers, mirrored as lists ----------
+    a_times: list[float] = []
+    a_sizes: list[int] = []
+    a_pos = 0
+    a_len = 0
+    r_buf: list[float] = []
+    r_pos = 0
+    r_len = 0
+
+    completions: list[tuple[float, int, bool]] = []
+    n_assigned = 0
+    n_executed = 0
+    n_running = 0
+    n_failures = 0
+    batches = 0
+    stalled = 0
+    requests = 0
+    waiting = 0
+    wasted = 0
+    makespan = 0.0
+    now = 0.0
+    batches_at_last = 0
+    stalled_at_last = 0
+    requests_at_last = 0
+
+    if trace is not None:
+        trace.record(0.0, size, 0, 0, 0, 0)
+
+    track = metrics is not None
+    n_events = 0
+    peak_heap = 0
+    peak_eligible = size if track else 0
+    if track:
+        setup_seconds = time.perf_counter() - setup_started
+        loop_started = time.perf_counter()
+
+    while n_executed < n:
+        if track:
+            n_events += 1
+            if len(completions) > peak_heap:
+                peak_heap = len(completions)
+            if size > peak_eligible:
+                peak_eligible = size
+        # Same control flow as the reference engine: batches stay
+        # relevant while assignment may still be needed (or churn /
+        # rollover can re-open it).
+        if n_assigned < n or failure_prob > 0.0 or (rollover and waiting > 0):
+            if a_pos >= a_len:
+                arrivals._refill()
+                a_times = arrivals._times.tolist()
+                a_sizes = arrivals._sizes.tolist()
+                a_pos = 0
+                a_len = len(a_times)
+            batch_time = a_times[a_pos]
+            if completions and completions[0][0] <= batch_time:
+                # ---- completion event --------------------------------
+                t, job, failed = heappop(completions)
+                now = t
+                n_running -= 1
+                if failed:
+                    n_failures += 1
+                    n_assigned -= 1
+                    if heap is None:
+                        queue.append(job)
+                    else:
+                        heappush(heap, rank[job])
+                    size += 1
+                else:
+                    n_executed += 1
+                    for v in children[job]:
+                        remaining[v] -= 1
+                        if remaining[v] == 0:
+                            if heap is None:
+                                queue.append(v)
+                            else:
+                                heappush(heap, rank[v])
+                            size += 1
+                if rollover and waiting > 0:
+                    # ---- serve rolled-over workers -------------------
+                    take = waiting if waiting < size else size
+                    if take > 0:
+                        if r_pos + take > r_len:
+                            runtimes._refill(take)
+                            r_buf = runtimes._buf.tolist()
+                            r_pos = 0
+                            r_len = len(r_buf)
+                        d_base = r_pos
+                        r_pos += take
+                        if failure_prob > 0.0:
+                            fails = rng.random(take) < failure_prob
+                        for i in range(take):
+                            if heap is None:
+                                job = queue[qhead]
+                                qhead += 1
+                            else:
+                                job = job_of_rank[heappop(heap)]
+                            duration = r_buf[d_base + i]
+                            if scale is not None:
+                                duration *= scale[job]
+                            if failure_prob > 0.0 and fails[i]:
+                                heappush(
+                                    completions,
+                                    (now + duration * failure_fraction, job, True),
+                                )
+                            else:
+                                finish = now + duration
+                                if finish > makespan:
+                                    makespan = finish
+                                heappush(completions, (finish, job, False))
+                        size -= take
+                        n_assigned += take
+                        n_running += take
+                        if n_assigned == n:
+                            batches_at_last = batches
+                            stalled_at_last = stalled
+                            requests_at_last = requests
+                        waiting -= take
+                if trace is not None:
+                    trace.record(
+                        now, size, n_running, n_executed, wasted, waiting
+                    )
+                continue
+            # ---- batch arrival event ---------------------------------
+            t = a_times[a_pos]
+            b = a_sizes[a_pos]
+            a_pos += 1
+            now = t
+            batches += 1
+            requests += b
+            if n_assigned < n and size == 0:
+                stalled += 1
+            capacity = b + waiting if rollover else b
+            take = capacity if capacity < size else size
+            if take > 0:
+                if r_pos + take > r_len:
+                    runtimes._refill(take)
+                    r_buf = runtimes._buf.tolist()
+                    r_pos = 0
+                    r_len = len(r_buf)
+                d_base = r_pos
+                r_pos += take
+                if failure_prob > 0.0:
+                    fails = rng.random(take) < failure_prob
+                for i in range(take):
+                    if heap is None:
+                        job = queue[qhead]
+                        qhead += 1
+                    else:
+                        job = job_of_rank[heappop(heap)]
+                    duration = r_buf[d_base + i]
+                    if scale is not None:
+                        duration *= scale[job]
+                    if failure_prob > 0.0 and fails[i]:
+                        heappush(
+                            completions,
+                            (t + duration * failure_fraction, job, True),
+                        )
+                    else:
+                        finish = t + duration
+                        if finish > makespan:
+                            makespan = finish
+                        heappush(completions, (finish, job, False))
+                size -= take
+                n_assigned += take
+                n_running += take
+                if n_assigned == n:
+                    batches_at_last = batches
+                    stalled_at_last = stalled
+                    requests_at_last = requests
+            if rollover:
+                waiting = capacity - take
+            else:
+                wasted += b - take
+            if trace is not None:
+                trace.record(
+                    now, size, n_running, n_executed, wasted, waiting
+                )
+        else:
+            # ---- completion event (arrival stream exhausted) ---------
+            t, job, failed = heappop(completions)
+            now = t
+            n_running -= 1
+            if failed:
+                n_failures += 1
+                n_assigned -= 1
+                if heap is None:
+                    queue.append(job)
+                else:
+                    heappush(heap, rank[job])
+                size += 1
+            else:
+                n_executed += 1
+                for v in children[job]:
+                    remaining[v] -= 1
+                    if remaining[v] == 0:
+                        if heap is None:
+                            queue.append(v)
+                        else:
+                            heappush(heap, rank[v])
+                        size += 1
+            if trace is not None:
+                trace.record(
+                    now, size, n_running, n_executed, wasted, waiting
+                )
+
+    if metrics is not None:
+        loop_seconds = time.perf_counter() - loop_started
+        metrics.counter("engine.runs").inc()
+        metrics.counter("engine.kernel_runs").inc()
+        metrics.counter("engine.events").inc(n_events)
+        metrics.counter("engine.batches").inc(batches)
+        metrics.counter("engine.stalled_batches").inc(stalled)
+        metrics.counter("engine.requests").inc(requests)
+        metrics.counter("engine.failures").inc(n_failures)
+        metrics.counter("engine.wasted_workers").inc(wasted)
+        metrics.gauge("engine.peak_heap").set(peak_heap)
+        metrics.gauge("engine.peak_eligible").set(peak_eligible)
+        metrics.timer("kernel.setup").add(setup_seconds)
+        metrics.timer("kernel.loop").add(loop_seconds)
+
+    return SimResult(
+        execution_time=makespan,
+        n_jobs=n,
+        batches_until_last_assignment=batches_at_last,
+        stalled_batches=stalled_at_last,
+        requests_until_last_assignment=requests_at_last,
+        n_failures=n_failures,
+        unserved_workers=waiting,
+    )

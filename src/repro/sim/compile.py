@@ -3,11 +3,22 @@
 The sweep experiments run tens of thousands of simulations over the same
 dag, so the adjacency is flattened once into CSR-style numpy arrays and the
 per-simulation state (remaining-parent counts) is a cheap array copy.
+
+The compiled form is what actually ships to worker processes and what the
+fast kernel (:mod:`repro.perf.kernel`) consumes: integer job ids, a flat
+children array, an in-degree vector, plus a memoized list-of-lists view of
+the adjacency (``child_lists``) that every simulation of the same compiled
+dag shares instead of rebuilding.  The memo is process-local and excluded
+from pickling, so shipping a compiled dag to a worker stays as cheap as
+before; :func:`repro.sim.parallel.run_chunk` re-canonicalizes unpickled
+copies against a per-worker content-addressed memo keyed by
+:attr:`fingerprint` so each worker warms the adjacency view exactly once
+per unique dag.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -21,19 +32,26 @@ class CompiledDag:
     """CSR adjacency plus initial in-degrees for a dag.
 
     ``children[indptr[u]:indptr[u+1]]`` are the children of job *u*.
+    ``fingerprint`` is the source dag's canonical content hash (see
+    :meth:`repro.dag.graph.Dag.fingerprint`); it keys the schedule cache
+    and the per-worker compiled-dag memo.  ``None`` only for compiled dags
+    built by hand from raw arrays.
     """
 
     n: int
     indptr: np.ndarray
     children: np.ndarray
     indegree: np.ndarray
+    fingerprint: str | None = field(default=None, compare=False)
 
     @classmethod
     def from_dag(cls, dag: Dag) -> "CompiledDag":
         n = dag.n
+        degrees = np.fromiter(
+            (dag.out_degree(u) for u in range(n)), dtype=np.int64, count=n
+        )
         indptr = np.zeros(n + 1, dtype=np.int64)
-        for u in range(n):
-            indptr[u + 1] = indptr[u] + dag.out_degree(u)
+        np.cumsum(degrees, out=indptr[1:])
         children = np.empty(int(indptr[-1]), dtype=np.int32)
         for u in range(n):
             kids = dag.children(u)
@@ -41,11 +59,55 @@ class CompiledDag:
         indegree = np.fromiter(
             (dag.in_degree(u) for u in range(n)), dtype=np.int32, count=n
         )
-        return cls(n=n, indptr=indptr, children=children, indegree=indegree)
+        return cls(
+            n=n,
+            indptr=indptr,
+            children=children,
+            indegree=indegree,
+            fingerprint=dag.fingerprint(),
+        )
 
     def child_lists(self) -> list[list[int]]:
-        """Children as plain Python lists (fastest to iterate in the loop)."""
-        return [
-            self.children[self.indptr[u]: self.indptr[u + 1]].tolist()
-            for u in range(self.n)
-        ]
+        """Children as plain Python lists (fastest to iterate in the loop).
+
+        Memoized: building the list-of-lists view is O(n + arcs), and
+        before memoization every single simulation paid it again for the
+        same dag — tens of thousands of rebuilds per sweep.  The compiled
+        dag is immutable, so all simulations can share one view.
+        """
+        cached = self.__dict__.get("_child_lists")
+        if cached is None:
+            indptr = self.indptr
+            children = self.children
+            cached = [
+                children[indptr[u]: indptr[u + 1]].tolist()
+                for u in range(self.n)
+            ]
+            object.__setattr__(self, "_child_lists", cached)
+        return cached
+
+    def initial_frontier(self) -> list[int]:
+        """Ids of the source jobs (in-degree zero), in id order.
+
+        Memoized alongside :meth:`child_lists`; the kernel seeds its
+        preallocated eligibility frontier from this.
+        """
+        cached = self.__dict__.get("_initial_frontier")
+        if cached is None:
+            cached = np.flatnonzero(self.indegree == 0).tolist()
+            object.__setattr__(self, "_initial_frontier", cached)
+        return cached
+
+    def __getstate__(self):
+        # Ship only the arrays; the memoized adjacency views are
+        # process-local and cheap to rebuild once per worker.
+        return (self.n, self.indptr, self.children, self.indegree,
+                self.fingerprint)
+
+    def __setstate__(self, state):
+        n, indptr, children, indegree, fingerprint = state
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "children", children)
+        object.__setattr__(self, "indegree", indegree)
+        object.__setattr__(self, "fingerprint", fingerprint)

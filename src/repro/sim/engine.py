@@ -56,6 +56,18 @@ from .runtime import RuntimeSampler
 __all__ = ["SimParams", "SimResult", "simulate", "make_policy"]
 
 
+def _kernel_default() -> bool:
+    """Whether auto-dispatch to the fast kernel is enabled.
+
+    ``REPRO_NO_KERNEL=1`` pins every simulation to the reference loop —
+    an escape hatch for debugging and for A/B-ing the engines; results
+    are bit-identical either way.
+    """
+    import os
+
+    return os.environ.get("REPRO_NO_KERNEL", "") != "1"
+
+
 @dataclass(frozen=True)
 class SimParams:
     """Knobs of the system model.
@@ -154,6 +166,7 @@ def simulate(
     trace=None,
     runtime_scale: np.ndarray | None = None,
     metrics=None,
+    kernel: bool | None = None,
 ) -> SimResult:
     """Run one simulated execution of *dag* under *policy*.
 
@@ -170,8 +183,36 @@ def simulate(
     gauges (completion-heap size, eligible pool); neither *trace* nor
     *metrics* ever touches *rng*, so enabling them cannot change the
     result.
+
+    *kernel* selects the array-compiled fast kernel
+    (:func:`repro.perf.kernel.simulate_fast`): ``None`` (the default)
+    dispatches to it whenever the policy is supported (FIFO and
+    oblivious; overridable globally with ``REPRO_NO_KERNEL=1``),
+    ``False`` forces this reference loop, ``True`` insists on the kernel
+    and raises for unsupported policies.  Both engines consume the
+    generator identically, so the choice can never change the result —
+    a guarantee the cross-engine equivalence suite enforces.
     """
     compiled = dag if isinstance(dag, CompiledDag) else CompiledDag.from_dag(dag)
+    use_kernel = _kernel_default() if kernel is None else kernel
+    if use_kernel and compiled.n > 0 and len(policy) == 0:
+        from ..perf.kernel import kernel_supported, simulate_fast
+
+        if kernel_supported(policy):
+            return simulate_fast(
+                compiled,
+                policy,
+                params,
+                rng,
+                trace=trace,
+                runtime_scale=runtime_scale,
+                metrics=metrics,
+            )
+        if kernel is True:
+            raise ValueError(
+                f"kernel=True but {type(policy).__name__} is not supported "
+                "by the fast kernel"
+            )
     n = compiled.n
     if n == 0:
         return SimResult(0.0, 0, 0, 0, 0)

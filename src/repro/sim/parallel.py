@@ -155,6 +155,29 @@ def clone_seedseq(seq: np.random.SeedSequence) -> np.random.SeedSequence:
     )
 
 
+#: Per-worker compiled-dag memo, keyed by content fingerprint.  Every task
+#: pickles its own copy of the (shared) compiled dag; re-canonicalizing
+#: against this memo lets all chunks for the same dag share one object —
+#: and therefore one warmed ``child_lists`` adjacency view — per worker
+#: process instead of rebuilding it chunk by chunk.
+_WORKER_COMPILED: dict[str, object] = {}
+_WORKER_COMPILED_MAX = 64
+
+
+def _canonical_compiled(compiled):
+    """The worker-local canonical instance for *compiled*'s fingerprint."""
+    fingerprint = getattr(compiled, "fingerprint", None)
+    if fingerprint is None:
+        return compiled
+    cached = _WORKER_COMPILED.get(fingerprint)
+    if cached is not None:
+        return cached
+    if len(_WORKER_COMPILED) >= _WORKER_COMPILED_MAX:
+        _WORKER_COMPILED.clear()
+    _WORKER_COMPILED[fingerprint] = compiled
+    return compiled
+
+
 def run_chunk(compiled, build_policy, params, runtime_scale, entries, collect=False):
     """Worker task: simulate one chunk of index-tagged replications.
 
@@ -178,6 +201,7 @@ def run_chunk(compiled, build_policy, params, runtime_scale, entries, collect=Fa
 
     from .engine import simulate
 
+    compiled = _canonical_compiled(compiled)
     registry = None
     if collect:
         from ..obs.metrics import MetricsRegistry

@@ -129,6 +129,7 @@ def run_replications(
     on_replication: Callable[[int, SimResult, float | None], None] | None = None,
     retry=None,
     faults=None,
+    cache=None,
 ) -> MetricArrays:
     """Run *count* independent simulations; returns per-run metrics.
 
@@ -156,8 +157,19 @@ def run_replications(
     * *on_replication* — called as ``on_replication(rep, result,
       elapsed_seconds)`` once per replication, in replication order
       (``elapsed_seconds`` is the wall-clock of that simulation).
+
+    *cache* (a :class:`~repro.perf.cache.ScheduleCache`) memoizes the
+    compiled form of *dag* so repeated batches over the same structure —
+    sweep cells, league rounds, resumed runs — share one
+    :class:`CompiledDag` and its warmed adjacency views.  Caching is
+    purely structural reuse: metrics are bit-identical with or without it.
     """
-    compiled = dag if isinstance(dag, CompiledDag) else CompiledDag.from_dag(dag)
+    if cache is not None:
+        compiled = cache.compiled(dag)
+    elif isinstance(dag, CompiledDag):
+        compiled = dag
+    else:
+        compiled = CompiledDag.from_dag(dag)
     seedseq = (
         seed
         if isinstance(seed, np.random.SeedSequence)

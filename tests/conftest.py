@@ -2,10 +2,30 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.dag.graph import Dag, DagBuilder
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # "ci" pins the property-based suite to a reproducible run (fixed
+    # derandomized examples, no deadline flakiness on loaded runners);
+    # "dev" explores harder locally.  Select with HYPOTHESIS_PROFILE.
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        max_examples=60,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", max_examples=200, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - hypothesis is an optional dep
+    pass
 
 
 @pytest.fixture

@@ -1,0 +1,177 @@
+"""Cross-engine equivalence: the fast kernel vs the reference event loop.
+
+The kernel's contract is bit-identity, not approximation: for any
+supported policy, seed and operating point, ``simulate(..., kernel=True)``
+must return the same :class:`SimResult` and record the same
+:class:`ExecutionTrace` as ``kernel=False`` — including worker churn,
+rollover and per-job runtime scaling.  These tests hold that property over
+property-based random dags and the paper's workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.prio import prio_schedule
+from repro.obs.metrics import MetricsRegistry
+from repro.perf import kernel_supported, simulate_fast
+from repro.sim.compile import CompiledDag
+from repro.sim.engine import SimParams, make_policy, simulate
+from repro.sim.policies import FifoPolicy, ObliviousPolicy, RandomPolicy
+from repro.sim.trace import ExecutionTrace
+from repro.workloads.registry import get_workload
+
+from .strategies import dags, sim_params
+
+WORKLOADS = ("airsn-small", "inspiral-small", "montage-small", "sdss-small")
+
+TRACE_FIELDS = ("eligible", "running", "executed", "wasted", "waiting")
+
+
+def _run_both(dag, policy_kind, order, params, seed, runtime_scale=None):
+    """One simulation through each engine; returns (results, traces)."""
+    results, traces = [], []
+    for kernel in (False, True):
+        rng = np.random.default_rng(seed)
+        policy = make_policy(policy_kind, order=order, rng=rng)
+        trace = ExecutionTrace()
+        results.append(
+            simulate(
+                dag, policy, params, rng,
+                kernel=kernel, trace=trace, runtime_scale=runtime_scale,
+            )
+        )
+        traces.append(trace)
+    return results, traces
+
+
+def _assert_identical(results, traces):
+    reference, fast = results
+    assert fast == reference  # SimResult is a plain dataclass: exact floats
+    t_ref, t_fast = traces
+    assert np.array_equal(t_ref.times, t_fast.times)
+    for field in TRACE_FIELDS:
+        assert np.array_equal(t_ref.series(field), t_fast.series(field))
+
+
+@given(dags(), sim_params(), st.integers(min_value=0, max_value=2**32 - 1),
+       st.booleans())
+def test_kernel_matches_reference_on_random_dags(dag, params, seed, scaled):
+    order = prio_schedule(dag).schedule
+    scale = None
+    if scaled and dag.n:
+        scale = np.random.default_rng(seed ^ 0xA5A5).uniform(0.5, 2.0, dag.n)
+    for kind, policy_order in (("fifo", None), ("oblivious", order)):
+        results, traces = _run_both(
+            dag, kind, policy_order, params, seed, runtime_scale=scale
+        )
+        _assert_identical(results, traces)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("kind", ["fifo", "oblivious"])
+def test_kernel_matches_reference_on_paper_workloads(workload, kind):
+    dag = get_workload(workload)
+    order = prio_schedule(dag).schedule if kind == "oblivious" else None
+    params = SimParams(mu_bit=1.0, mu_bs=16.0)
+    results, traces = _run_both(dag, kind, order, params, seed=20060427)
+    _assert_identical(results, traces)
+
+
+@pytest.mark.parametrize(
+    "params",
+    [
+        SimParams(mu_bit=1.0, mu_bs=8.0, failure_prob=0.3),
+        SimParams(mu_bit=1.0, mu_bs=8.0, rollover=True),
+        SimParams(mu_bit=0.1, mu_bs=4.0, failure_prob=0.2, rollover=True),
+    ],
+    ids=["churn", "rollover", "churn+rollover"],
+)
+def test_kernel_matches_reference_under_churn_and_rollover(params):
+    dag = get_workload("airsn-small")
+    order = prio_schedule(dag).schedule
+    for kind, policy_order in (("fifo", None), ("oblivious", order)):
+        results, traces = _run_both(dag, kind, policy_order, params, seed=7)
+        _assert_identical(results, traces)
+
+
+def test_kernel_emits_the_same_engine_counters(diamond):
+    params = SimParams(mu_bit=1.0, mu_bs=4.0)
+    snapshots = []
+    for kernel in (False, True):
+        registry = MetricsRegistry()
+        rng = np.random.default_rng(3)
+        simulate(
+            diamond, make_policy("fifo"), params, rng,
+            kernel=kernel, metrics=registry,
+        )
+        snapshots.append(registry.snapshot())
+    reference, fast = snapshots
+    for name, value in reference["counters"].items():
+        assert fast["counters"][name] == value, name
+    assert reference["gauges"] == fast["gauges"]
+    assert fast["counters"]["engine.kernel_runs"] == 1
+    assert "engine.kernel_runs" not in reference["counters"]
+    assert {"kernel.setup", "kernel.loop"} <= set(fast["timers"])
+
+
+def test_kernel_supported_is_exact_type(rng):
+    assert kernel_supported(FifoPolicy())
+    assert kernel_supported(ObliviousPolicy([0, 1]))
+    assert not kernel_supported(RandomPolicy(rng))
+
+    class CustomFifo(FifoPolicy):
+        pass
+
+    assert not kernel_supported(CustomFifo())
+
+
+def test_kernel_true_insists(diamond, rng):
+    params = SimParams(mu_bit=1.0, mu_bs=4.0)
+    with pytest.raises(ValueError, match="fast kernel"):
+        simulate(
+            diamond, make_policy("random", rng=rng), params, rng, kernel=True
+        )
+
+
+def test_simulate_fast_rejects_unsupported_and_prefilled(diamond, rng):
+    compiled = CompiledDag.from_dag(diamond)
+    params = SimParams(mu_bit=1.0, mu_bs=4.0)
+    with pytest.raises(TypeError):
+        simulate_fast(compiled, RandomPolicy(rng), params, rng)
+    policy = FifoPolicy()
+    policy.push(0)
+    with pytest.raises(ValueError, match="freshly constructed"):
+        simulate_fast(compiled, policy, params, rng)
+
+
+def test_env_off_switch_forces_reference(diamond, monkeypatch):
+    params = SimParams(mu_bit=1.0, mu_bs=4.0)
+    monkeypatch.setenv("REPRO_NO_KERNEL", "1")
+    registry = MetricsRegistry()
+    result = simulate(
+        diamond, make_policy("fifo"), params,
+        np.random.default_rng(5), metrics=registry,
+    )
+    assert "engine.kernel_runs" not in registry.snapshot()["counters"]
+    monkeypatch.delenv("REPRO_NO_KERNEL")
+    registry = MetricsRegistry()
+    assert result == simulate(
+        diamond, make_policy("fifo"), params,
+        np.random.default_rng(5), metrics=registry,
+    )
+    assert registry.snapshot()["counters"]["engine.kernel_runs"] == 1
+
+
+def test_empty_dag_short_circuits():
+    from repro.dag.graph import Dag
+
+    empty = Dag(0, [])
+    result = simulate(
+        empty, make_policy("fifo"), SimParams(mu_bit=1.0, mu_bs=4.0),
+        np.random.default_rng(0), kernel=True,
+    )
+    assert result.n_jobs == 0 and result.execution_time == 0.0

@@ -1,0 +1,262 @@
+"""Subprocess smoke tests: every CLI subcommand end-to-end.
+
+The in-process suite (``tests/test_cli.py``) exercises command logic via
+``main()``; this one runs ``python -m repro.cli`` as a real child process
+— argv parsing, imports, exit codes, stdout/stderr framing and artifact
+schemas — on tiny workloads, so a packaging or import-order regression
+cannot hide behind the in-process harness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+FIG3 = """\
+JOB a a.sub
+JOB b b.sub
+JOB c c.sub
+JOB d d.sub
+JOB e e.sub
+PARENT a CHILD b
+PARENT c CHILD d e
+"""
+
+TINY = ["--mu-bit", "1.0", "--mu-bs", "4.0"]
+
+
+def run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *map(str, args)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=300,
+    )
+
+
+@pytest.fixture
+def fig3_file(tmp_path):
+    path = tmp_path / "IV.dag"
+    path.write_text(FIG3)
+    for job in "abcde":
+        (tmp_path / f"{job}.sub").write_text(
+            "executable = /bin/true\nqueue\n"
+        )
+    return path
+
+
+def test_prio(fig3_file):
+    proc = run_cli("prio", fig3_file, "-v")
+    assert proc.returncode == 0, proc.stderr
+    assert "5 jobs prioritized" in proc.stdout
+    assert 'jobpriority="5"' in fig3_file.read_text()
+
+
+def test_schedule(fig3_file):
+    proc = run_cli("schedule", fig3_file, "-1")
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.split() == ["c", "a", "b", "d", "e"]
+
+
+def test_schedule_with_cache_dir(fig3_file, tmp_path):
+    store = tmp_path / "cache"
+    first = run_cli("schedule", fig3_file, "--cache-dir", store)
+    second = run_cli("schedule", fig3_file, "--cache-dir", store)
+    third = run_cli("schedule", fig3_file, "--no-cache")
+    assert first.returncode == second.returncode == third.returncode == 0
+    assert first.stdout == second.stdout == third.stdout
+    [entry] = store.glob("schedule-*.json")
+    payload = json.loads(entry.read_text())
+    assert payload["schema"] == 1
+    assert payload["algorithm"] == "prio"
+    assert payload["n"] == 5
+    assert sorted(payload["schedule"]) == list(range(5))
+
+
+def test_decompose():
+    proc = run_cli("decompose", "airsn-small")
+    assert proc.returncode == 0, proc.stderr
+    assert "building blocks" in proc.stdout
+    assert "families:" in proc.stdout
+
+
+def test_dot(fig3_file, tmp_path):
+    out = tmp_path / "fig3.dot"
+    proc = run_cli("dot", fig3_file, "-o", out)
+    assert proc.returncode == 0, proc.stderr
+    text = out.read_text()
+    assert text.startswith("digraph") and "->" in text
+
+
+def test_regions():
+    proc = run_cli(
+        "regions", "airsn-small", "--mu-bit", "1.0",
+        "--mu-bs", "2.0", "8.0", "-p", "4", "-q", "2",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "advantage regions" in proc.stdout.lower() or proc.stdout.strip()
+
+
+def test_curves():
+    proc = run_cli("curves", "airsn-small")
+    assert proc.returncode == 0, proc.stderr
+    assert "airsn-small" in proc.stdout
+
+
+def test_simulate():
+    proc = run_cli("simulate", "airsn-small", *TINY, "--seed", "1")
+    assert proc.returncode == 0, proc.stderr
+    for line in ("execution time", "stalling probability", "utilization"):
+        assert line in proc.stdout
+
+
+def test_sweep_with_cache_and_outputs(tmp_path):
+    csv = tmp_path / "cells.csv"
+    js = tmp_path / "cells.json"
+    args = (
+        "sweep", "airsn-small", "--mu-bit", "1.0", "--mu-bs", "2.0", "8.0",
+        "-p", "4", "-q", "2", "--csv", csv, "--json", js,
+    )
+    plain = run_cli(*args)
+    cached = run_cli(*args, "--cache-dir", tmp_path / "store")
+    assert plain.returncode == 0, plain.stderr
+    assert cached.returncode == 0, cached.stderr
+    assert plain.stdout == cached.stdout  # byte-identical render
+    assert "mu_BIT" in plain.stdout
+    rows = csv.read_text().splitlines()
+    assert rows[0].startswith("workload,")
+    assert len(rows) == 1 + 2 * 3  # header + one row per (cell, metric)
+    payload = json.loads(js.read_text())
+    assert payload["workload"] == "airsn-small"
+    assert len(payload["rows"]) == 2 * 3  # one row per (cell, metric)
+
+
+def test_calibrate():
+    proc = run_cli(
+        "calibrate", "airsn-small", *TINY,
+        "--target-width", "10.0", "-p", "3", "--max-q", "2",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "calibration: airsn-small" in proc.stdout
+
+
+def test_overhead():
+    proc = run_cli("overhead", "airsn-small")
+    assert proc.returncode == 0, proc.stderr
+    assert "airsn-small" in proc.stdout
+
+
+def test_export_then_lint(tmp_path):
+    target = tmp_path / "flow"
+    proc = run_cli("export", "airsn-small", target)
+    assert proc.returncode == 0, proc.stderr
+    [dagfile] = target.glob("*.dag")
+
+    lint = run_cli("lint", dagfile, "--check-jsdfs")
+    assert lint.returncode == 0, lint.stderr
+
+
+def test_run_executes_a_workflow(fig3_file, tmp_path):
+    (fig3_file.parent / "a.sub").write_text(
+        "executable = /usr/bin/touch\narguments = $(JOB).out\nqueue\n"
+    )
+    run = run_cli("run", fig3_file, "--prioritize", "-j", "2")
+    assert run.returncode == 0, run.stderr
+    assert "completed successfully" in run.stdout
+    assert (fig3_file.parent / "a.out").is_file()
+
+
+def test_lint_reports_errors(tmp_path):
+    bad = tmp_path / "bad.dag"
+    bad.write_text("JOB a a.sub\nPARENT a CHILD ghost\n")
+    proc = run_cli("lint", bad)
+    assert proc.returncode == 1
+    assert "ghost" in proc.stdout
+
+
+def test_league():
+    proc = run_cli("league", "airsn-small", *TINY, "--runs", "4")
+    assert proc.returncode == 0, proc.stderr
+    for entrant in ("prio", "prio-topological", "random", "fifo"):
+        assert entrant in proc.stdout
+    assert "baseline" in proc.stdout
+
+
+def test_rounds():
+    proc = run_cli("rounds", "airsn-small", "--batch-sizes", "1", "8")
+    assert proc.returncode == 0, proc.stderr
+    assert "deterministic rounds" in proc.stdout
+
+
+def test_report_with_telemetry_and_cache(tmp_path):
+    telemetry = tmp_path / "telemetry.jsonl"
+    out = tmp_path / "report.txt"
+    proc = run_cli(
+        "report", "airsn-small", "--mu-bit", "1.0", "--mu-bs", "4.0",
+        "-p", "4", "-q", "2", "-o", out,
+        "--telemetry", telemetry, "--cache-dir", tmp_path / "store",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "prio reproduction report" in out.read_text()
+    records = [json.loads(line) for line in telemetry.read_text().splitlines()]
+    assert all(record["schema"] == 1 for record in records)
+    kinds = {record["kind"] for record in records}
+    assert {"run", "replication", "cell", "stage"} <= kinds
+    replications = [r for r in records if r["kind"] == "replication"]
+    assert len(replications) == 2 * 4 * 2  # 2 policies x p*q, one cell
+    assert {"workload", "policy", "rep", "execution_time"} <= set(
+        replications[0]
+    )
+
+
+def test_profile():
+    proc = run_cli("profile", "-w", "airsn-small", "--runs", "2")
+    assert proc.returncode == 0, proc.stderr
+    assert "total" in proc.stdout
+
+
+def test_sweep_resume_roundtrip(tmp_path):
+    ckpt = tmp_path / "sweep.ckpt"
+    args = (
+        "sweep", "airsn-small", "--mu-bit", "1.0", "--mu-bs", "2.0", "8.0",
+        "-p", "4", "-q", "2",
+    )
+    first = run_cli(*args, "--checkpoint", ckpt)
+    assert first.returncode == 0, first.stderr
+    resumed = run_cli(*args, "--resume", ckpt)
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout == first.stdout  # bit-identical resumed output
+    assert "completed unit(s) on file" in resumed.stderr
+
+
+def test_unknown_workload_exits_2():
+    proc = run_cli("schedule", "not-a-workload")
+    assert proc.returncode == 2
+    assert proc.stderr.startswith("error:")
+
+
+def test_missing_resume_exits_2(tmp_path):
+    proc = run_cli(
+        "sweep", "airsn-small", "--mu-bit", "1.0", "--mu-bs", "2.0",
+        "-p", "4", "-q", "2", "--resume", tmp_path / "nope.ckpt",
+    )
+    assert proc.returncode == 2
+    assert "error:" in proc.stderr
+
+
+def test_help_exits_0():
+    proc = run_cli("--help")
+    assert proc.returncode == 0
+    assert "subcommand" in proc.stdout or "usage" in proc.stdout
