@@ -1,0 +1,196 @@
+"""Engineering — what the scheduling service sustains over the wire.
+
+One measurement pass against a *real* server (in-process `ServerThread`
+by default; set ``REPRO_SERVE_PORT`` — as the CI job does — to target an
+externally started ``prio serve`` instead), written to
+``benchmarks/results/BENCH_serve.json``:
+
+* **Schedule latency** — client-observed p50/p95/mean for `/schedule`
+  on a repeated dag, i.e. the cache-hot steady state a sweep driver or
+  dashboard sees.
+* **Simulate latency** — the same percentiles for single-replication
+  `/simulate` (compute-bound; the kernel runs inside the request).
+* **Sustained RPS** — N concurrent keep-alive clients hammering
+  `/schedule` for a fixed wall-clock window.
+* **Cache-hit rate** — from `/metrics` after the run (the service keeps
+  one `ScheduleCache` across all requests).
+
+Nothing here is gated (the CI job is non-blocking); correctness rides
+along anyway — every response is checked against the canonical
+in-process bytes, because a fast wrong answer is not a benchmark.
+"""
+
+import json
+import math
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from common import banner, full_fidelity
+
+from repro.perf import ScheduleCache
+from repro.robust import write_atomic
+from repro.serve import (
+    PrioService,
+    ServeClient,
+    ServerThread,
+    encode,
+    schedule_payload,
+    simulate_payload,
+)
+from repro.sim.engine import SimParams
+from repro.workloads.registry import get_workload
+
+RESULTS = Path(__file__).parent / "results"
+
+WORKLOAD = "airsn-small"
+PARAMS = SimParams(mu_bit=1.0, mu_bs=16.0)
+
+
+@contextmanager
+def _target():
+    """(host, port) of the server under test: external if announced."""
+    port = os.environ.get("REPRO_SERVE_PORT")
+    if port:
+        yield os.environ.get("REPRO_SERVE_HOST", "127.0.0.1"), int(port)
+        return
+    with ServerThread(PrioService(cache=ScheduleCache())) as (host, bound):
+        yield host, bound
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    at = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[at]
+
+
+def _latency_stats(samples: list[float]) -> dict:
+    return {
+        "count": len(samples),
+        "p50_ms": _quantile(samples, 0.50) * 1000.0,
+        "p95_ms": _quantile(samples, 0.95) * 1000.0,
+        "mean_ms": sum(samples) / len(samples) * 1000.0,
+    }
+
+
+def _timed_requests(client, send, expected: bytes, n: int) -> list[float]:
+    samples = []
+    for _ in range(n):
+        started = time.perf_counter()
+        response = send(client)
+        samples.append(time.perf_counter() - started)
+        assert response.status == 200, response.body
+        assert response.body == expected
+    return samples
+
+
+def test_serve_latency_and_throughput(benchmark):
+    dag = get_workload(WORKLOAD)
+    n_requests = 300 if full_fidelity() else 100
+    n_clients = 4
+    window_seconds = 8.0 if full_fidelity() else 3.0
+
+    expected_schedule = encode(schedule_payload(dag, "prio"))
+    expected_simulate = encode(simulate_payload(dag, PARAMS, 1, "prio", 1))
+
+    with _target() as (host, port):
+        with ServeClient(host, port, timeout=120.0) as client:
+            # Warm-up: first /schedule pays the cache miss, first
+            # /simulate pays imports and kernel compilation.
+            assert client.schedule(dag).body == expected_schedule
+            assert (
+                client.simulate(dag, PARAMS, seed=1).body == expected_simulate
+            )
+
+            schedule_samples = benchmark.pedantic(
+                lambda: _timed_requests(
+                    client,
+                    lambda c: c.schedule(dag),
+                    expected_schedule,
+                    n_requests,
+                ),
+                rounds=1,
+                iterations=1,
+            )
+            simulate_samples = _timed_requests(
+                client,
+                lambda c: c.simulate(dag, PARAMS, seed=1),
+                expected_simulate,
+                max(20, n_requests // 5),
+            )
+
+        # Sustained throughput: concurrent keep-alive clients, fixed
+        # wall-clock window, one counter per worker.
+        counts = [0] * n_clients
+        failures: list = []
+        stop_at = time.perf_counter() + window_seconds
+        barrier = threading.Barrier(n_clients)
+
+        def hammer(worker: int) -> None:
+            try:
+                with ServeClient(host, port, timeout=120.0) as c:
+                    barrier.wait(timeout=30)
+                    while time.perf_counter() < stop_at:
+                        response = c.schedule(dag)
+                        if response.body != expected_schedule:
+                            failures.append((worker, response.status))
+                            return
+                        counts[worker] += 1
+            except Exception as exc:  # noqa: BLE001 - report, don't hang
+                failures.append((worker, repr(exc)))
+
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=hammer, args=(w,))
+            for w in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=window_seconds + 60)
+        elapsed = time.perf_counter() - started
+        assert not failures, failures[:3]
+        total = sum(counts)
+        rps = total / elapsed
+
+        with ServeClient(host, port) as client:
+            metrics = client.metrics().payload
+
+    cache = metrics["cache"]
+    schedule_stats = _latency_stats(schedule_samples)
+    simulate_stats = _latency_stats(simulate_samples)
+
+    print(banner(f"serve: {WORKLOAD}, {n_requests} requests, "
+                 f"{n_clients} clients x {window_seconds:.0f}s"))
+    print(f"/schedule  p50: {schedule_stats['p50_ms']:.2f}ms  "
+          f"p95: {schedule_stats['p95_ms']:.2f}ms  "
+          f"mean: {schedule_stats['mean_ms']:.2f}ms")
+    print(f"/simulate  p50: {simulate_stats['p50_ms']:.2f}ms  "
+          f"p95: {simulate_stats['p95_ms']:.2f}ms  "
+          f"mean: {simulate_stats['mean_ms']:.2f}ms")
+    print(f"sustained: {total} requests in {elapsed:.2f}s = {rps:.0f} rps "
+          f"({n_clients} concurrent clients)")
+    print(f"cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"(hit rate {cache['hit_rate']:.3f})")
+
+    payload = {
+        "schema": 1,
+        "bench": "serve",
+        "workload": WORKLOAD,
+        "external_server": bool(os.environ.get("REPRO_SERVE_PORT")),
+        "schedule_latency": schedule_stats,
+        "simulate_latency": simulate_stats,
+        "throughput": {
+            "clients": n_clients,
+            "window_seconds": elapsed,
+            "requests": total,
+            "rps": rps,
+        },
+        "cache": cache,
+    }
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_serve.json"
+    write_atomic(out, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}")

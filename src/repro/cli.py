@@ -15,6 +15,8 @@ Subcommands::
     run       execute a DAGMan workflow locally (priority-driven dispatch)
     report    one-shot reproduction report over several workloads
     profile   per-stage timing breakdown of one workload (pipeline + sim)
+    serve     long-running scheduling service (JSON over HTTP; see
+              docs/API.md, "Serving")
 
 ``python -m repro.cli <subcommand> --help`` documents each.  The
 simulation-heavy subcommands (``sweep``, ``curves``, ``league``,
@@ -831,6 +833,57 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .robust import RetryPolicy
+    from .serve.app import PrioService
+    from .serve.limits import ServiceLimits
+
+    telemetry = _open_telemetry(
+        args, "serve", host=args.host, port=args.port
+    )
+    cache = _schedule_cache(args, telemetry)
+    timeout = args.request_timeout if args.request_timeout > 0 else None
+    limits = ServiceLimits(
+        max_inflight=args.max_inflight,
+        max_body_bytes=args.max_body_bytes,
+        retry=RetryPolicy(max_attempts=args.max_attempts or 1, timeout=timeout),
+    )
+    service = PrioService(
+        cache=cache,
+        limits=limits,
+        metrics=telemetry.registry if telemetry is not None else None,
+        sim_jobs=args.jobs,
+        telemetry=telemetry,
+    )
+
+    def announce() -> None:
+        host, port = service.address
+        print(f"serving on http://{host}:{port}", flush=True)
+        print(
+            f"endpoints: POST /schedule POST /simulate GET /healthz "
+            f"GET /metrics (max in-flight {limits.max_inflight}); "
+            f"SIGTERM drains gracefully",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            service.run(
+                args.host,
+                args.port,
+                install_signal_handlers=True,
+                ready=announce,
+            )
+        )
+    finally:
+        _close_telemetry(args, telemetry)
+    print("drained; all in-flight requests completed", file=sys.stderr)
+    return 0
+
+
 def _cmd_overhead(args: argparse.Namespace) -> int:
     records = []
     for spec in args.dag:
@@ -1053,6 +1106,53 @@ def build_parser() -> argparse.ArgumentParser:
     _add_robust_arguments(p)
     _add_cache_arguments(p)
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running scheduling service (JSON over HTTP)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8135,
+        help="listen port (0 = pick an ephemeral port and print it)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=64,
+        help=(
+            "concurrently processing requests before new ones are "
+            "answered 429 (bounded backpressure, no invisible queueing)"
+        ),
+    )
+    p.add_argument(
+        "--max-body-bytes",
+        type=_positive_int,
+        default=8 * 1024 * 1024,
+        help="request body ceiling; larger payloads are answered 413",
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "per-request processing deadline (504 when exceeded); "
+            "0 or negative disables"
+        ),
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=None,
+        help="retry transient request failures up to N times with backoff",
+    )
+    _add_jobs_argument(p)
+    _add_telemetry_argument(p)
+    _add_cache_arguments(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "profile",

@@ -21,9 +21,23 @@ __all__ = [
     "load_dag",
     "schedule_to_json",
     "schedule_from_json",
+    "dumps_canonical",
 ]
 
 _FORMAT = "repro-dag-v1"
+
+
+def dumps_canonical(payload: Any) -> str:
+    """Serialize *payload* to the canonical JSON text form.
+
+    Sorted keys, no whitespace, ``allow_nan=False`` (NaN/Infinity are not
+    JSON and would not survive a round trip).  Equal payloads always
+    produce equal bytes, which is what the service layer's bit-identity
+    contract is stated over.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
 
 
 def dag_to_json(dag: Dag) -> dict[str, Any]:
@@ -39,15 +53,39 @@ def dag_to_json(dag: Dag) -> dict[str, Any]:
 
 
 def dag_from_json(payload: dict[str, Any]) -> Dag:
-    """Rebuild a dag from :func:`dag_to_json` output (validates shape)."""
+    """Rebuild a dag from :func:`dag_to_json` output (validates shape).
+
+    Raises ``ValueError`` on any malformed payload — wrong ``format``
+    marker, non-object payload, missing fields, non-integer arcs — and
+    :class:`~repro.dag.graph.CycleError` (a ``ValueError``) when the arc
+    set is not acyclic, so callers deserializing untrusted input need to
+    catch only ``ValueError``.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("dag payload must be a JSON object")
     if payload.get("format") != _FORMAT:
         raise ValueError(
             f"not a {_FORMAT} payload (format={payload.get('format')!r})"
         )
-    arcs = [tuple(arc) for arc in payload["arcs"]]
-    if any(len(arc) != 2 for arc in arcs):
-        raise ValueError("arcs must be [parent, child] pairs")
-    return Dag(int(payload["n"]), arcs, payload.get("labels"))
+    raw_arcs = payload.get("arcs")
+    if not isinstance(raw_arcs, list):
+        raise ValueError("arcs must be a list of [parent, child] pairs")
+    try:
+        arcs = [(int(arc[0]), int(arc[1])) for arc in raw_arcs]
+        if any(len(arc) != 2 for arc in raw_arcs):
+            raise ValueError
+        n = int(payload["n"])
+    except (TypeError, ValueError, IndexError, KeyError):
+        raise ValueError(
+            "dag payload needs integer 'n' and integer [parent, child] pairs"
+        ) from None
+    labels = payload.get("labels")
+    if labels is not None and (
+        not isinstance(labels, list)
+        or any(not isinstance(name, str) for name in labels)
+    ):
+        raise ValueError("labels must be a list of strings")
+    return Dag(n, arcs, labels)
 
 
 def save_dag(dag: Dag, path: str | Path) -> None:

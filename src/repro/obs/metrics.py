@@ -15,9 +15,11 @@ generator, so metrics can never perturb a simulation's RNG stream.
 
 from __future__ import annotations
 
+import math
 import time
+from collections import deque
 
-__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "TIMER_RESERVOIR"]
 
 
 class Counter:
@@ -53,15 +55,26 @@ class Gauge:
         self._seen = True
 
 
+#: Per-timer reservoir size for :meth:`Timer.quantile`.  Old samples are
+#: discarded FIFO past this, so a long-running service reports quantiles
+#: over its *recent* behaviour (which is what a latency dashboard wants).
+TIMER_RESERVOIR = 2048
+
+
 class Timer:
     """Accumulated wall-clock time with a context-manager API.
 
     ``with registry.timer("recurse"): ...`` accumulates into ``total``;
     externally measured durations can be folded in with :meth:`add` (used
     when a callee already reports its own phase timings).  Not reentrant.
+
+    The last :data:`TIMER_RESERVOIR` durations are retained so
+    :meth:`quantile` can report latency percentiles (p50/p95) for
+    services; ``total``/``count``/``mean`` remain exact over the timer's
+    whole life.
     """
 
-    __slots__ = ("name", "total", "count", "last", "_started")
+    __slots__ = ("name", "total", "count", "last", "_started", "_samples")
 
     def __init__(self, name: str):
         self.name = name
@@ -69,6 +82,7 @@ class Timer:
         self.count = 0
         self.last = 0.0
         self._started = None
+        self._samples = deque(maxlen=TIMER_RESERVOIR)
 
     def add(self, seconds: float) -> None:
         """Fold in a duration measured elsewhere."""
@@ -77,6 +91,21 @@ class Timer:
         self.total += seconds
         self.count += 1
         self.last = seconds
+        self._samples.append(seconds)
+
+    def quantile(self, q: float) -> float:
+        """The *q*-quantile (0..1, nearest-rank) of the retained samples.
+
+        Returns 0.0 before any sample lands (a dashboard-friendly
+        default, mirroring :attr:`mean`).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
 
     def __enter__(self) -> "Timer":
         self._started = time.perf_counter()

@@ -132,6 +132,19 @@ class ScheduleCache:
         """Route subsequent hit/miss counts into *metrics* (or None)."""
         self._metrics = metrics
 
+    def stats(self) -> dict:
+        """JSON-ready counters snapshot (served by ``GET /metrics``)."""
+        with self._lock:
+            entries = len(self._memory)
+        total = self.hits + self.misses
+        return {
+            "entries": entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
     # -- internals -----------------------------------------------------
 
     def _count(self, hit: bool, from_disk: bool = False) -> None:

@@ -34,7 +34,7 @@ from .checkpoint import (
 )
 from .faults import FaultPlan, InjectedFault, corrupt_checkpoint
 from .io import publish_atomic, write_atomic
-from .retry import RetryPolicy, run_robust_chunks
+from .retry import RetryPolicy, retry_async, run_robust_chunks
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
@@ -48,6 +48,7 @@ __all__ = [
     "corrupt_checkpoint",
     "fingerprint",
     "publish_atomic",
+    "retry_async",
     "run_robust_chunks",
     "write_atomic",
 ]

@@ -34,6 +34,7 @@ job drive every path above on purpose.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
@@ -42,7 +43,7 @@ from dataclasses import dataclass
 
 from .faults import InjectedFault
 
-__all__ = ["RetryPolicy", "run_robust_chunks"]
+__all__ = ["RetryPolicy", "run_robust_chunks", "retry_async"]
 
 
 class _PoolStalled(Exception):
@@ -82,6 +83,48 @@ class RetryPolicy:
     def delay(self, attempt: int) -> float:
         """Backoff before retry number *attempt* (counting from 0)."""
         return min(self.max_delay, self.base_delay * (2.0 ** attempt))
+
+
+def _default_retryable(exc: BaseException) -> bool:
+    """Transient by default: I/O trouble and broken pools, never logic bugs."""
+    return isinstance(exc, (OSError, BrokenProcessPool))
+
+
+async def retry_async(factory, policy: RetryPolicy | None = None, *,
+                      retryable=None, on_retry=None):
+    """Await ``factory()`` under *policy*'s deadline/retry contract.
+
+    Each attempt awaits a **fresh** awaitable from *factory* with
+    ``policy.timeout`` as its deadline (``None`` = no deadline).  A
+    deadline expiry raises :class:`asyncio.TimeoutError` immediately — a
+    deadline is a promise to the caller, not a transient to paper over.
+    Failures for which ``retryable(exc)`` is true (default: ``OSError``
+    and ``BrokenProcessPool``) are retried with ``policy.delay`` backoff
+    up to ``policy.max_attempts`` total attempts; anything else — and the
+    last retryable failure — propagates unchanged.  ``on_retry(attempt,
+    exc)`` is called before each backoff sleep (metrics hooks).
+
+    This is the single-call analogue of :func:`run_robust_chunks`: the
+    service layer wraps each request handler with it so one
+    :class:`RetryPolicy` describes both batch and request semantics.
+    """
+    policy = policy if policy is not None else RetryPolicy(max_attempts=1)
+    retryable = retryable if retryable is not None else _default_retryable
+    for attempt in range(policy.max_attempts):
+        try:
+            awaitable = factory()
+            if policy.timeout is not None:
+                return await asyncio.wait_for(awaitable, policy.timeout)
+            return await awaitable
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            raise
+        except Exception as exc:
+            if attempt + 1 >= policy.max_attempts or not retryable(exc):
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            await asyncio.sleep(policy.delay(attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def _invoke(fn, args, spec, in_worker: bool = True):

@@ -1,0 +1,53 @@
+"""The scheduling service: the prio stack as a long-running network daemon.
+
+The paper's ``prio`` tool runs once per workflow; the ROADMAP's
+production-scale north star needs the same machinery resident behind a
+socket, amortizing schedule computation across millions of requests.
+This package is that daemon — stdlib-only asyncio JSON-over-HTTP:
+
+* :class:`~repro.serve.app.PrioService` — the server: ``POST
+  /schedule``, ``POST /simulate``, ``GET /healthz``, ``GET /metrics``;
+  bounded in-flight admission with 429 backpressure, request size
+  limits, per-request deadlines via
+  :class:`~repro.robust.retry.RetryPolicy`, structured error responses
+  and graceful SIGTERM drain.
+* :mod:`~repro.serve.protocol` — the wire codec **and** the in-process
+  reference implementations; the server serves exactly
+  ``encode(schedule_payload(...))``, which is what makes the bit-identity
+  contract (HTTP result == library result, byte for byte) testable.
+* :mod:`~repro.serve.limits` — :class:`ServiceLimits` and the in-flight
+  gate.
+* :mod:`~repro.serve.errors` — the documented error-code vocabulary.
+* :class:`~repro.serve.app.ServerThread` — run the real server on a
+  background thread (how the end-to-end suite and the serve benchmark
+  boot it).
+* :class:`~repro.serve.client.ServeClient` — a minimal stdlib
+  ``http.client`` wrapper for talking to the service.
+
+CLI: ``prio serve --host --port --cache-dir --max-inflight --telemetry``.
+"""
+
+from .app import PrioService, ServerThread
+from .client import ServeClient
+from .errors import ERROR_CODES, ServeError
+from .limits import InflightGate, ServiceLimits
+from .protocol import (
+    WIRE_FORMAT,
+    encode,
+    schedule_payload,
+    simulate_payload,
+)
+
+__all__ = [
+    "ERROR_CODES",
+    "InflightGate",
+    "PrioService",
+    "ServeClient",
+    "ServeError",
+    "ServerThread",
+    "ServiceLimits",
+    "WIRE_FORMAT",
+    "encode",
+    "schedule_payload",
+    "simulate_payload",
+]

@@ -1,0 +1,545 @@
+"""The scheduling service: asyncio JSON-over-HTTP, stdlib only.
+
+:class:`PrioService` puts the whole stack built so far — the two-tier
+:class:`~repro.perf.cache.ScheduleCache`, the array-compiled simulation
+kernel, the parallel replication executor, the
+:class:`~repro.obs.metrics.MetricsRegistry` and the
+:class:`~repro.robust.retry.RetryPolicy` deadline machinery — behind
+four endpoints:
+
+* ``POST /schedule`` — dag (JSON wire format) → priority order, served
+  through the schedule cache;
+* ``POST /simulate`` — dag + params + seed → one
+  :class:`~repro.sim.engine.SimResult`, or (``replications > 1``) a
+  metric-vector summary via the parallel executor;
+* ``GET /healthz`` — liveness (never gated, works under full load);
+* ``GET /metrics`` — registry snapshot, latency percentiles, cache
+  counters, in-flight gauge.
+
+Operational contract:
+
+* admission is a bounded in-flight gate — saturation answers ``429``
+  immediately instead of queueing invisible work;
+* every request runs under the limits'
+  :class:`~repro.robust.retry.RetryPolicy`: its ``timeout`` is the
+  per-request deadline (``504`` when blown), its attempt budget retries
+  transient failures, via :func:`~repro.robust.retry.retry_async`;
+* request bodies are size-capped (``413``) and read under an I/O
+  deadline, so truncated or stalling clients get a ``400`` rather than a
+  pinned connection;
+* failures are structured JSON error objects
+  (:mod:`repro.serve.errors`) — never a traceback over the wire;
+* ``SIGTERM``/``SIGINT`` drain gracefully: stop accepting, finish every
+  admitted request, then exit;
+* responses are **bit-identical** to the in-process library calls in
+  :mod:`repro.serve.protocol` — the handlers call exactly those payload
+  builders and the canonical encoder, nothing else.
+
+The HTTP surface is deliberately minimal (HTTP/1.1, keep-alive,
+``Content-Length`` bodies only) — enough for any stdlib/curl client
+without pulling in a framework the container may not have.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+import time
+
+from ..obs.metrics import MetricsRegistry
+from ..perf.cache import ScheduleCache
+from . import errors, protocol
+from .errors import ServeError
+from .limits import InflightGate, ServiceLimits
+
+__all__ = ["PrioService", "ServerThread"]
+
+log = logging.getLogger("repro.serve")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+#: Endpoint -> allowed method (routing + 405 Allow headers).
+_ROUTES = {
+    "/schedule": "POST",
+    "/simulate": "POST",
+    "/healthz": "GET",
+    "/metrics": "GET",
+}
+
+#: Maximum request-head bytes (request line + headers).
+_MAX_HEAD = 64 * 1024
+
+
+class PrioService:
+    """The service core: routing, admission, encoding, lifecycle.
+
+    Parameters
+    ----------
+    cache:
+        :class:`~repro.perf.cache.ScheduleCache` serving ``/schedule``
+        and warming compiled dags for ``/simulate``; ``None`` disables
+        caching (every request recomputes — bit-identical, just slower).
+    limits:
+        :class:`ServiceLimits`; defaults are production-sane.
+    metrics:
+        :class:`~repro.obs.metrics.MetricsRegistry` for the ``serve.*``
+        instruments; created internally when omitted.  The cache's
+        ``cache.*`` counters are routed into the same registry.
+    sim_jobs:
+        Worker processes for replication batches on ``/simulate``
+        (results are bit-identical for any value).
+    telemetry:
+        Optional :class:`~repro.obs.recorder.TelemetryRecorder`; one
+        ``stage`` record per request (latency, status, error code).
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: ScheduleCache | None = None,
+        limits: ServiceLimits | None = None,
+        metrics: MetricsRegistry | None = None,
+        sim_jobs: int = 1,
+        telemetry=None,
+    ):
+        if sim_jobs < 1:
+            raise ValueError("sim_jobs must be at least 1")
+        self.cache = cache
+        self.limits = limits if limits is not None else ServiceLimits()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.sim_jobs = sim_jobs
+        self.telemetry = telemetry
+        if cache is not None:
+            cache.attach_metrics(self.metrics)
+        self.gate = InflightGate(self.limits.max_inflight)
+        self.address: tuple[str, int] | None = None
+        self.draining = False
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = None  # asyncio.Event, created on the serving loop
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start accepting; ``self.address`` holds the real port."""
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port, limit=_MAX_HEAD
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+
+    def request_shutdown(self) -> None:
+        """Begin graceful drain (idempotent; safe from signal handlers)."""
+        if self._shutdown is not None and not self._shutdown.is_set():
+            self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until :meth:`request_shutdown`, then drain and return.
+
+        Drain order: stop accepting, wait for every admitted request to
+        finish (no deadline — in-flight work is a promise), then close
+        lingering idle keep-alive connections.
+        """
+        if self._server is None:
+            raise RuntimeError("call start() first")
+        await self._shutdown.wait()
+        self.draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        await self.gate.drained()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    async def run(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        install_signal_handlers: bool = False,
+        ready=None,
+    ) -> None:
+        """Start, optionally wire SIGTERM/SIGINT to drain, serve, drain."""
+        await self.start(host, port)
+        if install_signal_handlers:
+            import signal
+
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-main thread or exotic platform
+        if ready is not None:
+            ready()
+        await self.serve_until_shutdown()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.metrics.counter("serve.connections").inc()
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass  # drain closing an idle keep-alive connection
+        except Exception:  # pragma: no cover - defensive
+            log.exception("connection handler failed")
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        keep_alive = True
+        while keep_alive and not self.draining:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), self.limits.io_timeout
+                )
+            except asyncio.IncompleteReadError as exc:
+                if exc.partial:
+                    await self._send_error(
+                        writer, errors.truncated_body(
+                            "connection closed mid-request-head"
+                        ), keep_alive=False,
+                    )
+                return  # clean close between requests
+            except (asyncio.LimitOverrunError, ValueError):
+                await self._send_error(
+                    writer,
+                    errors.payload_too_large(_MAX_HEAD, _MAX_HEAD),
+                    keep_alive=False,
+                )
+                return
+            except asyncio.TimeoutError:
+                return  # idle keep-alive connection; close quietly
+            except (ConnectionError, OSError):
+                return
+            keep_alive = await self._serve_request(head, reader, writer)
+
+    async def _serve_request(self, head: bytes, reader, writer) -> bool:
+        """Handle one parsed-head request; returns keep-alive."""
+        started = time.perf_counter()
+        method, path, keep_alive = "?", "?", True
+        status = 500
+        code = None
+        try:
+            # Head/body phase: a failure here (malformed request line,
+            # bad Content-Length, oversized or truncated body) leaves the
+            # stream unsynchronized, so the connection must close.
+            try:
+                method, path, headers, keep_alive = self._parse_head(head)
+                body = await self._read_body(reader, headers)
+            except ServeError as exc:
+                keep_alive = False
+                raise
+            # Dispatch phase: the request was fully consumed; structured
+            # failures are answered and the connection stays usable.
+            payload = await self._dispatch(method, path, body)
+            status = 200
+            await self._send(
+                writer, 200, protocol.encode(payload), keep_alive=keep_alive
+            )
+        except ServeError as exc:
+            status, code = exc.status, exc.code
+            await self._send_error(writer, exc, keep_alive=keep_alive)
+        except (ConnectionError, OSError):
+            return False
+        except Exception:
+            log.exception("unhandled error serving %s %s", method, path)
+            status, code = 500, "internal"
+            keep_alive = False
+            await self._send_error(writer, errors.internal(), keep_alive=False)
+        self._observe(method, path, status, code, time.perf_counter() - started)
+        return keep_alive and not self.draining
+
+    def _parse_head(self, head: bytes):
+        try:
+            text = head.decode("latin-1")
+            request_line, *header_lines = text.split("\r\n")
+            method, target, version = request_line.split(" ", 2)
+        except ValueError:
+            raise errors.invalid_request("malformed HTTP request line") from None
+        if not version.startswith("HTTP/1."):
+            raise errors.invalid_request(f"unsupported protocol {version!r}")
+        headers: dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise errors.invalid_request(f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        path = target.split("?", 1)[0]
+        connection = headers.get("connection", "").lower()
+        keep_alive = connection != "close" and not version.endswith("/1.0")
+        return method.upper(), path, headers, keep_alive
+
+    async def _read_body(self, reader, headers) -> bytes:
+        if "transfer-encoding" in headers:
+            raise errors.invalid_request(
+                "chunked bodies are not supported; send Content-Length"
+            )
+        raw = headers.get("content-length", "0")
+        try:
+            length = int(raw)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            raise errors.invalid_request(
+                f"invalid Content-Length {raw!r}"
+            ) from None
+        if length > self.limits.max_body_bytes:
+            raise errors.payload_too_large(length, self.limits.max_body_bytes)
+        if length == 0:
+            return b""
+        try:
+            return await asyncio.wait_for(
+                reader.readexactly(length), self.limits.io_timeout
+            )
+        except asyncio.IncompleteReadError as exc:
+            raise errors.truncated_body(
+                f"request body ended after {len(exc.partial)} of "
+                f"{length} bytes"
+            ) from None
+        except asyncio.TimeoutError:
+            raise errors.truncated_body(
+                f"request body not received within {self.limits.io_timeout:g}s"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Routing and handlers
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> dict:
+        allowed = _ROUTES.get(path)
+        if allowed is None:
+            raise errors.not_found(path)
+        if method != allowed:
+            raise errors.method_not_allowed(method, path, allowed)
+        if path == "/healthz":
+            return self._health_payload()
+        if path == "/metrics":
+            return self._metrics_payload()
+        request = protocol.decode_body(body)
+        if path == "/schedule":
+            dag, algorithm, kwargs = protocol.parse_schedule_request(request)
+            compute = self._schedule_computation(dag, algorithm, kwargs)
+        else:
+            sim = protocol.parse_simulate_request(request)
+            compute = self._simulate_computation(sim)
+        return await self._gated(path, compute)
+
+    def _schedule_computation(self, dag, algorithm, kwargs):
+        def compute() -> dict:
+            try:
+                return protocol.schedule_payload(
+                    dag, algorithm, cache=self.cache, **kwargs
+                )
+            except (TypeError, ValueError) as exc:
+                raise errors.invalid_request(
+                    f"schedule computation rejected the request: {exc}"
+                ) from None
+
+        return compute
+
+    def _simulate_computation(self, sim: protocol.SimulateRequest):
+        def compute() -> dict:
+            try:
+                return protocol.simulate_payload(
+                    sim.dag,
+                    sim.params,
+                    sim.seed,
+                    sim.policy,
+                    sim.replications,
+                    cache=self.cache,
+                    jobs=self.sim_jobs if sim.replications > 1 else 1,
+                    retry=self.limits.retry if self.sim_jobs > 1 else None,
+                )
+            except (TypeError, ValueError) as exc:
+                raise errors.invalid_request(
+                    f"simulation rejected the request: {exc}"
+                ) from None
+
+        return compute
+
+    async def _gated(self, path: str, compute) -> dict:
+        """Run *compute* in a worker thread under admission + deadline."""
+        from ..robust.retry import retry_async
+
+        if not self.gate.try_acquire():
+            raise errors.overloaded(self.limits.max_inflight)
+        gauge = self.metrics.gauge("serve.in_flight")
+        gauge.set(self.gate.inflight)
+        loop = asyncio.get_running_loop()
+        try:
+            return await retry_async(
+                lambda: loop.run_in_executor(None, compute),
+                self.limits.retry,
+                on_retry=lambda attempt, exc: self.metrics.counter(
+                    "serve.retry"
+                ).inc(),
+            )
+        except asyncio.TimeoutError:
+            raise errors.deadline_exceeded(self.limits.retry.timeout) from None
+        finally:
+            self.gate.release()
+            gauge.set(self.gate.inflight)
+
+    def _health_payload(self) -> dict:
+        return {
+            "format": protocol.WIRE_FORMAT,
+            "kind": "health",
+            "status": "ok",
+            "draining": self.draining,
+        }
+
+    def _metrics_payload(self) -> dict:
+        latency = {}
+        for path in ("/schedule", "/simulate"):
+            timer = self.metrics.timer(f"serve.latency.{path}")
+            if timer.count:
+                latency[path] = {
+                    "p50": timer.quantile(0.5),
+                    "p95": timer.quantile(0.95),
+                    "mean": timer.mean,
+                    "count": timer.count,
+                }
+        return {
+            "format": protocol.WIRE_FORMAT,
+            "kind": "metrics",
+            "metrics": self.metrics.snapshot(),
+            "latency": latency,
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "in_flight": self.gate.inflight,
+            "draining": self.draining,
+        }
+
+    # ------------------------------------------------------------------
+    # Response writing and accounting
+    # ------------------------------------------------------------------
+
+    async def _send(self, writer, status, body: bytes, *,
+                    keep_alive: bool, headers: dict | None = None) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write("\r\n".join(lines).encode("latin-1") + b"\r\n\r\n" + body)
+        await writer.drain()
+
+    async def _send_error(self, writer, exc: ServeError, *,
+                          keep_alive: bool) -> None:
+        try:
+            await self._send(
+                writer,
+                exc.status,
+                protocol.encode(exc.payload()),
+                keep_alive=keep_alive,
+                headers=exc.headers,
+            )
+        except (ConnectionError, OSError):
+            pass  # client is already gone
+
+    def _observe(self, method, path, status, code, seconds) -> None:
+        self.metrics.counter("serve.requests").inc()
+        if path in _ROUTES:
+            self.metrics.counter(f"serve.requests.{path}").inc()
+            self.metrics.timer(f"serve.latency.{path}").add(seconds)
+        self.metrics.counter(f"serve.responses.{status}").inc()
+        if code is not None:
+            self.metrics.counter(f"serve.errors.{code}").inc()
+        if self.telemetry is not None:
+            self.telemetry.stage(
+                f"request:{path}", seconds,
+                method=method, status=status,
+                **({"error_code": code} if code else {}),
+            )
+
+
+class ServerThread:
+    """Run a :class:`PrioService` on a background thread (tests, benches,
+    embedding in synchronous programs).
+
+    ``with ServerThread(service) as (host, port): ...`` starts the real
+    server on an ephemeral port and guarantees a graceful drain on exit.
+    """
+
+    def __init__(self, service: PrioService | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service if service is not None else PrioService()
+        self.host = host
+        self.port = port
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._failure: BaseException | None = None
+
+    def start(self) -> tuple[str, int]:
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        if self._failure is not None:
+            raise RuntimeError("server failed to start") from self._failure
+        return self.service.address
+
+    def _main(self) -> None:
+        async def body():
+            self._loop = asyncio.get_running_loop()
+            await self.service.run(
+                self.host, self.port, ready=self._ready.set
+            )
+
+        try:
+            asyncio.run(body())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            self._failure = exc
+            self._ready.set()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain and join; idempotent."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.service.request_shutdown)
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - hung drain
+            raise RuntimeError("server thread did not stop in time")
+        self._thread = None
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

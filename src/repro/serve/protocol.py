@@ -1,0 +1,313 @@
+"""Wire codec for the scheduling service — and the bit-identity contract.
+
+The service's promise is that HTTP adds **nothing**: a ``POST /schedule``
+or ``POST /simulate`` response body is byte-for-byte the canonical
+encoding of the same library call.  This module is how that promise is
+kept honest rather than approximately true: the *payload builders*
+(:func:`schedule_payload`, :func:`simulate_payload`) are plain library
+functions — callable with no server anywhere — and the server's handlers
+call exactly them, then :func:`encode`.  The end-to-end suite computes
+``encode(schedule_payload(...))`` in-process and compares bytes with what
+came over the socket, under concurrency, cache hits and cache misses
+alike.
+
+Canonical encoding is :func:`repro.dag.io_json.dumps_canonical` (sorted
+keys, no whitespace, ``allow_nan=False``) as UTF-8.  Floats are Python
+``repr`` (shortest round-trip), so equal doubles always encode equally.
+
+Request shapes (the parsers below validate them and raise
+:class:`~repro.serve.errors.ServeError` on anything else)::
+
+    POST /schedule  {"dag": <repro-dag-v1>, "algorithm": "prio",
+                     "kwargs": {...}}                       # both optional
+    POST /simulate  {"dag": <repro-dag-v1>, "params": {"mu_bit": 1.0,
+                     "mu_bs": 16.0, ...}, "seed": 0,
+                     "policy": "prio", "replications": 8}   # tail optional
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Integral, Real
+from typing import Any
+
+import numpy as np
+
+from ..dag.graph import Dag
+from ..dag.io_json import dag_from_json, dumps_canonical
+from ..perf.cache import ScheduleCache, cached_schedule, schedule_algorithms
+from ..sim.engine import SimParams, make_policy, simulate
+from ..sim.replication import policy_factory, run_replications
+from . import errors
+
+__all__ = [
+    "WIRE_FORMAT",
+    "POLICIES",
+    "SimulateRequest",
+    "encode",
+    "decode_body",
+    "parse_schedule_request",
+    "parse_simulate_request",
+    "schedule_payload",
+    "simulate_payload",
+]
+
+WIRE_FORMAT = "repro-serve-v1"
+
+#: Policies ``POST /simulate`` accepts (mirrors ``prio simulate -a``).
+POLICIES = ("prio", "fifo", "random")
+
+#: ``SimParams`` fields settable over the wire, with their check.
+_PARAM_FIELDS: dict[str, type] = {
+    "mu_bit": Real,
+    "mu_bs": Real,
+    "runtime_mean": Real,
+    "runtime_std": Real,
+    "batch_size_dist": str,
+    "failure_prob": Real,
+    "failure_time_fraction": Real,
+    "rollover": bool,
+}
+
+
+# ----------------------------------------------------------------------
+# Encoding and decoding
+# ----------------------------------------------------------------------
+
+
+def encode(payload: dict) -> bytes:
+    """Canonical response bytes for *payload* (the bit-identity form)."""
+    return dumps_canonical(payload).encode("utf-8")
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse a request body into a JSON object, or raise a 400."""
+    import json
+
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise errors.bad_json(f"request body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise errors.invalid_request(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Request parsing
+# ----------------------------------------------------------------------
+
+
+def _parse_dag(payload: dict) -> Dag:
+    if "dag" not in payload:
+        raise errors.invalid_request("missing required field 'dag'")
+    try:
+        return dag_from_json(payload["dag"])
+    except ValueError as exc:
+        raise errors.invalid_dag(str(exc)) from None
+
+
+def parse_schedule_request(payload: dict) -> tuple[Dag, str, dict]:
+    """Validate a ``POST /schedule`` body into ``(dag, algorithm, kwargs)``."""
+    dag = _parse_dag(payload)
+    algorithm = payload.get("algorithm", "prio")
+    if algorithm not in schedule_algorithms():
+        raise errors.invalid_request(
+            f"unknown algorithm {algorithm!r}; "
+            f"choose from {list(schedule_algorithms())}"
+        )
+    kwargs = payload.get("kwargs", {})
+    if not isinstance(kwargs, dict) or any(
+        not isinstance(key, str) for key in kwargs
+    ):
+        raise errors.invalid_request("'kwargs' must be an object")
+    unknown = set(payload) - {"dag", "algorithm", "kwargs"}
+    if unknown:
+        raise errors.invalid_request(
+            f"unknown request fields: {sorted(unknown)}"
+        )
+    return dag, algorithm, kwargs
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """A validated ``POST /simulate`` body."""
+
+    dag: Dag
+    params: SimParams
+    seed: int
+    policy: str
+    replications: int
+
+
+def parse_simulate_request(payload: dict) -> SimulateRequest:
+    """Validate a ``POST /simulate`` body."""
+    dag = _parse_dag(payload)
+    raw_params = payload.get("params")
+    if not isinstance(raw_params, dict):
+        raise errors.invalid_request(
+            "missing required object field 'params' "
+            "(at least {'mu_bit': ..., 'mu_bs': ...})"
+        )
+    unknown = set(raw_params) - set(_PARAM_FIELDS)
+    if unknown:
+        raise errors.invalid_request(
+            f"unknown simulation parameters: {sorted(unknown)}"
+        )
+    for name, expected in _PARAM_FIELDS.items():
+        if name in raw_params:
+            value = raw_params[name]
+            bad_bool = expected is not bool and isinstance(value, bool)
+            if bad_bool or not isinstance(value, expected):
+                raise errors.invalid_request(
+                    f"parameter {name!r} must be a {expected.__name__}"
+                )
+    try:
+        params = SimParams(**raw_params)
+    except (TypeError, ValueError) as exc:
+        raise errors.invalid_request(f"invalid simulation params: {exc}") from None
+    seed = payload.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, Integral):
+        raise errors.invalid_request("'seed' must be an integer")
+    if seed < 0:
+        raise errors.invalid_request("'seed' must be non-negative")
+    policy = payload.get("policy", "prio")
+    if policy not in POLICIES:
+        raise errors.invalid_request(
+            f"unknown policy {policy!r}; choose from {list(POLICIES)}"
+        )
+    replications = payload.get("replications", 1)
+    if isinstance(replications, bool) or not isinstance(replications, Integral):
+        raise errors.invalid_request("'replications' must be an integer")
+    if replications < 1:
+        raise errors.invalid_request("'replications' must be at least 1")
+    unknown = set(payload) - {"dag", "params", "seed", "policy", "replications"}
+    if unknown:
+        raise errors.invalid_request(
+            f"unknown request fields: {sorted(unknown)}"
+        )
+    return SimulateRequest(dag, params, int(seed), policy, int(replications))
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (what the server serves, callable in-process)
+# ----------------------------------------------------------------------
+
+
+def schedule_payload(
+    dag: Dag,
+    algorithm: str = "prio",
+    *,
+    cache: ScheduleCache | None = None,
+    **kwargs,
+) -> dict:
+    """The ``POST /schedule`` response payload, computed in-process.
+
+    Deterministic in ``(dag, algorithm, kwargs)`` — the cache can only
+    change *when* the order is computed, never what it is — so the
+    served bytes are independent of hits and misses.
+    """
+    order = cached_schedule(dag, algorithm, cache=cache, **kwargs)
+    return {
+        "format": WIRE_FORMAT,
+        "kind": "schedule",
+        "algorithm": algorithm,
+        "fingerprint": dag.fingerprint(),
+        "n": dag.n,
+        "schedule": [int(u) for u in order],
+    }
+
+
+def _result_fields(result) -> dict:
+    return {
+        "execution_time": float(result.execution_time),
+        "n_jobs": int(result.n_jobs),
+        "batches_until_last_assignment": int(
+            result.batches_until_last_assignment
+        ),
+        "stalled_batches": int(result.stalled_batches),
+        "requests_until_last_assignment": int(
+            result.requests_until_last_assignment
+        ),
+        "n_failures": int(result.n_failures),
+        "unserved_workers": int(result.unserved_workers),
+        "stalling_probability": float(result.stalling_probability),
+        "utilization": float(result.utilization),
+    }
+
+
+def simulate_payload(
+    dag: Dag,
+    params: SimParams,
+    seed: int,
+    policy: str = "prio",
+    replications: int = 1,
+    *,
+    cache: ScheduleCache | None = None,
+    jobs: int = 1,
+    retry=None,
+    metrics=None,
+) -> dict:
+    """The ``POST /simulate`` response payload, computed in-process.
+
+    ``replications == 1`` reproduces exactly the CLI ``prio simulate``
+    seeding (``default_rng(seed)`` drives policy and simulation) and
+    reports the full :class:`~repro.sim.engine.SimResult`.  Batches go
+    through :func:`~repro.sim.replication.run_replications` — the
+    parallel executor when ``jobs > 1`` — whose metrics are bit-identical
+    for any ``jobs``, so the served bytes never depend on the server's
+    worker count.
+    """
+    head = {
+        "format": WIRE_FORMAT,
+        "kind": "simulate",
+        "policy": policy,
+        "seed": int(seed),
+        "params": {"mu_bit": float(params.mu_bit), "mu_bs": float(params.mu_bs)},
+        "n": dag.n,
+        "fingerprint": dag.fingerprint(),
+    }
+    order = None
+    if policy == "prio":
+        order = cached_schedule(dag, "prio", cache=cache)
+    if replications == 1:
+        rng = np.random.default_rng(seed)
+        if policy == "prio":
+            sim_policy = make_policy("oblivious", order=order)
+        else:
+            sim_policy = make_policy(policy, rng=rng)
+        compiled = cache.compiled(dag) if cache is not None else dag
+        result = simulate(compiled, sim_policy, params, rng, metrics=metrics)
+        head["result"] = _result_fields(result)
+        return head
+    build = policy_factory(
+        "oblivious" if policy == "prio" else policy, order=order
+    )
+    arrays = run_replications(
+        dag,
+        build,
+        params,
+        replications,
+        seed,
+        jobs=jobs,
+        retry=retry,
+        cache=cache,
+        metrics=metrics,
+    )
+    head["kind"] = "replications"
+    head["replications"] = int(replications)
+    head["metrics"] = {
+        name: [float(x) for x in arrays.metric(name)]
+        for name in ("execution_time", "stalling_probability", "utilization")
+    }
+    head["summary"] = {
+        name: {
+            "mean": float(np.mean(arrays.metric(name))),
+            "min": float(np.min(arrays.metric(name))),
+            "max": float(np.max(arrays.metric(name))),
+        }
+        for name in ("execution_time", "stalling_probability", "utilization")
+    }
+    return head

@@ -1,0 +1,77 @@
+"""Fixtures for the service suite: real servers on ephemeral ports.
+
+Everything here boots the *actual* asyncio server (no mocked transport,
+no handler-level shortcuts) — the point of the suite is the wire
+contract, and a fake would test the fake.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.perf.cache import ScheduleCache
+from repro.robust.retry import RetryPolicy
+from repro.serve.app import PrioService, ServerThread
+from repro.serve.client import ServeClient
+from repro.serve.limits import ServiceLimits
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_limits(**overrides) -> ServiceLimits:
+    """Test-friendly limits: short I/O deadline, generous processing."""
+    defaults = dict(
+        max_inflight=16,
+        max_body_bytes=1024 * 1024,
+        io_timeout=2.0,
+        retry=RetryPolicy(max_attempts=1, timeout=60.0),
+    )
+    defaults.update(overrides)
+    return ServiceLimits(**defaults)
+
+
+@pytest.fixture(scope="module")
+def server():
+    """A cached service on an ephemeral port, shared per test module."""
+    service = PrioService(cache=ScheduleCache(), limits=make_limits())
+    with ServerThread(service) as (host, port):
+        yield service, host, port
+
+
+@pytest.fixture
+def client(server):
+    _, host, port = server
+    with ServeClient(host, port, timeout=30.0) as c:
+        yield c
+
+
+def serve_subprocess(*extra_args: str) -> subprocess.Popen:
+    """``prio serve --port 0`` as a real subprocess (CLI + signal tests).
+
+    The caller reads the announce line for the bound port and must
+    terminate the process.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def announced_port(proc: subprocess.Popen) -> int:
+    line = proc.stdout.readline().strip()
+    assert line.startswith("serving on http://"), line
+    return int(line.rsplit(":", 1)[1])

@@ -1,0 +1,378 @@
+"""Protocol robustness: every malformed input maps to its documented code.
+
+The server's failure vocabulary (docs/API.md, "Serving") is asserted
+here input class by input class — malformed JSON, non-object bodies,
+cyclic "dags", oversized payloads, truncated bodies, unknown endpoints,
+wrong methods, bad parameters — partly property-tested with the
+hypothesis strategies the perf equivalence suite already uses.  After
+every abuse the suite confirms the server still answers a well-formed
+request and holds zero in-flight slots: the semaphore can never leak and
+the server can never hang.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dag.graph import Dag
+from repro.dag.io_json import dag_to_json
+from repro.serve.errors import ERROR_CODES, ServeError
+from repro.serve.protocol import encode, schedule_payload
+from repro.sim.engine import SimParams
+
+from ..perf.strategies import dags, sim_params
+
+PROPERTY = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture],
+)
+
+
+def _raw_exchange(host: str, port: int, data: bytes, *,
+                  shutdown_write: bool = False, timeout: float = 30.0) -> bytes:
+    """Send raw bytes, optionally half-close, and read the full response."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(data)
+        if shutdown_write:
+            sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            # Responses here are small; stop once the body is complete.
+            blob = b"".join(chunks)
+            if b"\r\n\r\n" in blob:
+                head, _, body = blob.partition(b"\r\n\r\n")
+                for line in head.split(b"\r\n"):
+                    if line.lower().startswith(b"content-length:"):
+                        if len(body) >= int(line.split(b":")[1]):
+                            return blob
+        return b"".join(chunks)
+
+
+def _status_and_code(raw: bytes) -> tuple[int, str | None]:
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    try:
+        code = json.loads(body.decode())["error"]["code"]
+    except (ValueError, KeyError):
+        code = None
+    return status, code
+
+
+def _post(host, port, path, body: bytes, **kwargs) -> bytes:
+    request = (
+        f"POST {path} HTTP/1.1\r\nHost: x\r\nContent-Type: application/json"
+        f"\r\nContent-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    ).encode() + body
+    return _raw_exchange(host, port, request, **kwargs)
+
+
+def _assert_recovered(service, client):
+    """After any abuse: zero slots held, and a real request still works."""
+    assert service.gate.inflight == 0
+    dag = Dag(3, [(0, 1), (1, 2)])
+    response = client.schedule(dag)
+    assert response.status == 200
+    assert response.body == encode(schedule_payload(dag, "prio"))
+
+
+# ----------------------------------------------------------------------
+# Malformed JSON and shapes
+# ----------------------------------------------------------------------
+
+
+@PROPERTY
+@given(garbage=st.binary(min_size=1, max_size=200).filter(
+    lambda b: not b.strip().startswith((b"{", b"[", b'"'))))
+def test_malformed_json_returns_bad_json(server, client, garbage):
+    service, host, port = server
+    status, code = _status_and_code(_post(host, port, "/schedule", garbage))
+    assert (status, code) == (400, "bad_json")
+    _assert_recovered(service, client)
+
+
+@PROPERTY
+@given(payload=st.one_of(
+    st.integers(), st.booleans(), st.none(),
+    st.lists(st.integers(), max_size=3), st.text(max_size=20)))
+def test_non_object_json_returns_invalid_request(server, client, payload):
+    service, host, port = server
+    body = json.dumps(payload).encode()
+    status, code = _status_and_code(_post(host, port, "/simulate", body))
+    assert (status, code) == (400, "invalid_request")
+    _assert_recovered(service, client)
+
+
+def test_missing_dag_field(client):
+    response = client.post_json("/schedule", {"algorithm": "prio"})
+    assert (response.status, response.error_code) == (400, "invalid_request")
+
+
+@pytest.mark.parametrize(
+    "arcs",
+    [
+        [[0, 1], [1, 0]],                    # 2-cycle
+        [[0, 0]],                            # self-loop
+        [[0, 1], [1, 2], [2, 0]],            # 3-cycle
+    ],
+)
+def test_cyclic_dag_returns_invalid_dag(server, client, arcs):
+    service, _, _ = server
+    n = 1 + max(max(arc) for arc in arcs)
+    payload = {"dag": {"format": "repro-dag-v1", "n": n, "arcs": arcs}}
+    response = client.post_json("/schedule", payload)
+    assert (response.status, response.error_code) == (400, "invalid_dag")
+    _assert_recovered(service, client)
+
+
+@pytest.mark.parametrize(
+    "dag_payload",
+    [
+        {"format": "wrong-format", "n": 1, "arcs": []},
+        {"format": "repro-dag-v1", "n": "three", "arcs": []},
+        {"format": "repro-dag-v1", "n": 2, "arcs": [[0]]},
+        {"format": "repro-dag-v1", "n": 2, "arcs": [["a", "b"]]},
+        {"format": "repro-dag-v1", "n": 2, "arcs": [[0, 5]]},
+        {"format": "repro-dag-v1", "n": 2, "arcs": "not-a-list"},
+        {"format": "repro-dag-v1", "n": 2, "arcs": [], "labels": [1, 2]},
+        "not-an-object",
+        42,
+    ],
+)
+def test_malformed_dag_payloads_return_invalid_dag(client, dag_payload):
+    response = client.post_json("/schedule", {"dag": dag_payload})
+    assert (response.status, response.error_code) == (400, "invalid_dag")
+
+
+@PROPERTY
+@given(dag=dags(max_n=8), params=sim_params())
+def test_valid_generated_requests_succeed(server, client, dag, params):
+    """The flip side: everything the strategies generate is accepted and
+    served bit-identically (no over-rejection hiding under the 400s)."""
+    service, _, _ = server
+    response = client.schedule(dag)
+    assert response.status == 200
+    assert response.body == encode(
+        schedule_payload(dag, "prio", cache=service.cache)
+    )
+    sim = client.simulate(dag, params, seed=5)
+    assert sim.status == 200
+    assert service.gate.inflight == 0
+
+
+# ----------------------------------------------------------------------
+# Bad request fields
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        {"algorithm": "quantum"},
+        {"kwargs": "not-an-object"},
+        {"surprise": 1},
+    ],
+)
+def test_bad_schedule_fields_return_invalid_request(client, mutation):
+    body = {"dag": dag_to_json(Dag(2, [(0, 1)]))}
+    body.update(mutation)
+    response = client.post_json("/schedule", body)
+    assert (response.status, response.error_code) == (400, "invalid_request")
+
+
+def test_unknown_prio_kwargs_return_invalid_request(client):
+    body = {
+        "dag": dag_to_json(Dag(2, [(0, 1)])),
+        "kwargs": {"no_such_knob": True},
+    }
+    response = client.post_json("/schedule", body)
+    assert (response.status, response.error_code) == (400, "invalid_request")
+    assert "no_such_knob" in response.payload["error"]["message"]
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        {"params": {"mu_bit": -1.0, "mu_bs": 16.0}},
+        {"params": {"mu_bit": 1.0}},
+        {"params": {"mu_bit": 1.0, "mu_bs": 16.0, "warp": 9}},
+        {"params": {"mu_bit": "fast", "mu_bs": 16.0}},
+        {"params": None},
+        {"seed": "zero"},
+        {"seed": -3},
+        {"seed": 1.5},
+        {"policy": "psychic"},
+        {"replications": 0},
+        {"replications": "many"},
+        {"extra_field": 1},
+    ],
+)
+def test_bad_simulate_fields_return_invalid_request(client, mutation):
+    body = {
+        "dag": dag_to_json(Dag(2, [(0, 1)])),
+        "params": {"mu_bit": 1.0, "mu_bs": 16.0},
+        "seed": 0,
+    }
+    body.update(mutation)
+    response = client.post_json("/simulate", body)
+    assert (response.status, response.error_code) == (400, "invalid_request")
+
+
+# ----------------------------------------------------------------------
+# Transport-level abuse
+# ----------------------------------------------------------------------
+
+
+def test_oversized_payload_returns_413(server, client):
+    service, host, port = server
+    limit = service.limits.max_body_bytes
+    body = b"x" * (limit + 1)
+    status, code = _status_and_code(_post(host, port, "/schedule", body))
+    assert (status, code) == (413, "payload_too_large")
+    _assert_recovered(service, client)
+
+
+def test_oversized_content_length_rejected_without_reading_body(server, client):
+    """A huge Content-Length is refused up front — the server never
+    buffers the claimed body."""
+    service, host, port = server
+    request = (
+        "POST /schedule HTTP/1.1\r\nHost: x\r\n"
+        f"Content-Length: {10**12}\r\n\r\n"
+    ).encode()
+    raw = _raw_exchange(host, port, request)
+    assert _status_and_code(raw) == (413, "payload_too_large")
+    _assert_recovered(service, client)
+
+
+@PROPERTY
+@given(fraction=st.floats(min_value=0.0, max_value=0.95))
+def test_truncated_body_returns_400_and_never_hangs(server, client, fraction):
+    service, host, port = server
+    body = json.dumps(
+        {"dag": dag_to_json(Dag(3, [(0, 1), (1, 2)]))}
+    ).encode()
+    sent = body[: int(len(body) * fraction)]
+    request = (
+        f"POST /schedule HTTP/1.1\r\nHost: x\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode() + sent
+    raw = _raw_exchange(host, port, request, shutdown_write=True)
+    assert _status_and_code(raw) == (400, "truncated_body")
+    _assert_recovered(service, client)
+
+
+def test_stalled_body_times_out_with_400(server, client):
+    """A client that sends half a body then goes silent is cut off by the
+    I/O deadline, not held open forever."""
+    service, host, port = server
+    request = (
+        b"POST /schedule HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\n"
+        b'{"dag":'
+    )
+    raw = _raw_exchange(host, port, request, timeout=30.0)
+    assert _status_and_code(raw) == (400, "truncated_body")
+    _assert_recovered(service, client)
+
+
+def test_malformed_request_line_closes_with_400(server, client):
+    service, host, port = server
+    raw = _raw_exchange(host, port, b"COMPLETE GIBBERISH\r\n\r\n")
+    assert _status_and_code(raw) == (400, "invalid_request")
+    _assert_recovered(service, client)
+
+
+def test_chunked_transfer_encoding_rejected(server, client):
+    service, host, port = server
+    request = (
+        b"POST /schedule HTTP/1.1\r\nHost: x\r\n"
+        b"Transfer-Encoding: chunked\r\n\r\n0\r\n\r\n"
+    )
+    raw = _raw_exchange(host, port, request)
+    assert _status_and_code(raw) == (400, "invalid_request")
+    _assert_recovered(service, client)
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "path", ["/", "/schedule/extra", "/unknown", "/SCHEDULE", "/metrics2"]
+)
+def test_unknown_endpoints_return_404(client, path):
+    response = client.request("GET", path)
+    assert (response.status, response.error_code) == (404, "not_found")
+
+
+@pytest.mark.parametrize(
+    "method,path,allowed",
+    [
+        ("GET", "/schedule", "POST"),
+        ("GET", "/simulate", "POST"),
+        ("POST", "/healthz", "GET"),
+        ("POST", "/metrics", "GET"),
+        ("DELETE", "/schedule", "POST"),
+    ],
+)
+def test_wrong_method_returns_405_with_allow(server, method, path, allowed):
+    _, host, port = server
+    request = (
+        f"{method} {path} HTTP/1.1\r\nHost: x\r\nContent-Length: 0"
+        f"\r\nConnection: close\r\n\r\n"
+    ).encode()
+    raw = _raw_exchange(host, port, request)
+    status, code = _status_and_code(raw)
+    assert (status, code) == (405, "method_not_allowed")
+    head = raw.partition(b"\r\n\r\n")[0].decode().lower()
+    assert f"allow: {allowed.lower()}" in head
+
+
+def test_query_strings_are_ignored_for_routing(client):
+    response = client.request("GET", "/healthz?probe=1")
+    assert response.status == 200
+
+
+# ----------------------------------------------------------------------
+# Error vocabulary sanity
+# ----------------------------------------------------------------------
+
+
+def test_every_wire_error_code_is_documented():
+    for code, status in ERROR_CODES.items():
+        exc = ServeError(code, "x")
+        assert exc.status == status
+        assert exc.payload() == {"error": {"code": code, "message": "x"}}
+    with pytest.raises(ValueError):
+        ServeError("made_up_code", "x")
+
+
+def test_no_traceback_ever_crosses_the_wire(server, client):
+    """Abusive inputs produce only the structured error object —
+    response bodies never contain a Python traceback."""
+    _, host, port = server
+    probes = [
+        _post(host, port, "/schedule", b"\x00\xff\xfe"),
+        _post(host, port, "/simulate", json.dumps(
+            {"dag": {"format": "repro-dag-v1", "n": 1, "arcs": [[0, 0]]},
+             "params": {"mu_bit": 1.0, "mu_bs": 1.0}}).encode()),
+        _raw_exchange(host, port, b"BAD\r\n\r\n"),
+    ]
+    for raw in probes:
+        body = raw.partition(b"\r\n\r\n")[2]
+        assert b"Traceback" not in body
+        assert b"repro/" not in body
+        payload = json.loads(body.decode())
+        assert set(payload) == {"error"}
+        assert set(payload["error"]) == {"code", "message"}
