@@ -1,6 +1,6 @@
-"""Hot-path performance layer: schedule caching and the fast kernel.
+"""Hot-path performance layer: schedule caching and the fast kernels.
 
-Two independent mechanisms, both with a hard bit-identity guarantee
+Three independent mechanisms, all with a hard bit-identity guarantee
 against the code paths they replace:
 
 * :class:`~repro.perf.cache.ScheduleCache` — schedules (PRIO, FIFO,
@@ -17,13 +17,25 @@ against the code paths they replace:
   the policies it supports and falls back to the reference engine
   otherwise; both paths consume the random stream identically, so
   results are bit-identical.
+* :func:`~repro.perf.kernel_batch.simulate_batch` — a batched
+  replication kernel that runs *all* replications of a
+  (dag, policy, parameter) cell in lockstep as struct-of-arrays numpy
+  state, collapsing the event loop to one iteration per batch arrival
+  shared by every replication.
+  :func:`repro.sim.replication.run_replications` and the parallel chunk
+  workers dispatch whole batches to it automatically on the
+  pre-telemetry hot path; :func:`~repro.perf.kernel_batch.batch_supported`
+  is the predicate, and parameter sets outside the batch-synchronous
+  regime fall back to per-replication :func:`simulate_fast` — every path
+  is exact, replication by replication.
 
-The equivalence suite (``tests/perf/``) holds both guarantees under
+The equivalence suite (``tests/perf/``) holds all three guarantees under
 property-based random dags and the paper workloads.
 """
 
 from .cache import ScheduleCache, cached_schedule, schedule_algorithms
 from .kernel import kernel_supported, simulate_fast
+from .kernel_batch import batch_supported, simulate_batch
 
 __all__ = [
     "ScheduleCache",
@@ -31,4 +43,6 @@ __all__ = [
     "schedule_algorithms",
     "kernel_supported",
     "simulate_fast",
+    "batch_supported",
+    "simulate_batch",
 ]

@@ -28,6 +28,13 @@ which the equivalence suite asserts end to end.
 Counters: when a :class:`~repro.obs.metrics.MetricsRegistry` is attached
 (``metrics=``), every lookup lands in ``cache.hit`` / ``cache.miss``
 (disk hits additionally in ``cache.disk_hit``).
+
+The cache is one of the three reuse mechanisms benchmarked by
+``benchmarks/test_bench_cache.py`` (with the scalar and batched
+simulation kernels, :mod:`repro.perf.kernel` and
+:mod:`repro.perf.kernel_batch`); a cached PRIO schedule is exactly what
+:func:`~repro.perf.kernel_batch.simulate_batch` validates once and then
+shares across a whole replication batch.
 """
 
 from __future__ import annotations

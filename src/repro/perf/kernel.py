@@ -45,7 +45,7 @@ from ..sim.compile import CompiledDag
 from ..sim.policies import FifoPolicy, ObliviousPolicy, Policy
 from ..sim.runtime import RuntimeSampler
 
-from ..sim.engine import SimResult
+from ..sim.engine import SimResult, _empty_result
 
 __all__ = ["kernel_supported", "simulate_fast"]
 
@@ -90,7 +90,7 @@ def simulate_fast(
     compiled = dag if isinstance(dag, CompiledDag) else CompiledDag.from_dag(dag)
     n = compiled.n
     if n == 0:
-        return SimResult(0.0, 0, 0, 0, 0)
+        return _empty_result(trace, metrics, kernel=True)
     children = compiled.child_lists()
     remaining = compiled.indegree.tolist()
 

@@ -1,0 +1,693 @@
+"""Batched replication kernel: all replications of a cell in lockstep.
+
+:func:`simulate_batch` runs *R* independent replications of one
+(dag, policy, parameter) cell as struct-of-arrays numpy state instead of
+*R* passes through the per-replication Python loop.  It exploits a
+structural property of the paper's system model: with ``failure_prob == 0``
+and ``rollover=False`` (the defaults, and the operating point of every
+sweep in the paper) the simulation is **batch-synchronous** —
+
+* jobs are only ever *assigned* at batch-arrival events, so between two
+  arrivals nothing is drawn from the generator and nothing changes the
+  eligible pool except completions;
+* completion events draw nothing and only decrement remaining-parent
+  counts, so a whole inter-arrival window of completions can be applied
+  at once;
+* every replication consumes exactly one batch arrival per step until its
+  last assignment, so *R* replications advance in lockstep under a single
+  global arrival cursor.
+
+The event loop therefore collapses from ~events-per-replication iterations
+to ~batches iterations shared by all replications, with the per-step work
+vectorized across replications (frontier merges, children decrements,
+duration blocks, makespan maxima).
+
+**Bit-identity contract.**  Same contract as :mod:`repro.perf.kernel`,
+replication by replication: each replication's generator is advanced
+through the same :class:`~repro.sim.arrivals.BatchArrivals` and
+:class:`~repro.sim.runtime.RuntimeSampler` refills, in the same order, at
+the same event boundaries as the reference engine, and the same IEEE
+double arithmetic is applied to the samples.  The load-bearing details:
+
+* arrival chunks are refilled via
+  :meth:`~repro.sim.arrivals.BatchArrivals.refill_block` at the step where
+  the reference engine's first ``peek_time`` after exhaustion would refill
+  (before that window's completions are processed — which draw nothing);
+* runtime blocks are drawn with one
+  :meth:`~repro.sim.runtime.RuntimeSampler.draw_into` per replication per
+  assignment event, reproducing the reference sampler's refill boundaries
+  (including the discarded buffer tails) exactly;
+* after a replication's last assignment the reference engine never peeks
+  the arrival stream again and the remaining completion events change no
+  result field, so the batch kernel simply retires the replication — the
+  generator end state and the :class:`~repro.sim.engine.SimResult` are
+  identical;
+* FIFO eligibility order is reconstructed exactly: the reference pops
+  completions in ``(finish, job)`` heap order, which within a window is a
+  sort and across windows is concatenation (a window's finishes never
+  exceed its batch time, the next window's always do); a freed child is
+  inserted when its *last* parent's child scan reaches it, and that
+  position is recovered directly from the window's pop-ordered child-edge
+  expansion — a stable sort groups each child's edges with ascending scan
+  positions, so the end of its group *is* the freeing edge, and ordering
+  freed children by those positions reproduces the reference insertion
+  sequence;
+* the oblivious policy is a set policy (pop = min rank), so window-level
+  set updates to a sorted rank frontier reproduce it with no ordering
+  reconstruction at all.
+
+``tests/perf/test_kernel_batch_equivalence.py`` enforces batched-vs-serial
+bit-identity over random dags, both policies, both batch-size
+distributions and the paper workloads; any divergence is a bug in this
+module.
+
+**Dispatch rules.**  :func:`dispatch_batch` is the auto-dispatch hook used
+by :func:`repro.sim.replication.run_replications` and
+:func:`repro.sim.parallel.run_chunk`.  It engages only when
+
+* the policy factory advertises ``kind`` in ``("fifo", "oblivious")``
+  (the policies whose construction ignores the replication generator);
+* kernel dispatch is enabled (``REPRO_NO_KERNEL`` unset — the same escape
+  hatch as the scalar kernel); and
+* the caller is not collecting telemetry: per-event counters
+  (``engine.events``, heap/pool peaks) only exist on the per-event paths,
+  so metrics runs keep the scalar engines.
+
+Parameter sets outside the batch-synchronous regime (worker churn,
+request rollover) fall back *inside* :func:`simulate_batch` to one
+:func:`repro.perf.kernel.simulate_fast` per replication — still
+bit-identical, just not vectorized across replications.  There is no
+silent approximation anywhere: every path is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.arrivals import BatchArrivals
+from ..sim.compile import CompiledDag
+from ..sim.engine import SimResult, _empty_result, _kernel_default, make_policy
+from ..sim.runtime import RuntimeSampler
+from .kernel import simulate_fast
+
+__all__ = ["batch_supported", "dispatch_batch", "simulate_batch"]
+
+#: Policy kinds whose construction ignores the replication generator and
+#: whose pop order the batch kernel can reconstruct exactly.
+_POLICY_KINDS = ("fifo", "oblivious")
+
+#: Budget of per-job state cells (R * n) per slab.  A cell of the paper
+#: sweep can ask for tens of thousands of replications of a
+#: multi-thousand-job dag; replications are processed in slabs of
+#: ``_STATE_BUDGET // n`` at a time both to bound memory and — the
+#: binding constraint — to keep the randomly indexed per-job state
+#: (remaining-parent counts) inside the cache hierarchy: past a few
+#: million cells the per-step scatters and gathers turn memory-bound and
+#: per-replication throughput degrades.
+_STATE_BUDGET = 2_000_000
+
+
+def batch_supported(kind: str, params) -> bool:
+    """Whether the fully vectorized batch-synchronous path applies.
+
+    Outside this predicate :func:`simulate_batch` still works (and is
+    still bit-identical) — it falls back to per-replication
+    :func:`~repro.perf.kernel.simulate_fast`.
+    """
+    return (
+        kind in _POLICY_KINDS
+        and params.failure_prob == 0.0
+        and not params.rollover
+    )
+
+
+def dispatch_batch(compiled, build_policy, params, runtime_scale, seed_seqs):
+    """Try the batched kernel for a whole replication batch.
+
+    Returns the list of :class:`~repro.sim.engine.SimResult` (one per
+    entry of *seed_seqs*, in order), or ``None`` when the batch cannot be
+    taken — unknown policy factory, kernel dispatch disabled — and the
+    caller must use the per-replication path.  See the module docstring
+    for the exact dispatch rules.
+    """
+    kind = getattr(build_policy, "kind", None)
+    if kind not in _POLICY_KINDS:
+        return None
+    if not _kernel_default():
+        return None
+    if not isinstance(compiled, CompiledDag):
+        return None
+    rngs = [np.random.default_rng(seq) for seq in seed_seqs]
+    return simulate_batch(
+        compiled,
+        kind,
+        params,
+        rngs,
+        order=getattr(build_policy, "order", None),
+        runtime_scale=runtime_scale,
+    )
+
+
+def simulate_batch(
+    dag,
+    kind: str,
+    params,
+    rngs,
+    *,
+    order=None,
+    runtime_scale: np.ndarray | None = None,
+) -> list[SimResult]:
+    """Run one replication per generator in *rngs*; returns their results.
+
+    Each replication is bit-identical to
+    ``simulate(dag, make_policy(kind, order=order), params, rng)`` run
+    serially with its own generator (see the module docstring for why).
+    *kind* must be ``"fifo"`` or ``"oblivious"``; *order* is the
+    oblivious schedule and is validated once for the whole batch.
+    """
+    if kind not in _POLICY_KINDS:
+        raise ValueError(
+            f"batch kernel does not support policy kind {kind!r}; "
+            f"choose from {_POLICY_KINDS}"
+        )
+    compiled = dag if isinstance(dag, CompiledDag) else CompiledDag.from_dag(dag)
+    rngs = list(rngs)
+    n = compiled.n
+    if n == 0:
+        return [_empty_result() for _ in rngs]
+
+    if kind == "oblivious":
+        # One policy construction validates the order permutation for the
+        # whole batch; only its precomputed rank tables are read.
+        policy = make_policy(kind, order=order)
+        rank = np.asarray(policy._rank, dtype=np.int64)
+        job_of_rank = np.asarray(policy._job_of_rank, dtype=np.int64)
+    else:
+        rank = job_of_rank = None
+
+    scale = None
+    if runtime_scale is not None:
+        scale = np.asarray(runtime_scale, dtype=np.float64)
+        if scale.shape != (n,):
+            raise ValueError(
+                f"runtime_scale must have one entry per job ({n}), got "
+                f"shape {scale.shape}"
+            )
+        if (scale <= 0).any():
+            raise ValueError("runtime_scale entries must be positive")
+
+    if not batch_supported(kind, params):
+        # Churn / rollover break batch synchrony (completions can draw and
+        # assignment can happen outside arrival events).  Exact fallback:
+        # the scalar kernel, one replication at a time.
+        return [
+            simulate_fast(
+                compiled,
+                make_policy(kind, order=order),
+                params,
+                rng,
+                runtime_scale=runtime_scale,
+            )
+            for rng in rngs
+        ]
+
+    slab = max(1, _STATE_BUDGET // n)
+    results: list[SimResult] = []
+    for start in range(0, len(rngs), slab):
+        results.extend(
+            _batch_sync(
+                compiled,
+                kind,
+                params,
+                rngs[start: start + slab],
+                rank,
+                job_of_rank,
+                scale,
+            )
+        )
+    return results
+
+
+def _expand_segments(starts, counts):
+    """CSR expansion: flat indices, segment ids and in-segment offsets.
+
+    For segments ``i`` starting at ``starts[i]`` with ``counts[i]``
+    consecutive entries, returns ``(idx, seg, off)`` where ``idx``
+    enumerates ``starts[i] + 0 .. starts[i] + counts[i] - 1`` segment by
+    segment, ``seg`` labels each entry with its segment and ``off`` is
+    the entry's position within its segment.
+    """
+    counts = counts.astype(np.int64, copy=False)
+    seg = np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)
+    excl = np.cumsum(counts) - counts
+    off = np.arange(seg.shape[0], dtype=np.int64) - excl[seg]
+    return starts.astype(np.int64, copy=False)[seg] + off, seg, off
+
+
+def _merge_sorted(a, b):
+    """Merge two sorted integer arrays (same dtype) into a new sorted array.
+
+    A stable in-place sort of the concatenation: numpy's timsort detects
+    the two presorted runs and gallops through a plain merge, measurably
+    faster than the searchsorted-and-scatter idiom (and ``concatenate``
+    already made the copy ``np.sort`` would add).  May return *b* itself
+    when *a* is empty — callers hand over ownership of both inputs.
+    """
+    if not a.shape[0]:
+        return b
+    merged = np.concatenate((a, b))
+    merged.sort(kind="stable")
+    return merged
+
+
+def _gather_live(arr, start, head, cnt):
+    """The live (unconsumed) entries of a segmented array, compacted."""
+    idx, _, _ = _expand_segments(start + head, cnt)
+    return arr[idx]
+
+
+def _segment_positions(sorted_ids):
+    """Position of each element within its run of equal (sorted) ids."""
+    m = sorted_ids.shape[0]
+    pos = np.arange(m, dtype=np.int64)
+    first = np.empty(m, dtype=bool)
+    first[0] = True
+    np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=first[1:])
+    run = np.cumsum(first) - 1
+    return pos - pos[first][run]
+
+
+def _batch_sync(compiled, kind, params, rngs, rank, job_of_rank, scale):
+    """The vectorized batch-synchronous loop for one slab of replications."""
+    R = len(rngs)
+    n = compiled.n
+    indptr = compiled.indptr
+    # Window-sized arrays (completions, fired edges, the pool) are hot on
+    # every step; 32-bit ids halve their memory traffic.  ``rep * n +
+    # job`` values must fit, which the slab budget guarantees with room
+    # to spare — the int64 fallback only exists for hand-tuned budgets.
+    jdtype = np.int32 if R * n < 2**31 else np.int64
+    children = compiled.children.astype(jdtype, copy=False)
+    out_counts = np.diff(indptr)
+    fifo = kind == "fifo"
+    sources = np.asarray(compiled.initial_frontier(), dtype=np.int64)
+    rep_ids = np.arange(R, dtype=np.int64)
+
+    # --- eligibility frontier -----------------------------------------
+    # Entry encoding: rep * stride + key + 1, rep-major with each rep's
+    # segment sorted by key, and rep * stride itself reserved as that
+    # rep's *tombstone* (it sorts before every real key of the segment).
+    # The policy's pop order is the per-rep ascending key order:
+    #   oblivious — key = rank[job]                    (stride = n + 1)
+    #   fifo      — key = insertion_seq * n + job      (stride = n*n + 1)
+    # Without churn every job is inserted exactly once, so insertion_seq
+    # < n and the fifo key fits; R * stride stays far inside int64.
+    #
+    # The structure is two-level so a step never pays O(total frontier):
+    # a ``main`` array plus a small ``pend``ing array of recent
+    # insertions.  Pops take per-rep segment *prefixes* (the smallest
+    # keys), so consumption is a head bump in ``main`` and a tombstone
+    # overwrite in ``pend`` (popped entries are the smallest live ones,
+    # so tombstones stay contiguous at the segment front and the array
+    # stays sorted in place).  Freed jobs merge into ``pend`` with one
+    # O(|pend|) merge — no compaction — and ``pend`` is flushed into
+    # ``main`` only when it outgrows a fraction of it (amortized O(n)
+    # merges in total).  Selection merges the candidate prefixes of both
+    # levels — O(assigned) work per step, never O(eligible).
+    if fifo:
+        ins_count = np.full(R, sources.shape[0], dtype=np.int64)
+        stride = n * n + 1
+        keys0 = np.arange(sources.shape[0], dtype=np.int64) * n + sources
+    else:
+        stride = n + 1
+        keys0 = np.sort(rank[sources])
+    # Encoding dtype: the frontier arrays are what the per-step merges,
+    # flush sorts and selection searchsorteds stream over, so when every
+    # encoding fits (oblivious: R * (n + 1); fifo's n^2 stride rarely
+    # does) 32-bit entries halve their memory traffic.
+    edtype = np.int32 if R * stride < 2**31 else np.int64
+    main = (
+        (rep_ids[:, None] * stride + keys0[None, :] + 1)
+        .ravel()
+        .astype(edtype, copy=False)
+    )
+    m_cnt = np.full(R, sources.shape[0], dtype=np.int64)
+    m_start = np.cumsum(m_cnt) - m_cnt
+    m_head = np.zeros(R, dtype=np.int64)
+    pend = np.empty(0, dtype=edtype)
+    p_cnt = np.zeros(R, dtype=np.int64)   # live entries per rep
+    p_size = np.zeros(R, dtype=np.int64)  # physical entries (incl. tombstones)
+    p_start = np.zeros(R, dtype=np.int64)
+    p_head = np.zeros(R, dtype=np.int64)  # tombstones at the segment front
+
+    remaining = np.tile(compiled.indegree.astype(np.int32), R)
+
+    arrivals = [
+        BatchArrivals(
+            params.mu_bit, params.mu_bs, rng, size_dist=params.batch_size_dist
+        )
+        for rng in rngs
+    ]
+    runtimes = [
+        RuntimeSampler(rng, mean=params.runtime_mean, std=params.runtime_std)
+        for rng in rngs
+    ]
+    # Runtime sample buffers as one (R, width) matrix, cursored here (same
+    # consumption as RuntimeSampler.draw, without per-draw dispatch).
+    # Refills are per-replication and rare (a buffer covers hundreds of
+    # assignments); extraction is one flat fancy-index over all
+    # replications per step.  The width grows if a refill ever returns a
+    # longer buffer (a single request larger than the chunk size); rows
+    # beyond their own ``r_len`` are garbage and never indexed.
+    r_buf2d = np.empty((R, 0))
+    r_flat = r_buf2d.reshape(-1)
+    r_width = 0
+    r_pos = np.zeros(R, dtype=np.int64)
+    r_len = np.zeros(R, dtype=np.int64)
+    # Arrival buffers, replication-major: each (rare) refill writes one
+    # contiguous row; the per-step column reads touch one cache line per
+    # replication, which is far cheaper than strided refill writes.
+    a_times = np.empty((R, 0))
+    a_sizes = np.empty((R, 0), dtype=np.int64)
+    a_pos = 0
+    a_len = 0
+
+    # Completion pool: flat, unsorted.  Heap order is never needed — a
+    # window's completions are selected by mask and (for fifo) sorted per
+    # window, which is exactly the reference heap's pop order.  Entries
+    # of retired replications are purged at retirement, so the pool only
+    # ever holds running jobs of active replications.  Double-buffered
+    # capacity arrays: appends are in-place slice writes and compaction
+    # is a ``np.take`` into the twin, so a step never reallocates or
+    # copies the surviving entries more than once.
+    p_capacity = 1024
+    pool_fin = np.empty(p_capacity)
+    pool_rep = np.empty(p_capacity, dtype=jdtype)
+    pool_job = np.empty(p_capacity, dtype=jdtype)
+    alt_fin = np.empty(p_capacity)
+    alt_rep = np.empty(p_capacity, dtype=jdtype)
+    alt_job = np.empty(p_capacity, dtype=jdtype)
+    plen = 0
+
+    # Shared index ramp: every CSR expansion needs an ``arange`` of its
+    # own length; one growable buffer serves them all without a fresh
+    # allocation per step.
+    iota = np.arange(4096, dtype=np.int64)
+
+    def iota_upto(m: int) -> np.ndarray:
+        nonlocal iota
+        if m > iota.shape[0]:
+            iota = np.arange(max(m, 2 * iota.shape[0]), dtype=np.int64)
+        return iota[:m]
+
+    n_assigned = np.zeros(R, dtype=np.int64)
+    batches = np.zeros(R, dtype=np.int64)
+    stalled = np.zeros(R, dtype=np.int64)
+    requests = np.zeros(R, dtype=np.int64)
+    batches_at = np.zeros(R, dtype=np.int64)
+    stalled_at = np.zeros(R, dtype=np.int64)
+    requests_at = np.zeros(R, dtype=np.int64)
+    makespan = np.zeros(R)
+    active = np.ones(R, dtype=bool)
+
+    while True:
+        # ---- arrival refill (the reference's peek-triggered refill) ---
+        if a_pos >= a_len:
+            live = np.flatnonzero(active)
+            if a_len == 0:
+                first_t, first_s = arrivals[int(live[0])].refill_block()
+                a_len = first_t.shape[0]
+                a_times = np.empty((R, a_len))
+                a_sizes = np.empty((R, a_len), dtype=np.int64)
+                a_times[live[0]] = first_t
+                a_sizes[live[0]] = first_s
+                live = live[1:]
+            for r in live:
+                t_blk, s_blk = arrivals[int(r)].refill_block()
+                a_times[r] = t_blk
+                a_sizes[r] = s_blk
+            a_pos = 0
+        t = a_times[:, a_pos]
+        b = a_sizes[:, a_pos]
+        a_pos += 1
+
+        # ---- completion window: everything due before this batch ------
+        if plen:
+            fin_v = pool_fin[:plen]
+            rep_v = pool_rep[:plen]
+            job_v = pool_job[:plen]
+            done = fin_v <= t[rep_v]
+            if done.any():
+                c_rep = rep_v[done]
+                c_job = job_v[done]
+                if fifo:
+                    # Reference pop order within the window: the heap's
+                    # (finish, job) tuples, per rep.  Two single-key
+                    # passes (argsort by finish, then a stable sort by
+                    # rep) beat a three-key lexsort; the job tiebreak
+                    # only matters for *exactly* equal finishes within a
+                    # rep (zero runtime spread), detected and sent
+                    # through the full lexsort.
+                    c_fin = fin_v[done]
+                    # Finishes are strictly positive, so their IEEE-754
+                    # bit patterns order exactly as the floats do and the
+                    # integer argsort skips NaN handling.
+                    o1 = np.argsort(c_fin.view(np.int64))
+                    w = o1[np.argsort(c_rep[o1], kind="stable")]
+                    rep_w = c_rep[w]
+                    fin_w = c_fin[w]
+                    if (
+                        (rep_w[1:] == rep_w[:-1]) & (fin_w[1:] == fin_w[:-1])
+                    ).any():
+                        w = np.lexsort((c_job, c_fin, c_rep))
+                        rep_w = c_rep[w]
+                    c_rep = rep_w
+                    c_job = c_job[w]
+                kidx = np.flatnonzero(~done)
+                k = kidx.shape[0]
+                np.take(fin_v, kidx, out=alt_fin[:k])
+                np.take(rep_v, kidx, out=alt_rep[:k])
+                np.take(job_v, kidx, out=alt_job[:k])
+                pool_fin, alt_fin = alt_fin, pool_fin
+                pool_rep, alt_rep = alt_rep, pool_rep
+                pool_job, alt_job = alt_job, pool_job
+                plen = k
+                kcounts = out_counts[c_job]
+                kseg = np.repeat(iota_upto(c_job.shape[0]), kcounts)
+                kn = kseg.shape[0]
+                koff = iota_upto(kn) - (np.cumsum(kcounts) - kcounts)[kseg]
+                kid_idx = indptr[c_job][kseg] + koff
+                if kid_idx.shape[0]:
+                    # Inline unique-with-counts: the decrement per child is
+                    # its multiplicity among this window's fired edges.
+                    kid_flat = c_rep[kseg] * n + children[kid_idx]
+                    if fifo:
+                        # c_job is in pop order, so the expansion
+                        # enumerates this window's child edges exactly in
+                        # the reference's scan order, rep-major.  A stable
+                        # argsort keeps each child's edge positions
+                        # ascending, so the end of its group is its *last*
+                        # edge — the one that frees it.
+                        korder = np.argsort(kid_flat, kind="stable")
+                        kid_flat = kid_flat[korder]
+                    else:
+                        kid_flat.sort()
+                    kn = kid_flat.shape[0]
+                    kfirst = np.empty(kn, dtype=bool)
+                    kfirst[0] = True
+                    np.not_equal(kid_flat[1:], kid_flat[:-1], out=kfirst[1:])
+                    kstarts = np.flatnonzero(kfirst)
+                    uniq = kid_flat[kstarts]
+                    kends = np.empty(kstarts.shape[0], dtype=np.int64)
+                    kends[:-1] = kstarts[1:]
+                    kends[-1] = kn
+                    rem = remaining[uniq] - (kends - kstarts)
+                    remaining[uniq] = rem
+                    fmask = rem == 0
+                    freed = uniq[fmask]
+                    if freed.shape[0]:
+                        f_rep = freed // n
+                        f_job = freed - f_rep * n
+                        if fifo:
+                            # Edge positions grow with pop order inside
+                            # each rep's (contiguous) block of the
+                            # expansion, so sorting the freed children by
+                            # their freeing-edge position alone yields
+                            # rep-major reference insertion order.
+                            o = np.argsort(korder[kends[fmask] - 1])
+                            f_rep = f_rep[o]
+                            f_job = f_job[o]
+                            seq = ins_count[f_rep] + _segment_positions(f_rep)
+                            new_enc = (
+                                f_rep.astype(np.int64) * stride
+                                + seq * n
+                                + f_job
+                                + 1
+                            )
+                            ins_count += np.bincount(f_rep, minlength=R)
+                        else:
+                            # The encoding is itself the (rep, rank) sort
+                            # key, so insertions sort directly.
+                            new_enc = np.sort(
+                                f_rep.astype(np.int64) * stride
+                                + rank[f_job]
+                                + 1
+                            )
+                        f_cnt = np.bincount(f_rep, minlength=R)
+                        pend = _merge_sorted(
+                            pend, new_enc.astype(edtype, copy=False)
+                        )
+                        p_cnt = p_cnt + f_cnt
+                        p_size = p_size + f_cnt
+                        p_start = np.cumsum(p_size) - p_size
+                        m_live = int(m_cnt.sum())
+                        if pend.shape[0] > max(2048, m_live >> 1):
+                            main = _merge_sorted(
+                                _gather_live(main, m_start, m_head, m_cnt),
+                                _gather_live(pend, p_start, p_head, p_cnt),
+                            )
+                            m_cnt = m_cnt + p_cnt
+                            m_start = np.cumsum(m_cnt) - m_cnt
+                            m_head[:] = 0
+                            pend = pend[:0]
+                            p_cnt[:] = 0
+                            p_size[:] = 0
+                            p_start[:] = 0
+                            p_head[:] = 0
+
+        # ---- batch arrival event --------------------------------------
+        # Retired replications always have an empty frontier (all jobs
+        # assigned, their pool entries purged), so ``avail == 0`` masks
+        # them out of ``take`` with no explicit ``active`` test.
+        avail = m_cnt + p_cnt
+        batches += active
+        requests += b * active
+        stalled += active & (avail == 0)
+        take = np.minimum(b, avail)
+        total = int(take.sum())
+        if total:
+            # Select the take[r] smallest keys per rep from the union of
+            # the two levels.  Candidates are the per-rep prefixes of
+            # each level (the union's minima are always inside them);
+            # because the encoding makes rep the high bits, each level's
+            # candidate gather is *globally* sorted, so the merged order
+            # comes from two searchsorted rank computations instead of
+            # an argsort, and winners — by construction per-rep prefixes
+            # of their level, so consumption is a head bump — scatter
+            # straight into their per-rep output slots.
+            mc = np.minimum(take, m_cnt)
+            pc = np.minimum(take, p_cnt)
+            lenA = int(mc.sum())
+            lenB = int(pc.sum())
+            segA = np.repeat(rep_ids, mc)
+            segB = np.repeat(rep_ids, pc)
+            offA = iota_upto(lenA) - (np.cumsum(mc) - mc)[segA]
+            offB = iota_upto(lenB) - (np.cumsum(pc) - pc)[segB]
+            A = main[(m_start + m_head)[segA] + offA]
+            B_idx = (p_start + p_head)[segB] + offB
+            B = pend[B_idx]
+            rankA = iota_upto(lenA) + np.searchsorted(B, A)
+            rankB = iota_upto(lenB) + np.searchsorted(A, B)
+            c_cnt = mc + pc
+            c_excl = np.cumsum(c_cnt) - c_cnt
+            localA = rankA - c_excl[segA]
+            localB = rankB - c_excl[segB]
+            winA = localA < take[segA]
+            winB = localB < take[segB]
+            t_excl = np.cumsum(take) - take
+            enc = np.empty(total, dtype=np.int64)
+            repB = segB[winB]
+            enc[t_excl[segA[winA]] + localA[winA]] = A[winA]
+            enc[t_excl[repB] + localB[winB]] = B[winB]
+            pwin = B_idx[winB]
+            pend[pwin] = repB * stride  # tombstone in place
+            taken_p = np.bincount(repB, minlength=R)
+            taken_m = take - taken_p
+            m_head += taken_m
+            m_cnt = m_cnt - taken_m
+            p_head += taken_p
+            p_cnt = p_cnt - taken_p
+            sel_rep = np.repeat(rep_ids, take)
+            within = iota_upto(total) - t_excl[sel_rep]
+            key = enc - sel_rep * stride - 1
+            job = key % n if fifo else job_of_rank[key]
+
+            # ---- duration block draws --------------------------------
+            # Refill the (rare) replications whose buffer cannot cover
+            # this step, then extract every replication's block with one
+            # flat gather; ``within`` recovers each winner's position in
+            # its replication's contiguous block.
+            need = np.flatnonzero(r_pos + take > r_len)
+            for r in need.tolist():
+                buf = runtimes[r].refill_block(int(take[r]))
+                blen = buf.shape[0]
+                if blen > r_width:
+                    grown = np.empty((R, blen))
+                    if r_width:
+                        grown[:, :r_width] = r_buf2d
+                    r_buf2d = grown
+                    r_flat = r_buf2d.reshape(-1)
+                    r_width = blen
+                r_buf2d[r, :blen] = buf
+                r_len[r] = blen
+                r_pos[r] = 0
+            dur = r_flat[(r_pos + rep_ids * r_width)[sel_rep] + within]
+            r_pos += take
+            if scale is not None:
+                dur *= scale[job]
+            fin = t[sel_rep] + dur
+            nz = np.flatnonzero(take)
+            seg_max = np.maximum.reduceat(fin, t_excl[nz])
+            makespan[nz] = np.maximum(makespan[nz], seg_max)
+            end = plen + total
+            if end > p_capacity:
+                while p_capacity < end:
+                    p_capacity *= 2
+                grown_fin = np.empty(p_capacity)
+                grown_rep = np.empty(p_capacity, dtype=jdtype)
+                grown_job = np.empty(p_capacity, dtype=jdtype)
+                grown_fin[:plen] = pool_fin[:plen]
+                grown_rep[:plen] = pool_rep[:plen]
+                grown_job[:plen] = pool_job[:plen]
+                pool_fin, pool_rep, pool_job = grown_fin, grown_rep, grown_job
+                alt_fin = np.empty(p_capacity)
+                alt_rep = np.empty(p_capacity, dtype=jdtype)
+                alt_job = np.empty(p_capacity, dtype=jdtype)
+            pool_fin[plen:end] = fin
+            pool_rep[plen:end] = sel_rep
+            pool_job[plen:end] = job
+            plen = end
+
+            n_assigned += take
+            newly = active & (n_assigned >= n)
+            if newly.any():
+                # Reference snapshot at the last assignment; the drain
+                # phase after it draws nothing and changes no result
+                # field, so the replication retires here.
+                batches_at[newly] = batches[newly]
+                stalled_at[newly] = stalled[newly]
+                requests_at[newly] = requests[newly]
+                active &= ~newly
+                if not active.any():
+                    break
+                if plen:
+                    kidx = np.flatnonzero(~newly[pool_rep[:plen]])
+                    k = kidx.shape[0]
+                    np.take(pool_fin[:plen], kidx, out=alt_fin[:k])
+                    np.take(pool_rep[:plen], kidx, out=alt_rep[:k])
+                    np.take(pool_job[:plen], kidx, out=alt_job[:k])
+                    pool_fin, alt_fin = alt_fin, pool_fin
+                    pool_rep, alt_rep = alt_rep, pool_rep
+                    pool_job, alt_job = alt_job, pool_job
+                    plen = k
+
+    return [
+        SimResult(
+            execution_time=float(makespan[r]),
+            n_jobs=n,
+            batches_until_last_assignment=int(batches_at[r]),
+            stalled_batches=int(stalled_at[r]),
+            requests_until_last_assignment=int(requests_at[r]),
+        )
+        for r in range(R)
+    ]

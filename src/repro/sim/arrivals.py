@@ -89,3 +89,24 @@ class BatchArrivals:
         if self._pos >= len(self._times):
             self._refill()
         return float(self._times[self._pos])
+
+    def refill_block(self) -> tuple[np.ndarray, np.ndarray]:
+        """Draw and hand over one whole chunk of ``(times, sizes)``.
+
+        Block-draw API for the batched kernel: the generator is advanced
+        by exactly one refill — the same exponential-then-sizes draw, in
+        the same order, as the per-batch path — and the freshly drawn
+        arrays are returned for the caller to cursor over.  The internal
+        cursor is marked exhausted, so the block is *consumed*: a later
+        :meth:`next_batch`/:meth:`peek_time` starts a new chunk rather
+        than re-serving these samples.  The arrays are *transferred* to
+        the caller — the generator forgets them, so a caller keeping
+        per-replication cursors of its own does not pin a second copy of
+        every chunk in memory.
+        """
+        self._refill()
+        times, sizes = self._times, self._sizes
+        self._times = np.empty(0)
+        self._sizes = np.empty(0, dtype=np.int64)
+        self._pos = 0
+        return times, sizes

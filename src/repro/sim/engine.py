@@ -102,6 +102,25 @@ class SimParams:
             raise ValueError("failure_time_fraction must be in (0, 1]")
 
 
+def _empty_result(trace=None, metrics=None, *, kernel: bool = False) -> "SimResult":
+    """Shared epilogue for zero-job dags.
+
+    The trace/telemetry conventions hold even when there is nothing to
+    simulate: the documented pre-assignment t=0 snapshot (an empty
+    eligible pool, nothing running) is recorded and ``engine.runs`` (plus
+    ``engine.kernel_runs`` on the kernel path) is incremented — exactly
+    one epilogue, shared by the reference engine and the fast kernel, so
+    empty dags can never make the two diverge or vanish from telemetry.
+    """
+    if trace is not None:
+        trace.record(0.0, 0, 0, 0, 0, 0)
+    if metrics is not None:
+        metrics.counter("engine.runs").inc()
+        if kernel:
+            metrics.counter("engine.kernel_runs").inc()
+    return SimResult(0.0, 0, 0, 0, 0)
+
+
 @dataclass(frozen=True)
 class SimResult:
     """Outcome of one simulated execution.
@@ -195,7 +214,10 @@ def simulate(
     """
     compiled = dag if isinstance(dag, CompiledDag) else CompiledDag.from_dag(dag)
     use_kernel = _kernel_default() if kernel is None else kernel
-    if use_kernel and compiled.n > 0 and len(policy) == 0:
+    # Zero-job dags still dispatch: the kernel's shared `_empty_result`
+    # epilogue records the t=0 trace snapshot and the kernel-run counter,
+    # so telemetry agrees with a direct `simulate_fast` call.
+    if use_kernel and len(policy) == 0:
         from ..perf.kernel import kernel_supported, simulate_fast
 
         if kernel_supported(policy):
@@ -215,7 +237,7 @@ def simulate(
             )
     n = compiled.n
     if n == 0:
-        return SimResult(0.0, 0, 0, 0, 0)
+        return _empty_result(trace, metrics)
     children = compiled.child_lists()
     remaining = compiled.indegree.copy()
 

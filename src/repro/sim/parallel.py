@@ -189,9 +189,12 @@ def run_chunk(compiled, build_policy, params, runtime_scale, entries, collect=Fa
 
     With ``collect=False`` (the default) no clock is read, every elapsed
     slot is ``None`` and *snapshot* is ``None`` — the exact
-    pre-telemetry hot path.  With ``collect=True`` each replication is
-    wall-clock timed and simulated under a chunk-local
-    :class:`~repro.obs.metrics.MetricsRegistry` whose
+    pre-telemetry hot path; on it the chunk is first offered to the
+    batched kernel (:func:`repro.perf.kernel_batch.dispatch_batch`),
+    which runs all replications of the chunk in lockstep and is
+    bit-identical to the per-replication loop below.  With
+    ``collect=True`` each replication is wall-clock timed and simulated
+    under a chunk-local :class:`~repro.obs.metrics.MetricsRegistry` whose
     :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` comes back as
     *snapshot* (plain dicts, cheap to pickle) for the parent to merge.
     Telemetry never touches the generator, so results are bit-identical
@@ -202,6 +205,24 @@ def run_chunk(compiled, build_policy, params, runtime_scale, entries, collect=Fa
     from .engine import simulate
 
     compiled = _canonical_compiled(compiled)
+    if not collect:
+        from ..perf.kernel_batch import dispatch_batch
+
+        batched = dispatch_batch(
+            compiled,
+            build_policy,
+            params,
+            runtime_scale,
+            [child_seq for _index, child_seq in entries],
+        )
+        if batched is not None:
+            return (
+                [
+                    (index, result, None)
+                    for (index, _seq), result in zip(entries, batched)
+                ],
+                None,
+            )
     registry = None
     if collect:
         from ..obs.metrics import MetricsRegistry

@@ -30,7 +30,39 @@ from .parallel import (
 )
 from .policies import Policy
 
-__all__ = ["MetricArrays", "run_replications", "policy_factory"]
+__all__ = [
+    "IncompleteBatchError",
+    "MetricArrays",
+    "run_replications",
+    "policy_factory",
+]
+
+
+class IncompleteBatchError(RuntimeError):
+    """A replication batch is missing results for some indices.
+
+    Raised when assembling :class:`MetricArrays` from a batch where some
+    replications never produced a result — the robust executor exhausted
+    its retries for those chunks and left their slots empty.  Carries the
+    missing replication indices (``missing``) and the batch size
+    (``total``) so callers and logs can say exactly what is absent
+    instead of crashing on an attribute of ``None``.
+    """
+
+    def __init__(self, missing: Sequence[int], total: int):
+        self.missing = tuple(missing)
+        self.total = int(total)
+        shown = ", ".join(str(i) for i in self.missing[:10])
+        if len(self.missing) > 10:
+            shown += f", ... ({len(self.missing) - 10} more)"
+        super().__init__(
+            f"replication batch incomplete: {len(self.missing)} of "
+            f"{self.total} replications have no result (indices {shown}). "
+            "The fault-tolerant executor exhausted its retries for the "
+            "chunks covering them; re-run the batch, or resume the sweep "
+            "from its checkpoint (--resume) to redo only the unfinished "
+            "cells."
+        )
 
 
 class MetricArrays:
@@ -39,6 +71,9 @@ class MetricArrays:
     __slots__ = ("execution_time", "stalling_probability", "utilization")
 
     def __init__(self, results: Sequence[SimResult]):
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            raise IncompleteBatchError(missing, len(results))
         self.execution_time = np.array(
             [r.execution_time for r in results], dtype=np.float64
         )
@@ -179,6 +214,20 @@ def run_replications(
     children = seedseq.spawn(count)
     collect = metrics is not None or on_replication is not None
     if not par.enabled or count <= 1:
+        if not collect:
+            # Whole-batch fast path: the batched kernel runs every
+            # replication in lockstep (bit-identical to the loop below,
+            # which it replaces whenever the policy factory advertises a
+            # supported kind and kernel dispatch is enabled).  Telemetry
+            # runs keep the per-replication path — per-event counters and
+            # per-replication wall clocks only exist there.
+            from ..perf.kernel_batch import dispatch_batch
+
+            batched = dispatch_batch(
+                compiled, build_policy, params, runtime_scale, children
+            )
+            if batched is not None:
+                return MetricArrays(batched)
         results: list[SimResult] = []
         for rep, child_seq in enumerate(children):
             rng = np.random.default_rng(child_seq)

@@ -61,3 +61,32 @@ class RuntimeSampler:
 
     def draw_one(self) -> float:
         return float(self.draw(1)[0])
+
+    def draw_into(self, out: np.ndarray) -> None:
+        """Write ``len(out)`` samples into *out*, preserving refill order.
+
+        Block-draw API for the batched kernel: consumption is exactly
+        :meth:`draw` — the same refill boundary check (``pos + k`` past
+        the buffer triggers ``_refill(k)``, discarding any unconsumed
+        tail), so a replication's normal stream is bit-identical whether
+        it is drawn per assignment event or copied straight into a
+        struct-of-arrays duration block.
+        """
+        out[...] = self.draw(len(out))
+
+    def refill_block(self, at_least: int) -> np.ndarray:
+        """Draw one refill block and hand it over (consumed).
+
+        Block-draw API for the batched kernel: the generator is advanced
+        by exactly one ``_refill(at_least)`` — the same draw, same size,
+        same clamp as the per-draw path — and the fresh buffer is
+        *transferred* to the caller: the sampler forgets it, so a caller
+        keeping replication cursors of its own does not pin a second copy
+        of every buffer in memory.  A later :meth:`draw` starts a new
+        chunk rather than re-serving these samples.
+        """
+        self._refill(at_least)
+        buf = self._buf
+        self._buf = np.empty(0)
+        self._pos = 0
+        return buf

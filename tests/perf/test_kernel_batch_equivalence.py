@@ -1,0 +1,207 @@
+"""Batched-vs-serial equivalence: ``simulate_batch`` against the engines.
+
+The batched kernel's contract is the scalar kernel's, replication by
+replication: for every generator in the batch, the :class:`SimResult` and
+the generator's end state must be bit-identical to a serial
+``simulate(dag, policy, params, rng)`` with that generator — across both
+supported policies, worker churn, rollover, ``failure_prob > 0``,
+per-job runtime scaling, both batch-size distributions, slab boundaries
+and the paper workloads.  Any divergence is a bug in
+:mod:`repro.perf.kernel_batch`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prio import prio_schedule
+from repro.dag.graph import Dag
+from repro.perf import batch_supported, simulate_batch
+from repro.perf import kernel_batch
+from repro.sim.compile import CompiledDag
+from repro.sim.engine import SimParams, make_policy, simulate
+from repro.sim.replication import policy_factory, run_replications
+from repro.workloads.registry import get_workload
+
+from .strategies import dags, sim_params
+
+WORKLOADS = ("airsn-small", "inspiral-small", "montage-small", "sdss-small")
+
+
+def _assert_batch_matches_serial(dag, kind, params, count, seed, scale=None):
+    """Batched results and generator end states == serial, rep by rep."""
+    compiled = CompiledDag.from_dag(dag)
+    order = (
+        prio_schedule(dag).schedule if kind == "oblivious" else None
+    )
+    seqs = np.random.SeedSequence(seed).spawn(count)
+    batch_rngs = [np.random.default_rng(s) for s in seqs]
+    batched = simulate_batch(
+        compiled, kind, params, batch_rngs, order=order, runtime_scale=scale
+    )
+    assert len(batched) == count
+    for i, seq in enumerate(seqs):
+        rng = np.random.default_rng(seq)
+        serial = simulate(
+            compiled,
+            make_policy(kind, order=order),
+            params,
+            rng,
+            runtime_scale=scale,
+        )
+        assert batched[i] == serial  # plain dataclass: exact floats
+        assert (
+            batch_rngs[i].bit_generator.state == rng.bit_generator.state
+        ), f"generator end state diverged for replication {i}"
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    dags(),
+    sim_params(),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.sampled_from(["fifo", "oblivious"]),
+    st.booleans(),
+)
+def test_batch_matches_serial_on_random_dags(dag, params, seed, kind, scaled):
+    scale = None
+    if scaled and dag.n:
+        scale = np.random.default_rng(seed ^ 0x5A5A).uniform(0.5, 2.0, dag.n)
+    _assert_batch_matches_serial(dag, kind, params, 4, seed, scale=scale)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("kind", ["fifo", "oblivious"])
+def test_batch_matches_serial_on_paper_workloads(workload, kind):
+    dag = get_workload(workload)
+    params = SimParams(mu_bit=1.0, mu_bs=16.0)
+    _assert_batch_matches_serial(dag, kind, params, 3, seed=20060427)
+
+
+@pytest.mark.parametrize(
+    "params",
+    [
+        SimParams(mu_bit=1.0, mu_bs=8.0, failure_prob=0.3),
+        SimParams(mu_bit=1.0, mu_bs=8.0, rollover=True),
+        SimParams(mu_bit=0.1, mu_bs=4.0, failure_prob=0.2, rollover=True),
+    ],
+    ids=["churn", "rollover", "churn+rollover"],
+)
+def test_batch_falls_back_identically_outside_batch_sync(params):
+    """Churn/rollover take the per-replication fallback — still exact."""
+    dag = get_workload("airsn-small")
+    assert not batch_supported("fifo", params)
+    for kind in ("fifo", "oblivious"):
+        _assert_batch_matches_serial(dag, kind, params, 3, seed=7)
+
+
+def test_batch_matches_across_slab_boundaries(monkeypatch):
+    """A batch split into multiple state slabs is still exact per rep."""
+    dag = Dag(40, [(i, i + 1) for i in range(0, 38, 2)])
+    monkeypatch.setattr(kernel_batch, "_STATE_BUDGET", 120)  # slab = 3 reps
+    params = SimParams(mu_bit=0.5, mu_bs=4.0)
+    for kind in ("fifo", "oblivious"):
+        _assert_batch_matches_serial(dag, kind, params, 10, seed=55)
+
+
+def test_batch_chain_crosses_arrival_chunks():
+    """A long serial chain forces mid-run arrival-chunk refills."""
+    dag = Dag(48, [(i, i + 1) for i in range(47)])
+    params = SimParams(mu_bit=0.01, mu_bs=1.0)
+    for kind in ("fifo", "oblivious"):
+        _assert_batch_matches_serial(dag, kind, params, 3, seed=99)
+
+
+def test_batch_single_request_larger_than_sampler_chunk():
+    """One huge batch draws a runtime block wider than the chunk size."""
+    dag = Dag(4200, [])
+    params = SimParams(mu_bit=1.0, mu_bs=8192.0)
+    for kind in ("fifo", "oblivious"):
+        _assert_batch_matches_serial(dag, kind, params, 3, seed=123)
+
+
+def test_batch_zero_runtime_spread_breaks_ties_like_the_heap():
+    """std=0 makes finishes collide exactly; FIFO's in-window pop order
+    must still match the reference heap's (finish, job) tiebreak."""
+    dag = Dag(30, [(i, j) for i in range(6) for j in range(6, 30, 4)])
+    params = SimParams(mu_bit=2.0, mu_bs=4.0, runtime_std=0.0)
+    for kind in ("fifo", "oblivious"):
+        _assert_batch_matches_serial(dag, kind, params, 6, seed=321)
+
+
+def test_batch_empty_dag_returns_empty_results():
+    results = simulate_batch(
+        Dag(0, []), "fifo", SimParams(mu_bit=1.0, mu_bs=4.0),
+        [np.random.default_rng(i) for i in range(3)],
+    )
+    assert len(results) == 3
+    assert all(
+        r.n_jobs == 0 and r.execution_time == 0.0 for r in results
+    )
+
+
+def test_batch_rejects_unsupported_policy_kind():
+    with pytest.raises(ValueError, match="policy kind"):
+        simulate_batch(
+            Dag(2, []), "random", SimParams(mu_bit=1.0, mu_bs=4.0),
+            [np.random.default_rng(0)],
+        )
+
+
+def test_batch_validates_runtime_scale():
+    dag = Dag(3, [])
+    with pytest.raises(ValueError, match="one entry per job"):
+        simulate_batch(
+            dag, "fifo", SimParams(mu_bit=1.0, mu_bs=4.0),
+            [np.random.default_rng(0)], runtime_scale=np.ones(2),
+        )
+    with pytest.raises(ValueError, match="positive"):
+        simulate_batch(
+            dag, "fifo", SimParams(mu_bit=1.0, mu_bs=4.0),
+            [np.random.default_rng(0)], runtime_scale=np.zeros(3),
+        )
+
+
+def test_batch_supported_predicate():
+    ok = SimParams(mu_bit=1.0, mu_bs=4.0)
+    assert batch_supported("fifo", ok)
+    assert batch_supported("oblivious", ok)
+    assert not batch_supported("random", ok)
+    assert not batch_supported(
+        "fifo", SimParams(mu_bit=1.0, mu_bs=4.0, failure_prob=0.1)
+    )
+    assert not batch_supported(
+        "fifo", SimParams(mu_bit=1.0, mu_bs=4.0, rollover=True)
+    )
+
+
+def test_run_replications_dispatches_to_batch(monkeypatch):
+    """The serial hot path hands whole batches to the batched kernel and
+    the metrics are bit-identical to the per-replication loop."""
+    dag = get_workload("montage-small")
+    params = SimParams(mu_bit=1.0, mu_bs=8.0)
+    calls = []
+    real = kernel_batch.simulate_batch
+
+    def spy(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(kernel_batch, "simulate_batch", spy)
+    batched = run_replications(
+        dag, policy_factory("fifo"), params, count=6, seed=11
+    )
+    assert calls, "batched kernel was never dispatched"
+
+    monkeypatch.setenv("REPRO_NO_KERNEL", "1")
+    serial = run_replications(
+        dag, policy_factory("fifo"), params, count=6, seed=11
+    )
+    assert np.array_equal(batched.execution_time, serial.execution_time)
+    assert np.array_equal(
+        batched.stalling_probability, serial.stalling_probability
+    )
+    assert np.array_equal(batched.utilization, serial.utilization)

@@ -175,3 +175,27 @@ def test_empty_dag_short_circuits():
         np.random.default_rng(0), kernel=True,
     )
     assert result.n_jobs == 0 and result.execution_time == 0.0
+
+
+@pytest.mark.parametrize("kernel", [False, True], ids=["engine", "kernel"])
+def test_empty_dag_epilogue_matches_engine(kernel):
+    """Regression: the zero-job early return used to skip the t=0 trace
+    snapshot and the run counters on one path, so an empty dag could make
+    the engine and the kernel diverge and vanish from telemetry."""
+    from repro.dag.graph import Dag
+
+    trace = ExecutionTrace()
+    registry = MetricsRegistry()
+    result = simulate(
+        Dag(0, []), make_policy("fifo"), SimParams(mu_bit=1.0, mu_bs=4.0),
+        np.random.default_rng(0), kernel=kernel, trace=trace,
+        metrics=registry,
+    )
+    assert result.n_jobs == 0 and result.execution_time == 0.0
+    # The documented pre-assignment t=0 snapshot is still recorded.
+    assert len(trace) == 1
+    assert trace.times[0] == 0.0
+    assert trace.eligible[0] == 0 and trace.running[0] == 0
+    counters = registry.snapshot()["counters"]
+    assert counters["engine.runs"] == 1
+    assert counters.get("engine.kernel_runs", 0) == (1 if kernel else 0)

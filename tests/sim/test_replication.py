@@ -5,7 +5,12 @@ import pytest
 
 from repro.dag.builders import fork_join
 from repro.sim.engine import SimParams
-from repro.sim.replication import MetricArrays, policy_factory, run_replications
+from repro.sim.replication import (
+    IncompleteBatchError,
+    MetricArrays,
+    policy_factory,
+    run_replications,
+)
 
 
 @pytest.fixture
@@ -98,3 +103,41 @@ class TestPoolCleanup:
     def test_from_arrays_length_mismatch(self):
         with pytest.raises(ValueError, match="equal lengths"):
             MetricArrays.from_arrays([1.0, 2.0], [0.5], [0.9, 0.8])
+
+
+class TestIncompleteBatch:
+    """Regression: a batch with empty result slots must raise a typed
+    error naming the missing replications, not crash on ``None``."""
+
+    def _results(self, params, count):
+        m = run_replications(
+            fork_join(4), policy_factory("fifo"), params, count
+        )
+        from repro.sim.engine import SimResult
+
+        return [
+            SimResult(t, 4, 1, 0, 4)
+            for t in m.execution_time
+        ]
+
+    def test_none_slots_raise_with_indices(self, params):
+        results = self._results(params, 6)
+        results[1] = None
+        results[4] = None
+        with pytest.raises(IncompleteBatchError) as excinfo:
+            MetricArrays(results)
+        err = excinfo.value
+        assert err.missing == (1, 4)
+        assert err.total == 6
+        assert "indices 1, 4" in str(err)
+        assert "--resume" in str(err)
+
+    def test_many_missing_slots_are_truncated_in_message(self, params):
+        results = [None] * 30
+        with pytest.raises(IncompleteBatchError) as excinfo:
+            MetricArrays(results)
+        assert "(20 more)" in str(excinfo.value)
+        assert excinfo.value.missing == tuple(range(30))
+
+    def test_complete_batch_passes(self, params):
+        MetricArrays(self._results(params, 3))
