@@ -855,15 +855,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         limits=limits,
         metrics=telemetry.registry if telemetry is not None else None,
         sim_jobs=args.jobs,
+        shards=args.shards,
+        stall=args.inject_stall,
         telemetry=telemetry,
     )
 
     def announce() -> None:
         host, port = service.address
         print(f"serving on http://{host}:{port}", flush=True)
+        tier = (
+            f"{args.shards} scheduler shard processes"
+            if args.shards
+            else "in-process dispatch"
+        )
         print(
             f"endpoints: POST /schedule POST /simulate GET /healthz "
-            f"GET /metrics (max in-flight {limits.max_inflight}); "
+            f"GET /metrics (max in-flight {limits.max_inflight}; {tier}); "
             f"SIGTERM drains gracefully",
             file=sys.stderr,
             flush=True,
@@ -1148,6 +1155,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         help="retry transient request failures up to N times with backoff",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "scheduler worker processes; requests are consistent-hashed "
+            "by dag identity so each shard's schedule cache stays hot "
+            "(0 = compute in-process)"
+        ),
+    )
+    p.add_argument(
+        "--inject-stall",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "deterministic per-request compute delay (load testing: "
+            "models a latency-bound backend)"
+        ),
     )
     _add_jobs_argument(p)
     _add_telemetry_argument(p)

@@ -105,7 +105,11 @@ class ScheduleCache:
     Instances are safe to share across threads and cheap to pickle: the
     pickled form carries only the configuration (capacity + directory),
     so a worker process unpickles an empty cache that re-reads the shared
-    on-disk store instead of shipping the parent's memory.
+    on-disk store instead of shipping the parent's memory.  The sharded
+    serving tier (``prio serve --shards N``) relies on exactly this:
+    each scheduler shard unpickles its own empty LRU, and because
+    requests are consistent-hashed by dag identity, every shard's LRU
+    warms on — and stays hot for — its stable subset of the keyspace.
     """
 
     def __init__(

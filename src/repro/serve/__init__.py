@@ -5,12 +5,20 @@ production-scale north star needs the same machinery resident behind a
 socket, amortizing schedule computation across millions of requests.
 This package is that daemon — stdlib-only asyncio JSON-over-HTTP:
 
-* :class:`~repro.serve.app.PrioService` — the server: ``POST
+* :class:`~repro.serve.app.PrioService` — the transport: ``POST
   /schedule``, ``POST /simulate``, ``GET /healthz``, ``GET /metrics``;
-  bounded in-flight admission with 429 backpressure, request size
-  limits, per-request deadlines via
-  :class:`~repro.robust.retry.RetryPolicy`, structured error responses
-  and graceful SIGTERM drain.
+  request size limits, structured error responses and graceful SIGTERM
+  drain.
+* :mod:`~repro.serve.dispatch` — the :class:`Dispatcher` interface
+  behind the transport: bounded in-flight admission with 429
+  backpressure, per-request deadlines via
+  :class:`~repro.robust.retry.RetryPolicy`, orphan accounting for work
+  that outlives its 504, and :func:`compute_response` — the single
+  synchronous compute path every backend runs.
+* :mod:`~repro.serve.shard` — :class:`ShardedDispatcher`: consistent-
+  hash requests by dag identity across N supervised scheduler worker
+  processes (``prio serve --shards N``), one GIL and one hot schedule
+  cache per shard, byte-identical responses.
 * :mod:`~repro.serve.protocol` — the wire codec **and** the in-process
   reference implementations; the server serves exactly
   ``encode(schedule_payload(...))``, which is what makes the bit-identity
@@ -24,11 +32,13 @@ This package is that daemon — stdlib-only asyncio JSON-over-HTTP:
 * :class:`~repro.serve.client.ServeClient` — a minimal stdlib
   ``http.client`` wrapper for talking to the service.
 
-CLI: ``prio serve --host --port --cache-dir --max-inflight --telemetry``.
+CLI: ``prio serve --host --port --cache-dir --max-inflight --shards
+--telemetry``.
 """
 
 from .app import PrioService, ServerThread
 from .client import ServeClient
+from .dispatch import Dispatcher, LocalDispatcher, compute_response
 from .errors import ERROR_CODES, ServeError
 from .limits import InflightGate, ServiceLimits
 from .protocol import (
@@ -37,16 +47,23 @@ from .protocol import (
     schedule_payload,
     simulate_payload,
 )
+from .shard import HashRing, ShardedDispatcher, dag_shard_key
 
 __all__ = [
     "ERROR_CODES",
+    "Dispatcher",
+    "HashRing",
     "InflightGate",
+    "LocalDispatcher",
     "PrioService",
     "ServeClient",
     "ServeError",
     "ServerThread",
     "ServiceLimits",
+    "ShardedDispatcher",
     "WIRE_FORMAT",
+    "compute_response",
+    "dag_shard_key",
     "encode",
     "schedule_payload",
     "simulate_payload",

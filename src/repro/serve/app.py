@@ -1,11 +1,18 @@
 """The scheduling service: asyncio JSON-over-HTTP, stdlib only.
 
-:class:`PrioService` puts the whole stack built so far — the two-tier
-:class:`~repro.perf.cache.ScheduleCache`, the array-compiled simulation
-kernel, the parallel replication executor, the
-:class:`~repro.obs.metrics.MetricsRegistry` and the
-:class:`~repro.robust.retry.RetryPolicy` deadline machinery — behind
-four endpoints:
+:class:`PrioService` is the *transport*: it owns the sockets, HTTP/1.1
+parsing, response writing and process lifecycle, and hands every decoded
+request to a :class:`~repro.serve.dispatch.Dispatcher` — the
+routing/admission/encoding core — which is where the compute happens:
+
+* :class:`~repro.serve.dispatch.LocalDispatcher` (default) computes in a
+  dedicated bounded thread pool inside this process;
+* :class:`~repro.serve.shard.ShardedDispatcher` (``shards=N``)
+  consistent-hashes requests by dag identity across N supervised
+  scheduler worker processes, one GIL and one hot
+  :class:`~repro.perf.cache.ScheduleCache` per shard.
+
+Endpoints:
 
 * ``POST /schedule`` — dag (JSON wire format) → priority order, served
   through the schedule cache;
@@ -14,26 +21,34 @@ four endpoints:
   metric-vector summary via the parallel executor;
 * ``GET /healthz`` — liveness (never gated, works under full load);
 * ``GET /metrics`` — registry snapshot, latency percentiles, cache
-  counters, in-flight gauge.
+  counters, in-flight and orphan gauges, per-shard health.
 
 Operational contract:
 
 * admission is a bounded in-flight gate — saturation answers ``429``
-  immediately instead of queueing invisible work;
+  immediately instead of queueing invisible work; a request that blows
+  its deadline answers ``504`` but its slot stays held until the
+  orphaned computation actually finishes, so ``max_inflight`` bounds
+  real concurrent compute (``serve.orphaned`` gauges the detached work);
 * every request runs under the limits'
   :class:`~repro.robust.retry.RetryPolicy`: its ``timeout`` is the
   per-request deadline (``504`` when blown), its attempt budget retries
-  transient failures, via :func:`~repro.robust.retry.retry_async`;
+  transient failures — including a shard that died mid-request;
 * request bodies are size-capped (``413``) and read under an I/O
-  deadline, so truncated or stalling clients get a ``400`` rather than a
-  pinned connection;
+  deadline; conflicting framing headers (duplicate ``Content-Length``,
+  or ``Content-Length`` next to ``Transfer-Encoding``) are rejected with
+  a structured ``400`` rather than silently resolved — request smuggling
+  is a parser disagreement, and this parser refuses to disagree with
+  itself;
 * failures are structured JSON error objects
   (:mod:`repro.serve.errors`) — never a traceback over the wire;
-* ``SIGTERM``/``SIGINT`` drain gracefully: stop accepting, finish every
-  admitted request, then exit;
+* ``SIGTERM``/``SIGINT`` drain gracefully: stop accepting, let every
+  connection that has *started* a request finish it (only idle
+  keep-alive connections are cancelled), flush orphaned work, then
+  flush every shard and exit;
 * responses are **bit-identical** to the in-process library calls in
-  :mod:`repro.serve.protocol` — the handlers call exactly those payload
-  builders and the canonical encoder, nothing else.
+  :mod:`repro.serve.protocol` — local and sharded dispatch both serve
+  exactly ``encode(<payload builder>(...))``, nothing else.
 
 The HTTP surface is deliberately minimal (HTTP/1.1, keep-alive,
 ``Content-Length`` bodies only) — enough for any stdlib/curl client
@@ -50,8 +65,9 @@ import time
 from ..obs.metrics import MetricsRegistry
 from ..perf.cache import ScheduleCache
 from . import errors, protocol
+from .dispatch import Dispatcher, LocalDispatcher
 from .errors import ServeError
-from .limits import InflightGate, ServiceLimits
+from .limits import ServiceLimits
 
 __all__ = ["PrioService", "ServerThread"]
 
@@ -65,6 +81,7 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     504: "Gateway Timeout",
 }
 
@@ -76,12 +93,20 @@ _ROUTES = {
     "/metrics": "GET",
 }
 
+#: Endpoints handled by the dispatcher (gated compute).
+_DISPATCHED = ("/schedule", "/simulate")
+
+#: Headers whose duplication changes message framing; a request carrying
+#: conflicting copies is rejected outright (smuggling defense) instead of
+#: letting a later value silently overwrite an earlier one.
+_SINGLETON_HEADERS = ("content-length", "transfer-encoding")
+
 #: Maximum request-head bytes (request line + headers).
 _MAX_HEAD = 64 * 1024
 
 
 class PrioService:
-    """The service core: routing, admission, encoding, lifecycle.
+    """The service transport: sockets, HTTP, lifecycle, observation.
 
     Parameters
     ----------
@@ -89,6 +114,8 @@ class PrioService:
         :class:`~repro.perf.cache.ScheduleCache` serving ``/schedule``
         and warming compiled dags for ``/simulate``; ``None`` disables
         caching (every request recomputes — bit-identical, just slower).
+        With ``shards``, each worker unpickles its own empty copy of the
+        configuration (sharing any on-disk tier).
     limits:
         :class:`ServiceLimits`; defaults are production-sane.
     metrics:
@@ -98,6 +125,16 @@ class PrioService:
     sim_jobs:
         Worker processes for replication batches on ``/simulate``
         (results are bit-identical for any value).
+    shards:
+        ``0`` (default) dispatches in-process; ``N >= 1`` builds a
+        :class:`~repro.serve.shard.ShardedDispatcher` over N scheduler
+        worker processes.
+    stall:
+        Deterministic per-request compute delay in seconds (load
+        testing; models a latency-bound backend).
+    dispatcher:
+        Explicit :class:`~repro.serve.dispatch.Dispatcher` instance,
+        overriding ``shards``/``stall`` construction.
     telemetry:
         Optional :class:`~repro.obs.recorder.TelemetryRecorder`; one
         ``stage`` record per request (latency, status, error code).
@@ -110,10 +147,15 @@ class PrioService:
         limits: ServiceLimits | None = None,
         metrics: MetricsRegistry | None = None,
         sim_jobs: int = 1,
+        shards: int = 0,
+        stall: float = 0.0,
+        dispatcher: Dispatcher | None = None,
         telemetry=None,
     ):
         if sim_jobs < 1:
             raise ValueError("sim_jobs must be at least 1")
+        if shards < 0:
+            raise ValueError("shards must be non-negative")
         self.cache = cache
         self.limits = limits if limits is not None else ServiceLimits()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -121,12 +163,34 @@ class PrioService:
         self.telemetry = telemetry
         if cache is not None:
             cache.attach_metrics(self.metrics)
-        self.gate = InflightGate(self.limits.max_inflight)
+        if dispatcher is None:
+            kwargs = dict(
+                cache=cache,
+                limits=self.limits,
+                metrics=self.metrics,
+                sim_jobs=sim_jobs,
+                stall=stall,
+            )
+            if shards > 0:
+                from .shard import ShardedDispatcher
+
+                dispatcher = ShardedDispatcher(shards=shards, **kwargs)
+            else:
+                dispatcher = LocalDispatcher(**kwargs)
+        self.dispatcher = dispatcher
         self.address: tuple[str, int] | None = None
         self.draining = False
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = None  # asyncio.Event, created on the serving loop
-        self._conn_tasks: set[asyncio.Task] = set()
+        #: connection task -> True while a request is being processed
+        #: (read head through written response); False while idle in
+        #: keep-alive.  Drain cancels only idle connections.
+        self._conn_busy: dict[asyncio.Task, bool] = {}
+
+    @property
+    def gate(self):
+        """The dispatcher's admission gate (tests and dashboards)."""
+        return self.dispatcher.gate
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -135,6 +199,7 @@ class PrioService:
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
         """Bind and start accepting; ``self.address`` holds the real port."""
         self._shutdown = asyncio.Event()
+        await self.dispatcher.start()
         self._server = await asyncio.start_server(
             self._on_connection, host, port, limit=_MAX_HEAD
         )
@@ -149,9 +214,11 @@ class PrioService:
     async def serve_until_shutdown(self) -> None:
         """Block until :meth:`request_shutdown`, then drain and return.
 
-        Drain order: stop accepting, wait for every admitted request to
-        finish (no deadline — in-flight work is a promise), then close
-        lingering idle keep-alive connections.
+        Drain order: stop accepting; cancel *idle* keep-alive
+        connections but let every connection that has already started a
+        request — even one still reading its body or waiting for
+        admission — finish it and receive its response; wait for
+        orphaned computations to resolve; flush every shard.
         """
         if self._server is None:
             raise RuntimeError("call start() first")
@@ -159,11 +226,26 @@ class PrioService:
         self.draining = True
         self._server.close()
         await self._server.wait_closed()
-        await self.gate.drained()
-        for task in list(self._conn_tasks):
-            task.cancel()
-        if self._conn_tasks:
-            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        for task, busy in list(self._conn_busy.items()):
+            if not busy:
+                task.cancel()
+        if self._conn_busy:
+            # Busy connections finish their current request (bounded by
+            # the I/O and processing deadlines) and then exit their
+            # keep-alive loop because draining is set.  The grace bound
+            # is belt-and-braces for a peer that stalls mid-response.
+            grace = self.limits.io_timeout + (
+                self.limits.retry.timeout or 0.0
+            ) + 30.0
+            _done, stragglers = await asyncio.wait(
+                list(self._conn_busy), timeout=grace
+            )
+            for task in stragglers:  # pragma: no cover - pathological peer
+                task.cancel()
+            if stragglers:  # pragma: no cover
+                await asyncio.gather(*stragglers, return_exceptions=True)
+        await self.gate.drained()  # flush orphaned computations
+        await self.dispatcher.drain()
 
     async def run(
         self,
@@ -194,31 +276,33 @@ class PrioService:
 
     async def _on_connection(self, reader, writer) -> None:
         task = asyncio.current_task()
-        self._conn_tasks.add(task)
+        self._conn_busy[task] = False
         self.metrics.counter("serve.connections").inc()
         try:
-            await self._serve_connection(reader, writer)
+            await self._serve_connection(task, reader, writer)
         except asyncio.CancelledError:
             pass  # drain closing an idle keep-alive connection
         except Exception:  # pragma: no cover - defensive
             log.exception("connection handler failed")
         finally:
-            self._conn_tasks.discard(task)
+            self._conn_busy.pop(task, None)
             writer.close()
             try:
                 await writer.wait_closed()
             except (OSError, asyncio.CancelledError):
                 pass
 
-    async def _serve_connection(self, reader, writer) -> None:
+    async def _serve_connection(self, task, reader, writer) -> None:
         keep_alive = True
         while keep_alive and not self.draining:
+            self._conn_busy[task] = False
             try:
                 head = await asyncio.wait_for(
                     reader.readuntil(b"\r\n\r\n"), self.limits.io_timeout
                 )
             except asyncio.IncompleteReadError as exc:
                 if exc.partial:
+                    self._conn_busy[task] = True
                     await self._send_error(
                         writer, errors.truncated_body(
                             "connection closed mid-request-head"
@@ -226,6 +310,7 @@ class PrioService:
                     )
                 return  # clean close between requests
             except (asyncio.LimitOverrunError, ValueError):
+                self._conn_busy[task] = True
                 await self._send_error(
                     writer,
                     errors.payload_too_large(_MAX_HEAD, _MAX_HEAD),
@@ -236,6 +321,9 @@ class PrioService:
                 return  # idle keep-alive connection; close quietly
             except (ConnectionError, OSError):
                 return
+            # From here the request has started: drain must not cancel
+            # this task until the response (or error) is written.
+            self._conn_busy[task] = True
             keep_alive = await self._serve_request(head, reader, writer)
 
     async def _serve_request(self, head: bytes, reader, writer) -> bool:
@@ -246,8 +334,9 @@ class PrioService:
         code = None
         try:
             # Head/body phase: a failure here (malformed request line,
-            # bad Content-Length, oversized or truncated body) leaves the
-            # stream unsynchronized, so the connection must close.
+            # conflicting framing headers, bad Content-Length, oversized
+            # or truncated body) leaves the stream unsynchronized, so
+            # the connection must close.
             try:
                 method, path, headers, keep_alive = self._parse_head(head)
                 body = await self._read_body(reader, headers)
@@ -258,9 +347,7 @@ class PrioService:
             # failures are answered and the connection stays usable.
             payload = await self._dispatch(method, path, body)
             status = 200
-            await self._send(
-                writer, 200, protocol.encode(payload), keep_alive=keep_alive
-            )
+            await self._send(writer, 200, payload, keep_alive=keep_alive)
         except ServeError as exc:
             status, code = exc.status, exc.code
             await self._send_error(writer, exc, keep_alive=keep_alive)
@@ -290,7 +377,23 @@ class PrioService:
             name, sep, value = line.partition(":")
             if not sep:
                 raise errors.invalid_request(f"malformed header line {line!r}")
-            headers[name.strip().lower()] = value.strip()
+            name = name.strip().lower()
+            value = value.strip()
+            if name in headers:
+                # A repeated framing header is a smuggling vector: two
+                # parsers that disagree on which copy wins disagree on
+                # where the message ends.  Refuse, never reconcile.
+                if name in _SINGLETON_HEADERS:
+                    raise errors.invalid_request(
+                        f"duplicate {name} header"
+                    )
+                headers[name] = f"{headers[name]}, {value}"
+            else:
+                headers[name] = value
+        if "transfer-encoding" in headers and "content-length" in headers:
+            raise errors.invalid_request(
+                "Transfer-Encoding alongside Content-Length is not allowed"
+            )
         path = target.split("?", 1)[0]
         connection = headers.get("connection", "").lower()
         keep_alive = connection != "close" and not version.endswith("/1.0")
@@ -329,83 +432,20 @@ class PrioService:
             ) from None
 
     # ------------------------------------------------------------------
-    # Routing and handlers
+    # Routing
     # ------------------------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> dict:
+    async def _dispatch(self, method: str, path: str, body: bytes) -> bytes:
         allowed = _ROUTES.get(path)
         if allowed is None:
             raise errors.not_found(path)
         if method != allowed:
             raise errors.method_not_allowed(method, path, allowed)
         if path == "/healthz":
-            return self._health_payload()
+            return protocol.encode(self._health_payload())
         if path == "/metrics":
-            return self._metrics_payload()
-        request = protocol.decode_body(body)
-        if path == "/schedule":
-            dag, algorithm, kwargs = protocol.parse_schedule_request(request)
-            compute = self._schedule_computation(dag, algorithm, kwargs)
-        else:
-            sim = protocol.parse_simulate_request(request)
-            compute = self._simulate_computation(sim)
-        return await self._gated(path, compute)
-
-    def _schedule_computation(self, dag, algorithm, kwargs):
-        def compute() -> dict:
-            try:
-                return protocol.schedule_payload(
-                    dag, algorithm, cache=self.cache, **kwargs
-                )
-            except (TypeError, ValueError) as exc:
-                raise errors.invalid_request(
-                    f"schedule computation rejected the request: {exc}"
-                ) from None
-
-        return compute
-
-    def _simulate_computation(self, sim: protocol.SimulateRequest):
-        def compute() -> dict:
-            try:
-                return protocol.simulate_payload(
-                    sim.dag,
-                    sim.params,
-                    sim.seed,
-                    sim.policy,
-                    sim.replications,
-                    cache=self.cache,
-                    jobs=self.sim_jobs if sim.replications > 1 else 1,
-                    retry=self.limits.retry if self.sim_jobs > 1 else None,
-                )
-            except (TypeError, ValueError) as exc:
-                raise errors.invalid_request(
-                    f"simulation rejected the request: {exc}"
-                ) from None
-
-        return compute
-
-    async def _gated(self, path: str, compute) -> dict:
-        """Run *compute* in a worker thread under admission + deadline."""
-        from ..robust.retry import retry_async
-
-        if not self.gate.try_acquire():
-            raise errors.overloaded(self.limits.max_inflight)
-        gauge = self.metrics.gauge("serve.in_flight")
-        gauge.set(self.gate.inflight)
-        loop = asyncio.get_running_loop()
-        try:
-            return await retry_async(
-                lambda: loop.run_in_executor(None, compute),
-                self.limits.retry,
-                on_retry=lambda attempt, exc: self.metrics.counter(
-                    "serve.retry"
-                ).inc(),
-            )
-        except asyncio.TimeoutError:
-            raise errors.deadline_exceeded(self.limits.retry.timeout) from None
-        finally:
-            self.gate.release()
-            gauge.set(self.gate.inflight)
+            return protocol.encode(await self._metrics_payload())
+        return await self.dispatcher.dispatch(path, body)
 
     def _health_payload(self) -> dict:
         return {
@@ -415,9 +455,9 @@ class PrioService:
             "draining": self.draining,
         }
 
-    def _metrics_payload(self) -> dict:
+    async def _metrics_payload(self) -> dict:
         latency = {}
-        for path in ("/schedule", "/simulate"):
+        for path in _DISPATCHED:
             timer = self.metrics.timer(f"serve.latency.{path}")
             if timer.count:
                 latency[path] = {
@@ -431,8 +471,10 @@ class PrioService:
             "kind": "metrics",
             "metrics": self.metrics.snapshot(),
             "latency": latency,
-            "cache": self.cache.stats() if self.cache is not None else None,
+            "cache": self.dispatcher.cache_stats(),
             "in_flight": self.gate.inflight,
+            "orphaned": self.dispatcher.orphaned,
+            "shards": await self.dispatcher.shard_stats(),
             "draining": self.draining,
         }
 
@@ -489,11 +531,18 @@ class ServerThread:
 
     ``with ServerThread(service) as (host, port): ...`` starts the real
     server on an ephemeral port and guarantees a graceful drain on exit.
+    ``ServerThread(shards=4)`` is shorthand for wrapping a fresh sharded
+    :class:`PrioService`.
     """
 
     def __init__(self, service: PrioService | None = None, *,
-                 host: str = "127.0.0.1", port: int = 0):
-        self.service = service if service is not None else PrioService()
+                 host: str = "127.0.0.1", port: int = 0, shards: int = 0):
+        if service is not None and shards:
+            raise ValueError("pass shards= only when ServerThread builds "
+                             "the service")
+        self.service = (
+            service if service is not None else PrioService(shards=shards)
+        )
         self.host = host
         self.port = port
         self._thread: threading.Thread | None = None
@@ -508,8 +557,8 @@ class ServerThread:
             target=self._main, name="repro-serve", daemon=True
         )
         self._thread.start()
-        if not self._ready.wait(timeout=30):
-            raise RuntimeError("server failed to start within 30s")
+        if not self._ready.wait(timeout=120):
+            raise RuntimeError("server failed to start within 120s")
         if self._failure is not None:
             raise RuntimeError("server failed to start") from self._failure
         return self.service.address
@@ -527,12 +576,20 @@ class ServerThread:
             self._failure = exc
             self._ready.set()
 
-    def stop(self, timeout: float = 30.0) -> None:
-        """Drain and join; idempotent."""
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain and join; idempotent, and safe against the loop
+        finishing (or closing) between the liveness check and the
+        cross-thread signal."""
         if self._thread is None:
             return
         if self._loop is not None and self._thread.is_alive():
-            self._loop.call_soon_threadsafe(self.service.request_shutdown)
+            try:
+                self._loop.call_soon_threadsafe(self.service.request_shutdown)
+            except RuntimeError:
+                # The loop completed (or closed) after the is_alive()
+                # check — the thread is already on its way out; joining
+                # below is all that is left to do.
+                pass
         self._thread.join(timeout)
         if self._thread.is_alive():  # pragma: no cover - hung drain
             raise RuntimeError("server thread did not stop in time")

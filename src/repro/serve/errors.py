@@ -23,6 +23,7 @@ code                   status  raised when
 ``payload_too_large``  413     Content-Length over the limit
 ``overloaded``         429     in-flight limit saturated
 ``internal``           500     unexpected server-side failure
+``bad_gateway``        502     a scheduler shard died mid-request
 ``deadline_exceeded``  504     per-request timeout expired
 =====================  ======  ==================================
 """
@@ -40,6 +41,7 @@ __all__ = [
     "payload_too_large",
     "overloaded",
     "internal",
+    "bad_gateway",
     "deadline_exceeded",
     "ERROR_CODES",
 ]
@@ -55,6 +57,7 @@ ERROR_CODES: dict[str, int] = {
     "payload_too_large": 413,
     "overloaded": 429,
     "internal": 500,
+    "bad_gateway": 502,
     "deadline_exceeded": 504,
 }
 
@@ -121,6 +124,10 @@ def overloaded(limit: int) -> ServeError:
 
 def internal(message: str = "internal server error") -> ServeError:
     return ServeError("internal", message)
+
+
+def bad_gateway(message: str = "scheduler shard failed mid-request") -> ServeError:
+    return ServeError("bad_gateway", message, headers={"Retry-After": "1"})
 
 
 def deadline_exceeded(timeout: float) -> ServeError:

@@ -40,7 +40,11 @@ class ServiceLimits:
     a hung connection).
     ``retry`` — the :class:`~repro.robust.retry.RetryPolicy` applied to
     request processing: ``timeout`` is the per-request deadline (504 when
-    exceeded), ``max_attempts``/``base_delay`` govern transient retries.
+    exceeded), ``max_attempts``/``base_delay`` govern transient retries
+    (and, for sharded dispatch, ``max_pool_rebuilds`` bounds how often a
+    dead shard is respawned before it degrades to in-process compute).
+    ``compute_threads`` — dedicated compute-pool size for local dispatch
+    (``None`` = ``max_inflight``; see :meth:`compute_workers`).
     """
 
     max_inflight: int = 64
@@ -49,6 +53,7 @@ class ServiceLimits:
     retry: RetryPolicy = field(
         default_factory=lambda: RetryPolicy(max_attempts=1, timeout=30.0)
     )
+    compute_threads: int | None = None
 
     def __post_init__(self):
         if self.max_inflight < 1:
@@ -57,6 +62,20 @@ class ServiceLimits:
             raise ValueError("max_body_bytes must be at least 1")
         if self.io_timeout <= 0:
             raise ValueError("io_timeout must be positive")
+        if self.compute_threads is not None and self.compute_threads < 1:
+            raise ValueError("compute_threads must be at least 1 (or None)")
+
+    def compute_workers(self) -> int:
+        """Size of the dedicated compute pool backing local dispatch.
+
+        Defaults to ``max_inflight`` so an admitted request can never
+        queue behind the pool — admission (and orphan accounting, which
+        keeps a timed-out request's slot held until its thread actually
+        finishes) is the single mechanism bounding concurrent compute.
+        """
+        if self.compute_threads is not None:
+            return self.compute_threads
+        return self.max_inflight
 
 
 class InflightGate:

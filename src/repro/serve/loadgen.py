@@ -1,0 +1,193 @@
+"""A self-contained load generator for the scheduling service.
+
+The serve benchmark needs thousands of concurrent in-flight requests
+against a running :class:`~repro.serve.app.PrioService` — more than a
+thread-per-connection client can field cheaply — so this module drives
+raw HTTP/1.1 keep-alive connections from a single asyncio loop: ``C``
+connection workers share a work queue of (body, expected-bytes) items
+and each pipelines its share serially over one persistent socket.
+
+Two properties matter more than raw speed:
+
+* **byte-identity checking is free to turn on** — each work item can
+  carry the expected response body (``encode(<payload builder>(...))``
+  computed in-process), and the worker compares what the wire returned
+  against it, so a scaling run doubles as a correctness sweep across
+  every response the server produced;
+* **failures are counted, never hidden** — non-200 statuses are tallied
+  by status code and mismatches by count; :class:`LoadResult` reports
+  them alongside the throughput numbers so a "fast" run that 429'd half
+  its load cannot masquerade as a result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["LoadItem", "LoadResult", "run_load", "run_load_sync"]
+
+_MAX_LINE = 64 * 1024
+
+
+@dataclass(frozen=True)
+class LoadItem:
+    """One request to issue: a POST body and (optionally) the bytes the
+    server must return for it."""
+
+    path: str
+    body: bytes
+    expect: bytes | None = None
+
+
+@dataclass
+class LoadResult:
+    """What a load run measured."""
+
+    requests: int
+    elapsed: float
+    statuses: dict[int, int] = field(default_factory=dict)
+    mismatches: int = 0
+    transport_errors: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def ok(self) -> int:
+        return self.statuses.get(200, 0)
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "elapsed_s": self.elapsed,
+            "rps": self.rps,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "mismatches": self.mismatches,
+            "transport_errors": self.transport_errors,
+            "latency_p50_ms": self.latency_quantile(0.5) * 1e3,
+            "latency_p95_ms": self.latency_quantile(0.95) * 1e3,
+        }
+
+
+async def _read_response(reader) -> tuple[int, bytes]:
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed connection")
+    status = int(status_line.split(b" ", 2)[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+async def _worker(
+    host: str,
+    port: int,
+    queue: asyncio.Queue,
+    result: LoadResult,
+    record_latencies: bool,
+) -> None:
+    reader = writer = None
+    try:
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            if writer is None:
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=_MAX_LINE
+                )
+            request = (
+                f"POST {item.path} HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(item.body)}\r\n"
+                f"Connection: keep-alive\r\n\r\n"
+            ).encode("latin-1") + item.body
+            started = time.perf_counter()
+            try:
+                writer.write(request)
+                await writer.drain()
+                status, body = await _read_response(reader)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                result.transport_errors += 1
+                try:
+                    writer.close()
+                except OSError:
+                    pass
+                reader = writer = None
+                continue
+            if record_latencies:
+                result.latencies.append(time.perf_counter() - started)
+            result.requests += 1
+            result.statuses[status] = result.statuses.get(status, 0) + 1
+            if (
+                status == 200
+                and item.expect is not None
+                and body != item.expect
+            ):
+                result.mismatches += 1
+    finally:
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+
+async def run_load(
+    host: str,
+    port: int,
+    items: list[LoadItem],
+    *,
+    concurrency: int = 64,
+    record_latencies: bool = True,
+) -> LoadResult:
+    """Issue *items* against ``host:port`` over *concurrency* persistent
+    connections; returns the measured :class:`LoadResult`.
+
+    Wall-clock starts when the first worker begins and stops when the
+    last response lands — connection setup is inside the window, which
+    is what a client of the real service experiences.
+    """
+    if not items:
+        raise ValueError("need at least one item")
+    concurrency = max(1, min(concurrency, len(items)))
+    queue: asyncio.Queue = asyncio.Queue()
+    for item in items:
+        queue.put_nowait(item)
+    for _ in range(concurrency):
+        queue.put_nowait(None)  # one poison pill per worker
+    result = LoadResult(requests=0, elapsed=0.0)
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _worker(host, port, queue, result, record_latencies)
+            for _ in range(concurrency)
+        )
+    )
+    result.elapsed = time.perf_counter() - started
+    return result
+
+
+def run_load_sync(host: str, port: int, items, **kwargs) -> LoadResult:
+    """:func:`run_load` from synchronous code (its own event loop)."""
+    return asyncio.run(run_load(host, port, items, **kwargs))

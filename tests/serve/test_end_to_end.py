@@ -22,6 +22,7 @@ import pytest
 
 from repro.dag.graph import Dag
 from repro.perf.cache import ScheduleCache
+from repro.robust.retry import RetryPolicy
 from repro.serve.app import PrioService, ServerThread
 from repro.serve.client import ServeClient
 from repro.serve.protocol import encode, schedule_payload, simulate_payload
@@ -326,6 +327,191 @@ def test_sigterm_drains_inflight_requests_cleanly():
         if proc.poll() is None:
             proc.kill()
         proc.wait(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Orphaned work: a 504 does not free capacity the compute still occupies
+# ----------------------------------------------------------------------
+
+
+def test_504_keeps_slot_held_until_orphaned_work_finishes():
+    """Regression: a request that blew its deadline used to release its
+    in-flight slot immediately while its compute thread kept running —
+    repeated timeouts could pile up unbounded invisible work.  The slot
+    must stay held (and be visible as ``serve.orphaned``) until the
+    detached computation actually finishes."""
+    dag = get_workload("airsn-small")
+    body = _slow_simulate_body(dag)
+    body["replications"] = 500  # several seconds of real compute
+    service = PrioService(
+        cache=ScheduleCache(),
+        limits=make_limits(
+            max_inflight=1,
+            retry=RetryPolicy(max_attempts=1, timeout=0.3),
+        ),
+    )
+    with ServerThread(service) as (host, port):
+        with ServeClient(host, port, timeout=60.0) as client:
+            timed_out = client.post_json("/simulate", body)
+            assert timed_out.status == 504
+            assert timed_out.error_code == "deadline_exceeded"
+            # The compute thread is still running: its slot stays held.
+            payload = client.metrics().payload
+            assert payload["orphaned"] == 1
+            assert payload["in_flight"] == 1
+            # New work is refused while the orphan occupies the only
+            # slot (the old behaviour: this returned 200, silently
+            # stacking a second computation on top of the first).
+            rejected = client.schedule(dag)
+            assert rejected.status == 429
+            assert rejected.error_code == "overloaded"
+            # The orphan resolves on its own and gives the slot back.
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                payload = client.metrics().payload
+                if payload["orphaned"] == 0 and payload["in_flight"] == 0:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("orphaned computation never resolved")
+            accepted = client.schedule(dag)
+            assert accepted.status == 200
+            assert accepted.body == encode(schedule_payload(dag, "prio"))
+            counters = client.metrics().payload["metrics"]["counters"]
+            assert counters["serve.orphaned.total"] >= 1
+            assert counters["serve.errors.deadline_exceeded"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Drain semantics: a request being read is finished, never dropped
+# ----------------------------------------------------------------------
+
+
+def test_drain_completes_request_still_reading_its_body():
+    """Regression: drain used to wait only for *admitted* requests and
+    then cancel every connection task — a request whose body was still
+    being read (not yet admitted) was silently dropped without any
+    response.  Drain must let it finish and answer it."""
+    import socket as socketlib
+
+    from repro.dag.io_json import dag_to_json
+
+    dag = get_workload("airsn-small")
+    service = PrioService(cache=ScheduleCache(), limits=make_limits())
+    st = ServerThread(service)
+    host, port = st.start()
+    try:
+        body = json.dumps({"dag": dag_to_json(dag)}).encode()
+        half = len(body) // 2
+        with socketlib.create_connection((host, port), timeout=30.0) as sock:
+            head = (
+                f"POST /schedule HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode()
+            sock.sendall(head + body[:half])
+            time.sleep(0.2)  # let the server start reading the body
+            st._loop.call_soon_threadsafe(service.request_shutdown)
+            deadline = time.time() + 30
+            while not service.draining and time.time() < deadline:
+                time.sleep(0.01)
+            assert service.draining
+            sock.sendall(body[half:])
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        raw = b"".join(chunks)
+        # Exactly one complete, bit-identical response came back.
+        assert raw.count(b"HTTP/1.1 ") == 1
+        head_bytes, _, response_body = raw.partition(b"\r\n\r\n")
+        assert head_bytes.split(b" ", 2)[1] == b"200"
+        assert response_body == encode(schedule_payload(dag, "prio"))
+    finally:
+        st.stop()
+
+
+# ----------------------------------------------------------------------
+# ServerThread.stop: the closed-loop shutdown race
+# ----------------------------------------------------------------------
+
+
+def test_server_thread_stop_survives_closed_loop_race():
+    """Regression: ``stop()`` checked ``thread.is_alive()`` and then
+    called ``call_soon_threadsafe`` — if the serving loop finished (and
+    closed) between the two, it crashed with ``RuntimeError: Event loop
+    is closed``.  Recreate the race deterministically by handing stop()
+    a closed loop while the real one drains."""
+    import asyncio
+
+    service = PrioService(cache=ScheduleCache(), limits=make_limits())
+    st = ServerThread(service)
+    st.start()
+    real_loop = st._loop
+    closed = asyncio.new_event_loop()
+    closed.close()
+    st._loop = closed
+    # Deliver the real shutdown so the thread exits on its own; stop()
+    # must survive its signal attempt hitting the closed loop.
+    real_loop.call_soon_threadsafe(service.request_shutdown)
+    st.stop(timeout=60.0)
+    # And stop() stays idempotent after success.
+    st.stop()
+
+
+# ----------------------------------------------------------------------
+# Sharded tier: a shard killed mid-request is retried transparently
+# ----------------------------------------------------------------------
+
+
+def test_shard_killed_mid_request_recovers_via_retry():
+    """SIGKILL a shard while it is computing a request: the retry budget
+    re-dispatches to the respawned worker and the client still gets its
+    200, byte-identical — plus the restart shows up in /metrics."""
+    from repro.dag.io_json import dag_to_json
+    from repro.serve.shard import dag_shard_key
+
+    dag = get_workload("airsn-small")
+    service = PrioService(
+        cache=ScheduleCache(),
+        limits=make_limits(
+            retry=RetryPolicy(
+                max_attempts=3, base_delay=0.05, timeout=60.0,
+                max_pool_rebuilds=2,
+            ),
+        ),
+        shards=2,
+        stall=1.0,  # every request stalls 1s in the worker: a kill
+        #             window that needs no timing luck
+    )
+    with ServerThread(service) as (host, port):
+        routing_body = json.dumps({"dag": dag_to_json(dag)}).encode()
+        dispatcher = service.dispatcher
+        index = dispatcher.ring.lookup(dag_shard_key(routing_body))
+        handle = dispatcher.handles[index]
+        result: dict = {}
+
+        def issue() -> None:
+            with ServeClient(host, port, timeout=120.0) as client:
+                result["response"] = client.schedule(dag)
+
+        worker = threading.Thread(target=issue)
+        worker.start()
+        deadline = time.time() + 30
+        while not handle.pending and time.time() < deadline:
+            time.sleep(0.01)
+        assert handle.pending, "request never reached the shard"
+        handle.process.kill()
+        worker.join(timeout=120)
+        response = result["response"]
+        assert response.status == 200, response.body
+        assert response.body == encode(schedule_payload(dag, "prio"))
+        with ServeClient(host, port) as client:
+            counters = client.metrics().payload["metrics"]["counters"]
+            assert counters[f"serve.shard.{index}.deaths"] >= 1
+            assert counters[f"serve.shard.{index}.restarts"] >= 1
+            assert counters["serve.retry"] >= 1
 
 
 def test_metrics_endpoint_shape(client):

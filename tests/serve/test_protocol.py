@@ -304,6 +304,107 @@ def test_chunked_transfer_encoding_rejected(server, client):
 
 
 # ----------------------------------------------------------------------
+# Header smuggling: conflicting framing headers are refused, never
+# reconciled.  (Regression: the parser used to let a later duplicate
+# silently overwrite an earlier one — two parsers disagreeing on which
+# copy wins disagree on where the message ends.)
+# ----------------------------------------------------------------------
+
+
+def test_duplicate_content_length_rejected(server, client):
+    """Two Content-Length headers — even *agreeing* ones — are a 400."""
+    service, host, port = server
+    body = b'{"x":1}'
+    for second in (len(body), 2):  # agreeing and smuggling variants
+        request = (
+            f"POST /schedule HTTP/1.1\r\nHost: x\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Content-Length: {second}\r\n"
+            f"\r\n"
+        ).encode() + body
+        raw = _raw_exchange(host, port, request, shutdown_write=True)
+        status, code = _status_and_code(raw)
+        assert (status, code) == (400, "invalid_request"), raw
+        payload = json.loads(raw.partition(b"\r\n\r\n")[2].decode())
+        assert "duplicate content-length" in payload["error"]["message"]
+    _assert_recovered(service, client)
+
+
+def test_smuggled_second_content_length_never_resyncs_as_a_request(server):
+    """The classic desync probe: a short second Content-Length that would
+    leave attacker-controlled bytes in the buffer to be parsed as the
+    *next* request.  The server must answer one 400 and close — the
+    trailing bytes must never be interpreted as a pipelined request."""
+    _, host, port = server
+    smuggled = (
+        b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+    )
+    request = (
+        b"POST /schedule HTTP/1.1\r\nHost: x\r\n"
+        b"Content-Length: " + str(len(smuggled)).encode() + b"\r\n"
+        b"Content-Length: 0\r\n"
+        b"\r\n"
+    ) + smuggled
+    raw = _raw_exchange(host, port, request, shutdown_write=True)
+    # Exactly one response came back (a 400), not a 400 + smuggled 200.
+    assert raw.count(b"HTTP/1.1 ") == 1
+    assert _status_and_code(raw) == (400, "invalid_request")
+
+
+def test_duplicate_transfer_encoding_rejected(server, client):
+    service, host, port = server
+    request = (
+        b"POST /schedule HTTP/1.1\r\nHost: x\r\n"
+        b"Transfer-Encoding: identity\r\n"
+        b"Transfer-Encoding: chunked\r\n\r\n"
+    )
+    raw = _raw_exchange(host, port, request)
+    status, code = _status_and_code(raw)
+    assert (status, code) == (400, "invalid_request")
+    payload = json.loads(raw.partition(b"\r\n\r\n")[2].decode())
+    assert "duplicate transfer-encoding" in payload["error"]["message"]
+    _assert_recovered(service, client)
+
+
+def test_transfer_encoding_alongside_content_length_rejected(server, client):
+    """TE + CL in one request is the other smuggling axis: refused even
+    though neither header is duplicated."""
+    service, host, port = server
+    body = b'{"x":1}'
+    request = (
+        f"POST /schedule HTTP/1.1\r\nHost: x\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Transfer-Encoding: chunked\r\n\r\n"
+    ).encode() + body
+    raw = _raw_exchange(host, port, request, shutdown_write=True)
+    status, code = _status_and_code(raw)
+    assert (status, code) == (400, "invalid_request")
+    payload = json.loads(raw.partition(b"\r\n\r\n")[2].decode())
+    assert "Transfer-Encoding alongside Content-Length" in (
+        payload["error"]["message"]
+    )
+    _assert_recovered(service, client)
+
+
+def test_benign_duplicate_headers_are_combined_not_rejected(server, client):
+    """Non-framing duplicates (e.g. Accept) are legal HTTP: they must be
+    comma-combined, not 400'd — the smuggling defense is scoped to the
+    framing headers only."""
+    service, host, port = server
+    body = json.dumps({"dag": dag_to_json(Dag(2, [(0, 1)]))}).encode()
+    request = (
+        f"POST /schedule HTTP/1.1\r\nHost: x\r\n"
+        f"Accept: application/json\r\n"
+        f"Accept: text/plain\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    ).encode() + body
+    raw = _raw_exchange(host, port, request)
+    status, _ = _status_and_code(raw)
+    assert status == 200
+    _assert_recovered(service, client)
+
+
+# ----------------------------------------------------------------------
 # Routing
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,357 @@
+"""The sharded serving tier: routing, bit-identity, supervision, drain.
+
+The contract under test is the same one the local dispatcher keeps —
+every response is byte-for-byte ``encode(<payload builder>(...))`` —
+plus what sharding adds: deterministic consistent-hash routing by dag
+identity, per-shard cache locality, respawn-on-death supervision within
+the retry budget, degraded in-process fallback past it, and a drain
+that flushes every worker before the process exits.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import Dag
+from repro.dag.io_json import dag_to_json
+from repro.perf.cache import ScheduleCache
+from repro.robust.retry import RetryPolicy
+from repro.serve.app import PrioService, ServerThread
+from repro.serve.client import ServeClient
+from repro.serve.protocol import encode, schedule_payload, simulate_payload
+from repro.serve.shard import HashRing, dag_shard_key
+from repro.sim.engine import SimParams
+from repro.workloads.registry import get_workload
+
+from .conftest import make_limits
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning"
+)
+
+
+# ----------------------------------------------------------------------
+# HashRing: deterministic, balanced, stable under resizing
+# ----------------------------------------------------------------------
+
+
+def test_ring_is_deterministic():
+    a, b = HashRing(4), HashRing(4)
+    for i in range(1000):
+        key = b"key-%d" % i
+        assert a.lookup(key) == b.lookup(key)
+
+
+def test_ring_covers_and_roughly_balances_all_shards():
+    ring = HashRing(4)
+    counts = [0, 0, 0, 0]
+    for i in range(10_000):
+        counts[ring.lookup(b"dag-%d" % i)] += 1
+    # Every shard owns a material share: no dead shard, no hot spot
+    # absorbing everything.  64 virtual nodes/shard keeps the spread
+    # well inside 10%..45% for 4 shards.
+    for count in counts:
+        assert 0.10 * 10_000 < count < 0.45 * 10_000, counts
+
+
+def test_ring_resize_moves_only_a_fraction_of_keys():
+    before, after = HashRing(4), HashRing(5)
+    keys = [b"dag-%d" % i for i in range(10_000)]
+    moved = sum(1 for k in keys if before.lookup(k) != after.lookup(k))
+    # Consistent hashing: adding a 5th shard should move ~1/5 of the
+    # keyspace, not rehash everything.  Allow generous slack.
+    assert moved < 0.40 * len(keys), moved
+
+
+def test_ring_rejects_degenerate_configs():
+    with pytest.raises(ValueError):
+        HashRing(0)
+    with pytest.raises(ValueError):
+        HashRing(2, replicas=0)
+
+
+# ----------------------------------------------------------------------
+# Routing key: dag identity, not body bytes
+# ----------------------------------------------------------------------
+
+
+def test_same_dag_routes_identically_across_request_shapes():
+    """Schedule and simulate requests for the same dag — different
+    bodies, different key order — must produce the same routing key, so
+    one shard's cache serves all of that dag's traffic."""
+    dag = get_workload("airsn-small")
+    wire = dag_to_json(dag)
+    schedule_body = json.dumps({"dag": wire, "algorithm": "prio"}).encode()
+    simulate_body = json.dumps(
+        {"seed": 3, "dag": wire, "params": {"mu_bit": 1.0, "mu_bs": 16.0}}
+    ).encode()
+    reordered = json.dumps(
+        {"algorithm": "fifo", "dag": json.loads(json.dumps(wire))}
+    ).encode()
+    keys = {
+        dag_shard_key(schedule_body),
+        dag_shard_key(simulate_body),
+        dag_shard_key(reordered),
+    }
+    assert len(keys) == 1
+
+
+def test_distinct_dags_produce_distinct_keys():
+    keys = set()
+    for n in range(2, 30):
+        dag = Dag(n, [(i, i + 1) for i in range(n - 1)])
+        body = json.dumps({"dag": dag_to_json(dag)}).encode()
+        keys.add(dag_shard_key(body))
+    assert len(keys) == 28
+
+
+def test_unroutable_bodies_fall_back_to_raw_bytes():
+    assert dag_shard_key(b"not json at all") == b"not json at all"
+    assert dag_shard_key(b"[1,2,3]") == b"[1,2,3]"
+    assert dag_shard_key(b'{"no_dag": 1}') == b'{"no_dag": 1}'
+
+
+# ----------------------------------------------------------------------
+# Bit-identity through worker processes
+# ----------------------------------------------------------------------
+
+
+def _sample_dags() -> dict[str, Dag]:
+    rng = np.random.default_rng(7)
+    return {
+        "airsn": get_workload("airsn-small"),
+        "chain": Dag(10, [(i, i + 1) for i in range(9)]),
+        "fanout": Dag(12, [(0, i) for i in range(1, 12)]),
+        "random": Dag(
+            20,
+            [
+                (i, j)
+                for i in range(20)
+                for j in range(i + 1, 20)
+                if rng.random() < 0.15
+            ],
+        ),
+        "empty": Dag(0, []),
+    }
+
+
+@pytest.fixture(scope="module")
+def sharded_server():
+    service = PrioService(
+        cache=ScheduleCache(),
+        limits=make_limits(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.05, timeout=60.0)
+        ),
+        shards=3,
+    )
+    with ServerThread(service) as (host, port):
+        yield service, host, port
+
+
+def test_sharded_responses_byte_identical_to_library(sharded_server):
+    _, host, port = sharded_server
+    params = SimParams(mu_bit=1.0, mu_bs=16.0)
+    with ServeClient(host, port, timeout=120.0) as client:
+        for name, dag in _sample_dags().items():
+            for algorithm in ("prio", "fifo", "topological"):
+                response = client.schedule(dag, algorithm)
+                assert response.status == 200, (name, algorithm)
+                assert response.body == encode(
+                    schedule_payload(dag, algorithm)
+                ), (name, algorithm)
+        for seed in (0, 9):
+            dag = _sample_dags()["airsn"]
+            response = client.simulate(dag, params, seed=seed)
+            assert response.status == 200
+            assert response.body == encode(
+                simulate_payload(dag, params, seed, "prio", 1)
+            ), seed
+        batch = client.simulate(dag, params, seed=2, replications=8)
+        assert batch.status == 200
+        assert batch.body == encode(
+            simulate_payload(dag, params, 2, "prio", 8)
+        )
+
+
+def test_sharded_errors_byte_identical_to_local(sharded_server):
+    """Structured errors cross the process boundary unchanged — same
+    code, same message, same shape as in-process dispatch."""
+    _, host, port = sharded_server
+    cyclic = {"dag": {"format": "repro-dag-v1", "n": 2,
+                      "arcs": [[0, 1], [1, 0]]}}
+    local = PrioService(cache=None, limits=make_limits())
+    with ServerThread(local) as (lhost, lport):
+        with ServeClient(lhost, lport) as client:
+            expected = client.post_json("/schedule", cyclic)
+    with ServeClient(host, port) as client:
+        sharded = client.post_json("/schedule", cyclic)
+    assert sharded.status == expected.status == 400
+    assert sharded.body == expected.body
+
+
+def test_requests_spread_across_shards_and_caches_stay_local(sharded_server):
+    service, host, port = sharded_server
+    dags = [Dag(n, [(i, i + 1) for i in range(n - 1)]) for n in range(2, 26)]
+    owners = {
+        service.dispatcher.ring.lookup(
+            dag_shard_key(json.dumps({"dag": dag_to_json(d)}).encode())
+        )
+        for d in dags
+    }
+    assert owners == {0, 1, 2}  # 24 distinct dags reach every shard
+    with ServeClient(host, port, timeout=120.0) as client:
+        for _ in range(2):  # second pass hits each shard's own cache
+            for dag in dags:
+                assert client.schedule(dag).status == 200
+        payload = client.metrics().payload
+    shards = payload["shards"]
+    assert set(shards) == {"0", "1", "2"}
+    for view in shards.values():
+        assert view["alive"] is True
+        assert view["served"] > 0
+        assert view["cache"]["hits"] > 0  # the repeat pass hit locally
+    assert payload["in_flight"] == 0
+
+
+# ----------------------------------------------------------------------
+# Supervision: death, respawn, rebuild budget, degraded fallback
+# ----------------------------------------------------------------------
+
+
+def _routing_index(service, dag) -> int:
+    body = json.dumps({"dag": dag_to_json(dag)}).encode()
+    return service.dispatcher.ring.lookup(dag_shard_key(body))
+
+
+def test_idle_shard_death_respawns_on_next_request():
+    dag = get_workload("airsn-small")
+    service = PrioService(
+        cache=ScheduleCache(),
+        limits=make_limits(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.05, timeout=60.0)
+        ),
+        shards=2,
+    )
+    with ServerThread(service) as (host, port):
+        index = _routing_index(service, dag)
+        handle = service.dispatcher.handles[index]
+        with ServeClient(host, port, timeout=120.0) as client:
+            assert client.schedule(dag).status == 200
+            handle.process.kill()
+            deadline = time.time() + 30
+            while handle.alive and time.time() < deadline:
+                time.sleep(0.01)
+            assert not handle.alive
+            response = client.schedule(dag)
+            assert response.status == 200
+            assert response.body == encode(schedule_payload(dag, "prio"))
+            assert handle.restarts == 1
+            assert handle.alive
+
+
+def test_dead_shard_past_rebuild_budget_returns_bad_gateway():
+    """With no retry budget and no rebuild budget... the shard cannot be
+    respawned for *this* request, and the client gets the documented
+    502 instead of a hang or a 500."""
+    dag = get_workload("airsn-small")
+    service = PrioService(
+        cache=ScheduleCache(),
+        limits=make_limits(
+            retry=RetryPolicy(
+                max_attempts=1, timeout=60.0, max_pool_rebuilds=0
+            ),
+        ),
+        shards=2,
+        stall=1.0,
+    )
+    with ServerThread(service) as (host, port):
+        index = _routing_index(service, dag)
+        handle = service.dispatcher.handles[index]
+        result: dict = {}
+
+        def issue() -> None:
+            with ServeClient(host, port, timeout=120.0) as client:
+                result["response"] = client.schedule(dag)
+
+        worker = threading.Thread(target=issue)
+        worker.start()
+        deadline = time.time() + 30
+        while not handle.pending and time.time() < deadline:
+            time.sleep(0.01)
+        assert handle.pending, "request never reached the shard"
+        handle.process.kill()
+        worker.join(timeout=120)
+        response = result["response"]
+        assert response.status == 502, response.body
+        assert response.error_code == "bad_gateway"
+
+
+def test_shard_past_rebuild_budget_degrades_to_in_process():
+    """After the rebuild budget is spent the shard stops being respawned
+    and its requests are served in-process — slower, never refused."""
+    dag = get_workload("airsn-small")
+    service = PrioService(
+        cache=ScheduleCache(),
+        limits=make_limits(
+            retry=RetryPolicy(
+                max_attempts=2, base_delay=0.05, timeout=60.0,
+                max_pool_rebuilds=0,
+            ),
+        ),
+        shards=2,
+    )
+    with ServerThread(service) as (host, port):
+        index = _routing_index(service, dag)
+        handle = service.dispatcher.handles[index]
+        with ServeClient(host, port, timeout=120.0) as client:
+            handle.process.kill()
+            deadline = time.time() + 30
+            while handle.alive and time.time() < deadline:
+                time.sleep(0.01)
+            response = client.schedule(dag)
+            assert response.status == 200
+            assert response.body == encode(schedule_payload(dag, "prio"))
+            assert handle.degraded
+            assert handle.restarts == 0
+            payload = client.metrics().payload
+            assert payload["shards"][str(index)]["degraded"] is True
+            counters = payload["metrics"]["counters"]
+            assert counters["serve.degraded_requests"] >= 1
+            assert counters[f"serve.shard.{index}.degraded"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Drain: every worker is flushed and joined before exit
+# ----------------------------------------------------------------------
+
+
+def test_sharded_drain_joins_every_worker_cleanly():
+    dag = get_workload("airsn-small")
+    service = PrioService(cache=ScheduleCache(), limits=make_limits(),
+                          shards=3)
+    with ServerThread(service) as (host, port):
+        with ServeClient(host, port, timeout=60.0) as client:
+            assert client.schedule(dag).status == 200
+        processes = [h.process for h in service.dispatcher.handles]
+        assert all(p.is_alive() for p in processes)
+    # ServerThread.stop() drained: every worker exited orderly (the
+    # drain sentinel, not SIGTERM/SIGKILL) and nothing was leaked.
+    for process in processes:
+        assert not process.is_alive()
+        assert process.exitcode == 0
+    for handle in service.dispatcher.handles:
+        assert not handle.pending
+        assert not handle.orphaned
+
+
+def test_sharded_server_survives_double_stop():
+    service = PrioService(limits=make_limits(), shards=2)
+    st = ServerThread(service)
+    st.start()
+    st.stop()
+    st.stop()  # idempotent
