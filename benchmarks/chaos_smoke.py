@@ -106,6 +106,75 @@ def scenario_serial_degradation(clean):
     return f"serial fallbacks: {degraded}"
 
 
+def scenario_killed_shard_session(tmp_dir):
+    """SIGKILL a shard mid-session: the respawned worker must answer the
+    next /advance from the durable checkpoint byte-identically to an
+    unkilled twin, and the session telemetry log must capture every
+    advance (it ships as a CI artifact)."""
+    import os
+    import signal
+    import time
+
+    from repro.dag.io_json import dag_to_json
+    from repro.live import EventPlan, SessionStore, event_stream
+    from repro.obs.events import TelemetryWriter, read_telemetry
+    from repro.serve.app import PrioService, ServerThread
+    from repro.serve.client import ServeClient
+    from repro.serve.protocol import advance_payload, encode
+    from repro.workloads.registry import get_workload
+
+    dag = get_workload("airsn-small")
+    plan = EventPlan(failures={3: 1, 11: 2}, stragglers={5})
+    batches = list(event_stream(dag, plan, batch_jobs=6))
+
+    # The unkilled twin: a local store fed the same stream, recording
+    # the telemetry artifact.  Its deltas are the recovery target.
+    telemetry = TelemetryWriter(RESULTS / "CHAOS_session_telemetry.jsonl")
+    twin = SessionStore(directory=tmp_dir / "twin", telemetry=telemetry)
+    sid = twin.create(dag_to_json(dag), name="chaos").session_id
+    expected = [
+        twin.advance(sid, events, seq=seq) for seq, events in batches
+    ]
+    telemetry.close()
+    records = read_telemetry(RESULTS / "CHAOS_session_telemetry.jsonl")
+    advances = [r for r in records if r["kind"] == "advance"]
+    assert len(advances) == len(batches), "telemetry missed an advance"
+
+    kill_after = 1  # SIGKILL lands between the first and second batch
+    service = PrioService(shards=2, session_dir=tmp_dir / "shards")
+    with ServerThread(service) as (host, port):
+        with ServeClient(host, port, timeout=120.0) as client:
+            created = client.create_session(dag, name="chaos")
+            assert created.status == 200, created.payload
+            assert created.payload["session_id"] == sid
+            killed = False
+            for (seq, events), delta in zip(batches, expected):
+                if seq == kill_after + 1 and not killed:
+                    for handle in service.dispatcher.handles:
+                        os.kill(handle.process.pid, signal.SIGKILL)
+                    killed = True
+                response = client.advance(sid, seq, events)
+                # A request in flight when the SIGKILL lands answers the
+                # documented retryable 502; sequence-number idempotency
+                # is exactly what makes the client-side retry safe.
+                for _ in range(20):
+                    if response.status != 502:
+                        break
+                    time.sleep(0.25)
+                    response = client.advance(sid, seq, events)
+                assert response.status == 200, (seq, response.payload)
+                assert response.body == encode(advance_payload(delta)), (
+                    f"advance {seq} diverged after shard kill"
+                )
+            final = client.get_session(sid)
+            assert final.status == 200
+            assert final.payload["n_pending"] == 0
+    return (
+        f"{len(batches)} advances byte-identical across SIGKILL, "
+        f"{len(advances)} telemetry records"
+    )
+
+
 class _Interrupt(Exception):
     pass
 
@@ -158,6 +227,8 @@ def main():
         ("hung-chunk", lambda: scenario_hung_chunk(clean)),
         ("serial-degradation", lambda: scenario_serial_degradation(clean)),
         ("interrupt-resume", lambda: scenario_interrupt_resume(tmp_dir)),
+        ("killed-shard-session",
+         lambda: scenario_killed_shard_session(tmp_dir)),
     ]
     RESULTS.mkdir(exist_ok=True)
     verdicts = {}

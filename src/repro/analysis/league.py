@@ -30,7 +30,7 @@ class Entrant:
     """One competitor: a policy kind plus (for oblivious) its order."""
 
     name: str
-    kind: str  # "oblivious" | "fifo" | "random"
+    kind: str  # "oblivious" | "fifo" | "random" | "prio-live"
     order: tuple[int, ...] | None = None
 
     @classmethod
@@ -136,7 +136,9 @@ def league(
                 progress(done, len(entrants))
             continue
         factory = policy_factory(
-            e.kind, order=list(e.order) if e.order else None
+            e.kind,
+            order=list(e.order) if e.order else None,
+            dag=dag if e.kind == "prio-live" else None,
         )
         on_replication = None
         registry = None

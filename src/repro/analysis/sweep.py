@@ -82,6 +82,18 @@ class SweepConfig:
     batch_size_dist: str = "geometric"
     runtime_mean: float = 1.0
     runtime_std: float = 0.1
+    #: Extended grid model (defaults off = exactly the paper's): worker
+    #: churn and straggler injection, applied identically to both sides
+    #: of every cell.
+    failure_prob: float = 0.0
+    failure_time_fraction: float = 0.5
+    straggler_prob: float = 0.0
+    straggler_factor: float = 10.0
+    #: Replace the static PRIO side with the live rescheduling policy
+    #: (:class:`repro.live.policy.LivePrioPolicy`): the ratio becomes
+    #: PRIO-with-rescheduling / FIFO, so static-vs-live is two sweeps
+    #: over identical seed streams.
+    live: bool = False
     #: Common random numbers: give PRIO and FIFO identical seed streams
     #: (identical batch arrivals) and compare *matched* samples x_i / y_i
     #: instead of the paper's all-pairs x_i / y_j (all-pairs would destroy
@@ -203,6 +215,10 @@ def _cell_specs(config: SweepConfig):
                 runtime_mean=config.runtime_mean,
                 runtime_std=config.runtime_std,
                 batch_size_dist=config.batch_size_dist,
+                failure_prob=config.failure_prob,
+                failure_time_fraction=config.failure_time_fraction,
+                straggler_prob=config.straggler_prob,
+                straggler_factor=config.straggler_factor,
             )
             if config.paired:
                 seed_prio = root.spawn(1)[0]
@@ -411,11 +427,19 @@ def ratio_sweep(
     with or without it.
     """
     par = resolve_parallel(jobs, parallel)
+    if config.live and isinstance(dag, CompiledDag):
+        raise TypeError(
+            "live sweeps need the Dag itself (the rescheduler reuses "
+            "its structure), not a CompiledDag"
+        )
     compiled = (
         cache.compiled(dag) if cache is not None else CompiledDag.from_dag(dag)
     )
     count = config.p * config.q
-    prio_factory = policy_factory("oblivious", order=list(prio_order))
+    if config.live:
+        prio_factory = policy_factory("prio-live", dag=dag)
+    else:
+        prio_factory = policy_factory("oblivious", order=list(prio_order))
     fifo_factory = policy_factory("fifo")
     specs = _cell_specs(config)
     total = len(specs)

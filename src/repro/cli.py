@@ -17,6 +17,9 @@ Subcommands::
     profile   per-stage timing breakdown of one workload (pipeline + sim)
     serve     long-running scheduling service (JSON over HTTP; see
               docs/API.md, "Serving")
+    advance   apply an execution-event file to a checkpointed live
+              session and emit rescue-style priorities (docs/API.md,
+              "Live rescheduling")
 
 ``python -m repro.cli <subcommand> --help`` documents each.  The
 simulation-heavy subcommands (``sweep``, ``curves``, ``league``,
@@ -110,6 +113,34 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
             "worker processes for the simulations (default 1 = serial; "
             "results are bit-identical for any value)"
         ),
+    )
+
+
+def _add_failure_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--failure-prob",
+        type=float,
+        default=0.0,
+        help=(
+            "per-assignment worker-churn probability: the job returns to "
+            "the eligible pool and must be reassigned (default 0 = the "
+            "paper's failure-free model)"
+        ),
+    )
+    parser.add_argument(
+        "--straggler-prob",
+        type=float,
+        default=0.0,
+        help=(
+            "per-assignment straggler probability: the job takes "
+            "--straggler-factor times its sampled duration (default 0)"
+        ),
+    )
+    parser.add_argument(
+        "--straggler-factor",
+        type=float,
+        default=10.0,
+        help="runtime multiplier for straggling assignments",
     )
 
 
@@ -437,19 +468,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .perf.cache import cached_schedule
 
     dag, name = _load_dag(args.dag)
-    params = SimParams(mu_bit=args.mu_bit, mu_bs=args.mu_bs)
+    params = SimParams(
+        mu_bit=args.mu_bit,
+        mu_bs=args.mu_bs,
+        failure_prob=args.failure_prob,
+        straggler_prob=args.straggler_prob,
+        straggler_factor=args.straggler_factor,
+    )
     rng = np.random.default_rng(args.seed)
     if args.algorithm == "prio":
         order = cached_schedule(dag, "prio", cache=_schedule_cache(args))
         policy = make_policy("oblivious", order=order)
     else:
-        policy = make_policy(args.algorithm, rng=rng)
+        policy = make_policy(args.algorithm, rng=rng, dag=dag)
     result = simulate(dag, policy, params, rng)
     print(f"workload            : {name} ({dag.n} jobs)")
     print(f"algorithm           : {args.algorithm}")
     print(f"execution time      : {result.execution_time:.3f}")
     print(f"stalling probability: {result.stalling_probability:.4f}")
     print(f"utilization         : {result.utilization:.4f}")
+    if params.failure_prob > 0.0:
+        print(f"worker failures     : {result.n_failures}")
+    if params.straggler_prob > 0.0:
+        print(f"stragglers          : {result.n_stragglers}")
     return 0
 
 
@@ -461,7 +502,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         mu_bits = tuple(args.mu_bit)
         mu_bss = tuple(args.mu_bs)
     config = SweepConfig(
-        mu_bits=mu_bits, mu_bss=mu_bss, p=args.p, q=args.q, seed=args.seed
+        mu_bits=mu_bits, mu_bss=mu_bss, p=args.p, q=args.q, seed=args.seed,
+        failure_prob=args.failure_prob,
+        straggler_prob=args.straggler_prob,
+        straggler_factor=args.straggler_factor,
+        live=args.live,
     )
     from .perf.cache import cached_schedule
 
@@ -551,6 +596,7 @@ def _cmd_league(args: argparse.Namespace) -> int:
             "prio-topological",
             cached_schedule(dag, "prio", cache=cache, combine="topological"),
         ),
+        Entrant("prio-live", "prio-live"),
         Entrant("random", "random"),
         Entrant("fifo", "fifo"),
     ]
@@ -567,6 +613,9 @@ def _cmd_league(args: argparse.Namespace) -> int:
             ],
             "mu_bit": args.mu_bit,
             "mu_bs": args.mu_bs,
+            "failure_prob": args.failure_prob,
+            "straggler_prob": args.straggler_prob,
+            "straggler_factor": args.straggler_factor,
             "runs": args.runs,
             "seed": args.seed,
             "telemetry": bool(getattr(args, "telemetry", None)),
@@ -582,7 +631,13 @@ def _cmd_league(args: argparse.Namespace) -> int:
             rows = league(
                 dag,
                 entrants,
-                SimParams(mu_bit=args.mu_bit, mu_bs=args.mu_bs),
+                SimParams(
+                    mu_bit=args.mu_bit,
+                    mu_bs=args.mu_bs,
+                    failure_prob=args.failure_prob,
+                    straggler_prob=args.straggler_prob,
+                    straggler_factor=args.straggler_factor,
+                ),
                 n_runs=args.runs,
                 seed=args.seed,
                 jobs=args.jobs,
@@ -858,6 +913,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         stall=args.inject_stall,
         telemetry=telemetry,
+        session_dir=args.session_dir,
     )
 
     def announce() -> None:
@@ -869,7 +925,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else "in-process dispatch"
         )
         print(
-            f"endpoints: POST /schedule POST /simulate GET /healthz "
+            f"endpoints: POST /schedule POST /simulate POST /session "
+            f"POST /advance GET /session/{{id}} GET /healthz "
             f"GET /metrics (max in-flight {limits.max_inflight}; {tier}); "
             f"SIGTERM drains gracefully",
             file=sys.stderr,
@@ -888,6 +945,104 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         _close_telemetry(args, telemetry)
     print("drained; all in-flight requests completed", file=sys.stderr)
+    return 0
+
+
+def _cmd_advance(args: argparse.Namespace) -> int:
+    import json
+
+    from .dag.io_json import dag_to_json
+    from .live.session import SessionError
+    from .live.store import SessionStore, session_token
+
+    if not args.session and not args.dag:
+        raise CliError("need --session or --dag to identify the session")
+    store = SessionStore(directory=args.session_dir, mode=args.mode)
+    dag_payload = None
+    if args.dag:
+        dag, _ = _load_dag(args.dag)
+        dag_payload = dag_to_json(dag)
+    session_id = args.session
+    if session_id is None:
+        session_id = f"{session_token(dag_payload)}.{args.name}"
+    session = store.get(session_id)
+    if session is None:
+        if dag_payload is None:
+            raise CliError(
+                f"no session {session_id} under {args.session_dir}; "
+                "pass --dag to create it"
+            )
+        try:
+            session = store.create(dag_payload, name=args.name, mode=args.mode)
+        except (SessionError, ValueError) as exc:
+            raise CliError(str(exc)) from None
+        print(
+            f"created session {session_id} ({session.dag.n} jobs)",
+            file=sys.stderr,
+        )
+    try:
+        with open(args.events) as fh:
+            raw = json.load(fh)
+    except OSError as exc:
+        raise CliError(
+            f"cannot read {args.events}: {exc.strerror or exc}"
+        ) from None
+    except ValueError as exc:
+        raise CliError(f"{args.events} is not valid JSON: {exc}") from None
+    if isinstance(raw, dict) and "events" in raw:
+        raw = raw["events"]
+    if not isinstance(raw, list):
+        raise CliError(
+            "event file must be a JSON list of events "
+            "(or an object with an 'events' list)"
+        )
+    # Events may name jobs by label; the wire format wants integer ids.
+    label_ids = {session.dag.label(u): u for u in range(session.dag.n)}
+    events = []
+    for i, event in enumerate(raw):
+        if not isinstance(event, dict):
+            raise CliError(f"event {i} must be an object")
+        event = dict(event)
+        label = event.pop("label", None)
+        if label is not None:
+            if "job" in event:
+                raise CliError(f"event {i} has both 'job' and 'label'")
+            if label not in label_ids:
+                raise CliError(f"event {i}: unknown job label {label!r}")
+            event["job"] = label_ids[label]
+        events.append(event)
+    seq = args.seq if args.seq is not None else session.seq + 1
+    try:
+        delta = store.advance(session_id, events, seq=seq)
+    except SessionError as exc:
+        raise CliError(str(exc)) from None
+    summary = store.summary(session_id)
+    print(
+        f"session {session_id}: seq {delta['seq']}, "
+        f"{delta['applied']} events applied "
+        f"({delta['recompute']} recompute), "
+        f"{delta['n_pending']} of {session.dag.n} jobs pending",
+        file=sys.stderr,
+    )
+    # Rescue-style output: one jobpriority VARS line per pending job,
+    # highest priority first — exactly what `prio --rescue` would write
+    # into the DAGMan file for this remnant.
+    priorities = summary["priorities"]
+    pending = sorted(
+        (u for u in range(session.dag.n) if priorities[u] > 0),
+        key=lambda u: -priorities[u],
+    )
+    lines = [
+        f'VARS {session.dag.label(u)} jobpriority="{priorities[u]}"'
+        for u in pending
+    ]
+    text = "".join(line + "\n" for line in lines)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} ({len(lines)} jobs)", file=sys.stderr)
+    else:
+        print(text, end="")
     return 0
 
 
@@ -979,12 +1134,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "-a",
         "--algorithm",
-        choices=("prio", "fifo", "random"),
+        choices=("prio", "fifo", "random", "prio-live"),
         default="prio",
     )
     p.add_argument("--mu-bit", type=float, default=1.0)
     p.add_argument("--mu-bs", type=float, default=16.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_failure_arguments(p)
     _add_cache_arguments(p)
     p.set_defaults(func=_cmd_simulate)
 
@@ -1001,6 +1157,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true", help="ASCII CI panels")
     p.add_argument("--csv", help="also write the cells as CSV")
     p.add_argument("--json", help="also write the cells as JSON")
+    _add_failure_arguments(p)
+    p.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            "replace the static PRIO side with live rescheduling "
+            "(re-prioritize the remnant after every completion); the "
+            "ratio becomes live-PRIO / FIFO"
+        ),
+    )
     _add_jobs_argument(p)
     _add_telemetry_argument(p)
     _add_robust_arguments(p)
@@ -1055,6 +1221,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mu-bs", type=float, default=16.0)
     p.add_argument("--runs", type=int, default=24)
     p.add_argument("--seed", type=int, default=0)
+    _add_failure_arguments(p)
     _add_jobs_argument(p)
     _add_telemetry_argument(p)
     _add_robust_arguments(p)
@@ -1176,10 +1343,68 @@ def build_parser() -> argparse.ArgumentParser:
             "models a latency-bound backend)"
         ),
     )
+    p.add_argument(
+        "--session-dir",
+        metavar="DIR",
+        help=(
+            "checkpoint live sessions (POST /session, POST /advance) "
+            "here so they survive shard and server restarts; default is "
+            "in-memory sessions that die with their process"
+        ),
+    )
     _add_jobs_argument(p)
     _add_telemetry_argument(p)
     _add_cache_arguments(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "advance",
+        help="apply execution events to a checkpointed live session",
+    )
+    p.add_argument(
+        "events",
+        help=(
+            "JSON event file: a list of {'kind': complete|fail|"
+            "retry_exhausted|straggler_timeout, 'job': id} objects "
+            "('label': name may replace 'job')"
+        ),
+    )
+    p.add_argument(
+        "--session-dir",
+        required=True,
+        metavar="DIR",
+        help="session checkpoint directory (as given to prio serve)",
+    )
+    p.add_argument(
+        "--session", help="full session id (token.name) to advance"
+    )
+    p.add_argument(
+        "--dag",
+        help=(
+            "workload name or .dag file: derives the session id from "
+            "the dag's identity, creating the session if missing"
+        ),
+    )
+    p.add_argument(
+        "--name", default="default", help="session name (with --dag)"
+    )
+    p.add_argument(
+        "--seq",
+        type=_positive_int,
+        help="batch sequence number (default: the session's next)",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("incremental", "full"),
+        default="incremental",
+        help="scheduler engine for newly created sessions",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        help="write the rescue-style VARS lines here instead of stdout",
+    )
+    p.set_defaults(func=_cmd_advance)
 
     p = sub.add_parser(
         "profile",

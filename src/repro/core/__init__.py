@@ -5,10 +5,11 @@ from .decompose import Component, Decomposition, decompose
 from .fifo import fifo_schedule
 from .greedy import CombineResult, greedy_combine, topological_combine
 from .prio import PrioResult, prio_schedule, priorities_from_schedule
-from .rescheduling import RemnantResult, reprioritize_remnant
+from .rescheduling import RemnantError, RemnantResult, reprioritize_remnant
 from .tool import PrioToolResult, prioritize_dagman, prioritize_dagman_file
 
 __all__ = [
+    "RemnantError",
     "RemnantResult",
     "reprioritize_remnant",
     "PrioToolResult",

@@ -94,12 +94,29 @@ def decompose(dag: Dag) -> Decomposition:
     algorithm but degrade the block structure, exactly as the paper warns.
     """
     n = dag.n
+    children_of = dag.children
+    parents_of = dag.parents
     alive = bytearray(b"\x01" * n)
     apc = [dag.in_degree(u) for u in range(n)]  # alive-parent count
+    # bad-alive-parent count: bpc[c] = alive parents of c with apc != 0.
+    # A child is absorbable into a bipartite block iff bpc == 0, so the
+    # bipartiteness check is O(1) per pulled job instead of O(parents);
+    # detach keeps the counts current (deaths and non-source -> source
+    # transitions both decrement children's counts).
+    bpc = [0] * n
+    for p in range(n):
+        if apc[p]:
+            for c in children_of(p):
+                bpc[c] += 1
     source_set = {u for u in range(n) if apc[u] == 0}
     components: list[Component] = []
     comp_of = [-1] * n
     removed = 0
+    # Sources absorbed by a failed bipartite probe since the last detach.
+    # A failed probe's partial S lies in one connected closure, so every
+    # source in it fails too while the remnant is unchanged — but any
+    # detach can flip a bad child good, so the memo dies with each detach.
+    failed_since_detach: set[int] = set()
 
     def bipartite_block(s: int) -> tuple[set[int], set[int]] | None:
         """The bipartite C(s), or ``None`` as soon as that is impossible.
@@ -116,14 +133,17 @@ def decompose(dag: Dag) -> Decomposition:
         src_stack = [s]
         while src_stack:
             x = src_stack.pop()
-            for c in dag.children(x):
+            for c in children_of(x):
                 if c in T:
                     continue
-                for p in dag.parents(c):
-                    if alive[p] and apc[p] != 0:
-                        return None  # non-source parent: not bipartite
+                if bpc[c]:
+                    # Non-source parent: not bipartite.  Everything grown
+                    # so far shares c's closure, so sibling sources need
+                    # no probe of their own until the state changes.
+                    failed_since_detach.update(S)
+                    return None
                 T.add(c)
-                for p in dag.parents(c):
+                for p in parents_of(c):
                     if alive[p] and p not in S:
                         S.add(p)
                         src_stack.append(p)
@@ -143,14 +163,14 @@ def decompose(dag: Dag) -> Decomposition:
         while src_stack or t_stack:
             if src_stack:
                 x = src_stack.pop()
-                for c in dag.children(x):
+                for c in children_of(x):
                     # children of alive nodes are alive (invariant)
                     if c not in T and c not in S:
                         T.add(c)
                         t_stack.append(c)
             else:
                 t = t_stack.pop()
-                for p in dag.parents(t):
+                for p in parents_of(t):
                     if not alive[p] or p in S:
                         continue
                     if p in T:
@@ -172,14 +192,31 @@ def decompose(dag: Dag) -> Decomposition:
         nonsinks: list[int] = []
         shared: list[int] = []
         globals_: list[int] = []
-        for u in sorted(members):
-            has_child_inside = any(c in members for c in dag.children(u))
-            if has_child_inside:
-                nonsinks.append(u)
-            elif dag.is_sink(u):
-                globals_.append(u)
-            else:
-                shared.append(u)  # stays alive for a later component
+        if bipartite:
+            # Roles need no membership scan here: every child of an
+            # S-member was pulled into T, so an S-member with children is
+            # a non-sink (childless ones are global sinks); and no
+            # T-member has a child inside the block (such a child would
+            # have had an alive non-source parent and failed the probe).
+            for u in sorted(members):
+                if u in S:
+                    if children_of(u):
+                        nonsinks.append(u)
+                    else:
+                        globals_.append(u)
+                elif dag.is_sink(u):
+                    globals_.append(u)
+                else:
+                    shared.append(u)  # stays alive for a later component
+        else:
+            for u in sorted(members):
+                has_child_inside = any(c in members for c in children_of(u))
+                if has_child_inside:
+                    nonsinks.append(u)
+                elif dag.is_sink(u):
+                    globals_.append(u)
+                else:
+                    shared.append(u)  # stays alive for a later component
         index = len(components)
         for u in nonsinks:
             comp_of[u] = index
@@ -188,12 +225,29 @@ def decompose(dag: Dag) -> Decomposition:
             alive[u] = 0
             source_set.discard(u)
             removed += 1
+        # One pass per dying node.  apc of to_remove members is never
+        # decremented here (they are already dead, and only alive children
+        # are touched), so the "was u bad at death" test reads the same
+        # value a separate first pass would; the two kinds of bpc
+        # decrement (bad parent dies; alive parent turns source) hit
+        # disjoint edge events, and only the final counts are observed
+        # (probes run strictly between detaches).
         for u in to_remove:
-            for c in dag.children(u):
-                if alive[c]:
-                    apc[c] -= 1
-                    if apc[c] == 0:
-                        source_set.add(c)
+            was_bad = apc[u] != 0
+            for c in children_of(u):
+                if not alive[c]:
+                    continue
+                if was_bad:
+                    # A dying non-source stops counting against its children.
+                    bpc[c] -= 1
+                apc[c] -= 1
+                if apc[c] == 0:
+                    source_set.add(c)
+                    # c turned source: no longer bad for its children.
+                    for d in children_of(c):
+                        if alive[d]:
+                            bpc[d] -= 1
+        failed_since_detach.clear()
         if nonsinks or shared or globals_:
             components.append(
                 Component(
@@ -213,6 +267,8 @@ def decompose(dag: Dag) -> Decomposition:
         for s in sorted(source_set):
             if not alive[s] or apc[s] != 0:
                 continue  # consumed by an earlier detach this round
+            if s in failed_since_detach:
+                continue  # same state as when its closure failed
             block = bipartite_block(s)
             if block is not None:
                 detach(block[0], block[1], True)

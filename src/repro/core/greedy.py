@@ -50,6 +50,7 @@ class _ClassRegistry:
     def __init__(self):
         self.heaps: dict[bytes, list[int]] = {}
         self.profiles: dict[bytes, object] = {}
+        self._size = 0
 
     def add(self, sc: ScheduledComponent) -> None:
         key = sc.profile_key
@@ -57,12 +58,14 @@ class _ClassRegistry:
             self.heaps[key] = []
             self.profiles[key] = sc.profile
         heapq.heappush(self.heaps[key], sc.index)
+        self._size += 1
 
     def pop(self, key: bytes) -> int:
         index = heapq.heappop(self.heaps[key])
         if not self.heaps[key]:
             del self.heaps[key]
             del self.profiles[key]
+        self._size -= 1
         return index
 
     def multiplicity(self, key: bytes) -> int:
@@ -72,7 +75,7 @@ class _ClassRegistry:
         return self.heaps[key][0]
 
     def __len__(self) -> int:
-        return sum(len(h) for h in self.heaps.values())
+        return self._size
 
 
 def greedy_combine(
@@ -80,8 +83,21 @@ def greedy_combine(
     scheduled: list[ScheduledComponent],
     *,
     cache: PriorityCache | None = None,
+    memo: dict | None = None,
 ) -> CombineResult:
-    """Order the building blocks by the greedy max-min-priority rule."""
+    """Order the building blocks by the greedy max-min-priority rule.
+
+    *memo*, when given, caches each round's winning profile classes keyed
+    by the round *signature* — the sorted class keys plus each class's
+    own multiplicity>=2 flag, the only inputs the score computation reads
+    (scores are pure functions of profile bytes; a class's score includes
+    the self-pairing term exactly when its own multiplicity is >= 2).
+    The block actually emitted still depends on the per-round detachment
+    order, so only the score argmax is memoized; the result is identical
+    with or without a memo, but a long-lived caller (the incremental
+    rescheduler, which sees near-identical rounds on every advance) skips
+    the quadratic class-scoring loop almost entirely.
+    """
     cache = cache or PriorityCache()
     by_index = {sc.index: sc for sc in scheduled}
     indeg = [len(ps) for ps in decomposition.super_parents]
@@ -100,26 +116,49 @@ def greedy_combine(
             # A single class: all candidates tie; emit in detachment order.
             best_key = keys[0]
         else:
+            signature = None
+            winners = None
+            if memo is not None:
+                ordered = sorted(keys)
+                signature = (
+                    tuple(ordered),
+                    tuple(registry.multiplicity(k) >= 2 for k in ordered),
+                )
+                winners = memo.get(signature)
+            if winners is None:
+                best_score = -1.0
+                scores: dict[bytes, float] = {}
+                for key in keys:
+                    profile = registry.profiles[key]
+                    score = min(
+                        (
+                            cache.priority(
+                                key, profile, other, registry.profiles[other]
+                            )
+                            for other in keys
+                            if other != key or registry.multiplicity(key) >= 2
+                        ),
+                        default=1.0,
+                    )
+                    scores[key] = score
+                    if score > best_score:
+                        best_score = score
+                winners = frozenset(
+                    key for key in keys if scores[key] == best_score
+                )
+                if memo is not None:
+                    memo[signature] = winners
+            # Among the max-score classes, emit the one holding the
+            # earliest-detached block; peeks are distinct across classes,
+            # so this matches the strict-improvement scan it replaces.
             best_key = None
-            best_score = -1.0
             best_peek = -1
             for key in keys:
-                profile = registry.profiles[key]
-                score = min(
-                    (
-                        cache.priority(
-                            key, profile, other, registry.profiles[other]
-                        )
-                        for other in keys
-                        if other != key or registry.multiplicity(key) >= 2
-                    ),
-                    default=1.0,
-                )
+                if key not in winners:
+                    continue
                 peek = registry.peek(key)
-                if score > best_score or (
-                    score == best_score and peek < best_peek
-                ):
-                    best_key, best_score, best_peek = key, score, peek
+                if best_key is None or peek < best_peek:
+                    best_key, best_peek = key, peek
         index = registry.pop(best_key)
         component_order.append(index)
         nonsink_schedule.extend(by_index[index].schedule)

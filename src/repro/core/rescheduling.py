@@ -20,7 +20,23 @@ from dataclasses import dataclass
 from ..dag.graph import Dag
 from .prio import PrioResult, prio_schedule
 
-__all__ = ["RemnantResult", "reprioritize_remnant"]
+__all__ = ["RemnantError", "RemnantResult", "reprioritize_remnant"]
+
+
+class RemnantError(ValueError):
+    """An invalid executed set: out-of-range job or a closure violation.
+
+    A subclass of ``ValueError`` (the historical contract), carrying the
+    offending jobs as structured fields so callers — the live-session
+    layer, the serve error mapping — can name them without parsing the
+    message.  ``job`` is the executed job at fault; for a closure
+    violation ``ancestor`` is the parent that did *not* run.
+    """
+
+    def __init__(self, message: str, *, job: int, ancestor: int | None = None):
+        super().__init__(message)
+        self.job = job
+        self.ancestor = ancestor
 
 
 @dataclass
@@ -48,18 +64,25 @@ def reprioritize_remnant(
 ) -> RemnantResult:
     """Run the prio heuristic on the unexecuted remainder of *dag*.
 
-    Raises ``ValueError`` when *executed* is not precedence-closed or
-    references unknown jobs.
+    Raises :class:`RemnantError` (a ``ValueError``) when *executed* is
+    not precedence-closed or references unknown jobs; the error names
+    the executed job and, for a closure violation, the ancestor that
+    did not run.
     """
     executed_set = frozenset(executed)
     for u in executed_set:
         if not 0 <= u < dag.n:
-            raise ValueError(f"executed job id {u} out of range")
+            raise RemnantError(
+                f"executed job id {u} out of range", job=u
+            )
         for p in dag.parents(u):
             if p not in executed_set:
-                raise ValueError(
+                raise RemnantError(
                     f"executed set is not precedence-closed: "
-                    f"{dag.label(u)} ran but its parent {dag.label(p)} did not"
+                    f"{dag.label(u)} ran but its parent {dag.label(p)} "
+                    f"did not",
+                    job=u,
+                    ancestor=p,
                 )
     pending = [u for u in range(dag.n) if u not in executed_set]
     remnant, mapping = dag.induced_subgraph(pending)

@@ -56,10 +56,12 @@ def dag_from_json(payload: dict[str, Any]) -> Dag:
     """Rebuild a dag from :func:`dag_to_json` output (validates shape).
 
     Raises ``ValueError`` on any malformed payload — wrong ``format``
-    marker, non-object payload, missing fields, non-integer arcs — and
-    :class:`~repro.dag.graph.CycleError` (a ``ValueError``) when the arc
-    set is not acyclic, so callers deserializing untrusted input need to
-    catch only ``ValueError``.
+    marker, non-object payload, missing fields, non-integer arcs (ids
+    must be actual JSON integers: booleans, floats and numeric strings
+    are rejected, never coerced), self-loops, duplicate arcs, duplicate
+    labels — and :class:`~repro.dag.graph.CycleError` (a ``ValueError``)
+    when the arc set is not acyclic, so callers deserializing untrusted
+    input need to catch only ``ValueError``.
     """
     if not isinstance(payload, dict):
         raise ValueError("dag payload must be a JSON object")
@@ -70,14 +72,28 @@ def dag_from_json(payload: dict[str, Any]) -> Dag:
     raw_arcs = payload.get("arcs")
     if not isinstance(raw_arcs, list):
         raise ValueError("arcs must be a list of [parent, child] pairs")
-    try:
-        arcs = [(int(arc[0]), int(arc[1])) for arc in raw_arcs]
-        if any(len(arc) != 2 for arc in raw_arcs):
+
+    def as_id(value):
+        # Strict: bool is an int subclass and int() coerces floats and
+        # strings; silently accepting any of those would let two
+        # different payload bytes name the same dag (and a truncated
+        # float name the wrong job).
+        if isinstance(value, bool) or not isinstance(value, int):
             raise ValueError
-        n = int(payload["n"])
+        return value
+
+    try:
+        arcs = []
+        for arc in raw_arcs:
+            if len(arc) != 2:
+                raise ValueError
+            arcs.append((as_id(arc[0]), as_id(arc[1])))
+        n = as_id(payload["n"])
     except (TypeError, ValueError, IndexError, KeyError):
         raise ValueError(
-            "dag payload needs integer 'n' and integer [parent, child] pairs"
+            "dag payload needs integer 'n' and integer [parent, child] "
+            "pairs (actual integers: booleans, floats and numeric "
+            "strings are rejected)"
         ) from None
     labels = payload.get("labels")
     if labels is not None and (

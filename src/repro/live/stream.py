@@ -1,0 +1,139 @@
+"""Deterministic event streams for driving live sessions.
+
+The live analogue of :class:`repro.robust.faults.FaultPlan`: where a
+``FaultPlan`` scripts faults against ``(chunk, attempt)`` coordinates of
+the worker pool, an :class:`EventPlan` scripts per-**job** failures,
+retry exhaustion and straggler timeouts against a workflow's execution,
+and :func:`event_stream` unrolls the plan into the ``(seq, events)``
+batches a :class:`~repro.live.session.LiveSession` consumes.
+
+Everything is deterministic: same dag, same plan, same batch size →
+the same batches, byte for byte.  That is what lets the chaos job replay
+one stream against a SIGKILLed sharded service and an unkilled twin and
+demand byte-identical responses, and what makes benchmark streams
+reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterator, Mapping
+
+from ..core.prio import prio_schedule
+from ..dag.graph import Dag
+
+__all__ = ["EventPlan", "event_stream"]
+
+
+@dataclass(frozen=True)
+class EventPlan:
+    """A deterministic schedule of execution faults keyed by job id.
+
+    ``failures`` maps a job to how many ``fail`` events it reports
+    before resolving; ``exhausted`` jobs report their failures and then
+    ``retry_exhausted`` — they never complete, so their descendants
+    never become eligible (exactly a rescue-dag situation);
+    ``stragglers`` report one ``straggler_timeout`` before completing.
+    """
+
+    failures: Mapping = field(default_factory=dict)
+    exhausted: frozenset = frozenset()
+    stragglers: frozenset = frozenset()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "failures", MappingProxyType(dict(self.failures))
+        )
+        object.__setattr__(self, "exhausted", frozenset(self.exhausted))
+        object.__setattr__(self, "stragglers", frozenset(self.stragglers))
+        for job, count in self.failures.items():
+            if count < 0:
+                raise ValueError(
+                    f"job {job} scheduled a negative failure count"
+                )
+
+    @property
+    def empty(self) -> bool:
+        return not (self.failures or self.exhausted or self.stragglers)
+
+
+def event_stream(
+    dag: Dag,
+    plan: EventPlan | None = None,
+    *,
+    priorities: list[int] | None = None,
+    batch_jobs: int = 4,
+    split_ticks: bool = False,
+) -> Iterator[tuple[int, list[dict]]]:
+    """Yield ``(seq, events)`` batches that execute *dag* under *plan*.
+
+    Jobs run in priority order (the static PRIO priorities unless
+    *priorities* is given), respecting precedence: each batch takes up
+    to *batch_jobs* currently-eligible jobs, highest priority first, and
+    emits that job's scripted events — its ``fail`` reports, its
+    ``straggler_timeout``, then ``complete`` or ``retry_exhausted``.
+    Exhausted jobs stay pending forever, so the stream ends when every
+    job still pending is an exhausted job or one of its descendants.
+
+    With ``split_ticks`` each wave arrives as up to two batches instead
+    of one, mirroring a DAGMan poll cycle: failures, straggler timeouts
+    and retry exhaustions are observed in the cycle they happen, while
+    the re-runs' completions land a cycle later.  The report batch
+    carries no ``complete`` events, so a live session answers it without
+    recomputing priorities — the workload shape the incremental
+    scheduler is built for.
+
+    The batches apply cleanly to a fresh ``LiveSession`` over the same
+    dag (seq starts at 1 and increments by 1), and the generator is
+    pure: iterating it twice yields identical batches.
+    """
+    if plan is None:
+        plan = EventPlan()
+    if batch_jobs < 1:
+        raise ValueError("batch_jobs must be at least 1")
+    if priorities is None:
+        priorities = prio_schedule(dag).priorities
+    executed: set[int] = set()
+    blocked: set[int] = set()  # exhausted jobs: pending, never complete
+    seq = 0
+    while True:
+        eligible = [
+            u
+            for u in range(dag.n)
+            if u not in executed
+            and u not in blocked
+            and all(p in executed for p in dag.parents(u))
+        ]
+        if not eligible:
+            return
+        eligible.sort(key=lambda u: (-priorities[u], u))
+        events: list[dict] = []
+        reports: list[dict] = []
+        completes: list[dict] = []
+        # In split mode reports and completions go to separate batches;
+        # otherwise both sinks alias `events`, preserving the combined
+        # stream's per-job event grouping byte for byte.
+        report_sink = reports if split_ticks else events
+        done_sink = completes if split_ticks else events
+        for job in eligible[:batch_jobs]:
+            report_sink.extend(
+                {"kind": "fail", "job": job}
+                for _ in range(plan.failures.get(job, 0))
+            )
+            if job in plan.stragglers:
+                report_sink.append({"kind": "straggler_timeout", "job": job})
+            if job in plan.exhausted:
+                report_sink.append({"kind": "retry_exhausted", "job": job})
+                blocked.add(job)
+            else:
+                done_sink.append({"kind": "complete", "job": job})
+                executed.add(job)
+        if split_ticks:
+            for tick in (reports, completes):
+                if tick:
+                    seq += 1
+                    yield (seq, tick)
+        else:
+            seq += 1
+            yield (seq, events)

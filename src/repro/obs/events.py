@@ -27,6 +27,11 @@ Record kinds and their required fields:
     One per checkpoint action: ``event`` (``"record"`` or ``"restore"``),
     ``path`` (the checkpoint file) and ``done`` (completed work units
     recorded/restored).
+``advance``
+    One per live-session event batch (:mod:`repro.live`): ``session``,
+    ``seq``, ``applied`` (events in the batch), ``recompute``
+    (``"incremental"``, ``"full"`` or ``"skipped"``) and ``seconds``
+    (advance latency).
 
 Unknown extra fields are always allowed (forward compatibility); unknown
 *kinds* and missing required fields are rejected by :func:`validate_record`
@@ -71,6 +76,13 @@ _REQUIRED_FIELDS: dict[str, tuple[tuple[str, type], ...]] = {
     "cell": (("workload", str), ("mu_bit", Number), ("mu_bs", Number)),
     "stage": (("stage", str), ("seconds", Number)),
     "checkpoint": (("event", str), ("path", str), ("done", int)),
+    "advance": (
+        ("session", str),
+        ("seq", int),
+        ("applied", int),
+        ("recompute", str),
+        ("seconds", Number),
+    ),
 }
 
 

@@ -84,6 +84,12 @@ def simulate_fast(
         )
     if len(policy):
         raise ValueError("policy must be freshly constructed (empty)")
+    if params.straggler_prob > 0.0:
+        raise ValueError(
+            "fast kernel does not support straggler injection "
+            "(straggler_prob > 0); call repro.sim.engine.simulate for "
+            "the reference path"
+        )
 
     setup_started = time.perf_counter() if metrics is not None else 0.0
 
@@ -351,6 +357,9 @@ def simulate_fast(
         metrics.counter("engine.stalled_batches").inc(stalled)
         metrics.counter("engine.requests").inc(requests)
         metrics.counter("engine.failures").inc(n_failures)
+        # The kernel refuses straggler mode, so the count is always 0 —
+        # emitted anyway to keep the counter set identical to the engine's.
+        metrics.counter("engine.stragglers").inc(0)
         metrics.counter("engine.wasted_workers").inc(wasted)
         metrics.gauge("engine.peak_heap").set(peak_heap)
         metrics.gauge("engine.peak_eligible").set(peak_eligible)

@@ -117,6 +117,7 @@ def batch_supported(kind: str, params) -> bool:
     return (
         kind in _POLICY_KINDS
         and params.failure_prob == 0.0
+        and params.straggler_prob == 0.0
         and not params.rollover
     )
 
@@ -132,6 +133,10 @@ def dispatch_batch(compiled, build_policy, params, runtime_scale, seed_seqs):
     """
     kind = getattr(build_policy, "kind", None)
     if kind not in _POLICY_KINDS:
+        return None
+    if params.straggler_prob > 0.0:
+        # No kernel (batched or per-replication) implements straggler
+        # injection; the whole batch must take the reference loop.
         return None
     if not _kernel_default():
         return None
@@ -169,6 +174,11 @@ def simulate_batch(
         raise ValueError(
             f"batch kernel does not support policy kind {kind!r}; "
             f"choose from {_POLICY_KINDS}"
+        )
+    if params.straggler_prob > 0.0:
+        raise ValueError(
+            "batch kernel does not support straggler injection "
+            "(straggler_prob > 0); use the reference engine"
         )
     compiled = dag if isinstance(dag, CompiledDag) else CompiledDag.from_dag(dag)
     rngs = list(rngs)

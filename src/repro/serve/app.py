@@ -19,6 +19,11 @@ Endpoints:
 * ``POST /simulate`` — dag + params + seed → one
   :class:`~repro.sim.engine.SimResult`, or (``replications > 1``) a
   metric-vector summary via the parallel executor;
+* ``POST /session`` / ``POST /advance`` / ``GET /session/{id}`` — live
+  rescheduling sessions (:mod:`repro.live`): create a stateful session
+  over a dag, feed it event batches, read its state; sessions are
+  routed by dag identity to one shard and (with ``session_dir``)
+  survive shard respawn via fingerprinted checkpoints;
 * ``GET /healthz`` — liveness (never gated, works under full load);
 * ``GET /metrics`` — registry snapshot, latency percentiles, cache
   counters, in-flight and orphan gauges, per-shard health.
@@ -78,6 +83,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -86,15 +92,18 @@ _REASONS = {
 }
 
 #: Endpoint -> allowed method (routing + 405 Allow headers).
+#: ``GET /session/{id}`` is the one prefix route, handled in _dispatch.
 _ROUTES = {
     "/schedule": "POST",
     "/simulate": "POST",
+    "/session": "POST",
+    "/advance": "POST",
     "/healthz": "GET",
     "/metrics": "GET",
 }
 
 #: Endpoints handled by the dispatcher (gated compute).
-_DISPATCHED = ("/schedule", "/simulate")
+_DISPATCHED = ("/schedule", "/simulate", "/session", "/advance")
 
 #: Headers whose duplication changes message framing; a request carrying
 #: conflicting copies is rejected outright (smuggling defense) instead of
@@ -132,6 +141,10 @@ class PrioService:
     stall:
         Deterministic per-request compute delay in seconds (load
         testing; models a latency-bound backend).
+    session_dir:
+        Directory for durable live-session checkpoints (``/session`` /
+        ``/advance``); ``None`` keeps sessions in memory only, where a
+        shard respawn loses them.
     dispatcher:
         Explicit :class:`~repro.serve.dispatch.Dispatcher` instance,
         overriding ``shards``/``stall`` construction.
@@ -149,6 +162,7 @@ class PrioService:
         sim_jobs: int = 1,
         shards: int = 0,
         stall: float = 0.0,
+        session_dir=None,
         dispatcher: Dispatcher | None = None,
         telemetry=None,
     ):
@@ -170,6 +184,7 @@ class PrioService:
                 metrics=self.metrics,
                 sim_jobs=sim_jobs,
                 stall=stall,
+                session_dir=session_dir,
             )
             if shards > 0:
                 from .shard import ShardedDispatcher
@@ -437,6 +452,8 @@ class PrioService:
 
     async def _dispatch(self, method: str, path: str, body: bytes) -> bytes:
         allowed = _ROUTES.get(path)
+        if allowed is None and path.startswith("/session/"):
+            allowed = "GET"  # GET /session/{id}: session state lookup
         if allowed is None:
             raise errors.not_found(path)
         if method != allowed:

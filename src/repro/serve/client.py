@@ -121,6 +121,22 @@ class ServeClient:
             body["kwargs"] = kwargs
         return self.post_json("/schedule", body)
 
+    def create_session(
+        self, dag: Dag, *, name: str = "default", mode: str | None = None
+    ) -> ServeResponse:
+        body: dict = {"dag": dag_to_json(dag), "name": name}
+        if mode is not None:
+            body["mode"] = mode
+        return self.post_json("/session", body)
+
+    def advance(self, session_id: str, seq: int, events: list) -> ServeResponse:
+        return self.post_json(
+            "/advance", {"session": session_id, "seq": seq, "events": events}
+        )
+
+    def get_session(self, session_id: str) -> ServeResponse:
+        return self.request("GET", f"/session/{session_id}")
+
     def simulate(
         self,
         dag: Dag,
@@ -142,6 +158,8 @@ class ServeClient:
             "batch_size_dist": params.batch_size_dist,
             "failure_prob": params.failure_prob,
             "failure_time_fraction": params.failure_time_fraction,
+            "straggler_prob": params.straggler_prob,
+            "straggler_factor": params.straggler_factor,
             "rollover": params.rollover,
         }
         defaults = SimParams(mu_bit=params.mu_bit, mu_bs=params.mu_bs)

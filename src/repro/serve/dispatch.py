@@ -38,6 +38,8 @@ import concurrent.futures
 import logging
 import time
 
+from ..live.session import SequenceError, SessionError
+from ..live.store import SessionExists, SessionStore
 from ..obs.metrics import MetricsRegistry
 from ..robust.retry import retry_async
 from . import errors, protocol
@@ -56,6 +58,7 @@ def compute_response(
     sim_jobs: int = 1,
     retry=None,
     stall: float = 0.0,
+    sessions: SessionStore | None = None,
 ) -> bytes:
     """Decode, validate, compute and canonically encode one request.
 
@@ -69,7 +72,21 @@ def compute_response(
     ``stall`` injects a deterministic per-request delay before the
     computation (load testing: it models a latency-bound backend the
     way :mod:`repro.robust.faults` models failing workers).
+
+    ``sessions`` is the :class:`~repro.live.store.SessionStore` backing
+    the live-rescheduling endpoints (``/session``, ``/advance``,
+    ``GET /session/{id}``); the store is long-lived process state — the
+    stateful exception in an otherwise pure request→bytes function.
     """
+    if path.startswith("/session/"):
+        # GET: the session id rides in the path, not the body.
+        if sessions is None:
+            raise errors.internal("session store not configured")
+        session_id = path[len("/session/"):]
+        summary = sessions.summary(session_id)
+        if summary is None:
+            raise errors.unknown_session(session_id)
+        return protocol.encode(protocol.session_payload(summary))
     request = protocol.decode_body(body)
     if stall > 0.0:
         time.sleep(stall)
@@ -83,6 +100,32 @@ def compute_response(
             raise errors.invalid_request(
                 f"schedule computation rejected the request: {exc}"
             ) from None
+    elif path == "/session":
+        if sessions is None:
+            raise errors.internal("session store not configured")
+        dag_payload, name, mode = protocol.parse_session_request(request)
+        try:
+            session = sessions.create(dag_payload, name=name, mode=mode)
+        except SessionExists as exc:
+            raise errors.conflict(str(exc)) from None
+        except SessionError as exc:
+            raise errors.invalid_request(str(exc)) from None
+        except ValueError as exc:
+            raise errors.invalid_dag(str(exc)) from None
+        payload = protocol.session_payload(session.state_summary())
+    elif path == "/advance":
+        if sessions is None:
+            raise errors.internal("session store not configured")
+        session_id, seq, events = protocol.parse_advance_request(request)
+        try:
+            delta = sessions.advance(session_id, events, seq=seq)
+        except KeyError:
+            raise errors.unknown_session(session_id) from None
+        except SequenceError as exc:
+            raise errors.conflict(str(exc)) from None
+        except SessionError as exc:
+            raise errors.invalid_request(str(exc)) from None
+        payload = protocol.advance_payload(delta)
     elif path == "/simulate":
         sim = protocol.parse_simulate_request(request)
         try:
@@ -132,6 +175,7 @@ class Dispatcher:
         metrics: MetricsRegistry | None = None,
         sim_jobs: int = 1,
         stall: float = 0.0,
+        session_dir=None,
     ):
         if sim_jobs < 1:
             raise ValueError("sim_jobs must be at least 1")
@@ -142,6 +186,9 @@ class Dispatcher:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.sim_jobs = sim_jobs
         self.stall = stall
+        #: directory for durable session checkpoints (None = in-memory
+        #: sessions only; they die with the process/worker).
+        self.session_dir = session_dir
         self.gate = InflightGate(self.limits.max_inflight)
         self._loop: asyncio.AbstractEventLoop | None = None
 
@@ -247,6 +294,9 @@ class LocalDispatcher(Dispatcher):
     def __init__(self, **kwargs):
         super().__init__(**kwargs)
         self._executor: concurrent.futures.ThreadPoolExecutor | None = None
+        self.sessions = SessionStore(
+            directory=self.session_dir, metrics=self.metrics
+        )
 
     async def start(self) -> None:
         await super().start()
@@ -277,6 +327,7 @@ class LocalDispatcher(Dispatcher):
                 sim_jobs=self.sim_jobs,
                 retry=self.limits.retry,
                 stall=self.stall,
+                sessions=self.sessions,
             )
             return asyncio.wrap_future(last)
 

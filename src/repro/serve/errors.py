@@ -18,8 +18,9 @@ code                   status  raised when
 ``invalid_request``    400     JSON but not a valid request shape
 ``invalid_dag``        400     dag payload malformed or cyclic
 ``truncated_body``     400     body shorter than Content-Length
-``not_found``          404     unknown endpoint
+``not_found``          404     unknown endpoint or unknown session
 ``method_not_allowed`` 405     known endpoint, wrong HTTP method
+``conflict``           409     session already exists / stale ``seq``
 ``payload_too_large``  413     Content-Length over the limit
 ``overloaded``         429     in-flight limit saturated
 ``internal``           500     unexpected server-side failure
@@ -37,7 +38,9 @@ __all__ = [
     "invalid_dag",
     "truncated_body",
     "not_found",
+    "unknown_session",
     "method_not_allowed",
+    "conflict",
     "payload_too_large",
     "overloaded",
     "internal",
@@ -54,6 +57,7 @@ ERROR_CODES: dict[str, int] = {
     "truncated_body": 400,
     "not_found": 404,
     "method_not_allowed": 405,
+    "conflict": 409,
     "payload_too_large": 413,
     "overloaded": 429,
     "internal": 500,
@@ -99,12 +103,20 @@ def not_found(path: str) -> ServeError:
     return ServeError("not_found", f"no such endpoint: {path}")
 
 
+def unknown_session(session_id: str) -> ServeError:
+    return ServeError("not_found", f"no such session: {session_id}")
+
+
 def method_not_allowed(method: str, path: str, allowed: str) -> ServeError:
     return ServeError(
         "method_not_allowed",
         f"{method} not allowed on {path} (allowed: {allowed})",
         headers={"Allow": allowed},
     )
+
+
+def conflict(message: str) -> ServeError:
+    return ServeError("conflict", message)
 
 
 def payload_too_large(length: int, limit: int) -> ServeError:

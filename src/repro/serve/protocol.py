@@ -23,6 +23,10 @@ Request shapes (the parsers below validate them and raise
     POST /simulate  {"dag": <repro-dag-v1>, "params": {"mu_bit": 1.0,
                      "mu_bs": 16.0, ...}, "seed": 0,
                      "policy": "prio", "replications": 8}   # tail optional
+    POST /session   {"dag": <repro-dag-v1>, "name": "run1",
+                     "mode": "incremental"}                 # tail optional
+    POST /advance   {"session": "<token>.<name>", "seq": 1,
+                     "events": [{"kind": "complete", "job": 0}, ...]}
 """
 
 from __future__ import annotations
@@ -35,6 +39,8 @@ import numpy as np
 
 from ..dag.graph import Dag
 from ..dag.io_json import dag_from_json, dumps_canonical
+from ..live.session import EventError, validate_events
+from ..live.store import valid_session_name
 from ..perf.cache import ScheduleCache, cached_schedule, schedule_algorithms
 from ..sim.engine import SimParams, make_policy, simulate
 from ..sim.replication import policy_factory, run_replications
@@ -43,19 +49,27 @@ from . import errors
 __all__ = [
     "WIRE_FORMAT",
     "POLICIES",
+    "SESSION_MODES",
     "SimulateRequest",
     "encode",
     "decode_body",
     "parse_schedule_request",
     "parse_simulate_request",
+    "parse_session_request",
+    "parse_advance_request",
     "schedule_payload",
     "simulate_payload",
+    "session_payload",
+    "advance_payload",
 ]
 
 WIRE_FORMAT = "repro-serve-v1"
 
 #: Policies ``POST /simulate`` accepts (mirrors ``prio simulate -a``).
-POLICIES = ("prio", "fifo", "random")
+POLICIES = ("prio", "fifo", "random", "prio-live")
+
+#: Scheduler modes ``POST /session`` accepts.
+SESSION_MODES = ("incremental", "full")
 
 #: ``SimParams`` fields settable over the wire, with their check.
 _PARAM_FIELDS: dict[str, type] = {
@@ -66,6 +80,8 @@ _PARAM_FIELDS: dict[str, type] = {
     "batch_size_dist": str,
     "failure_prob": Real,
     "failure_time_fraction": Real,
+    "straggler_prob": Real,
+    "straggler_factor": Real,
     "rollover": bool,
 }
 
@@ -191,6 +207,67 @@ def parse_simulate_request(payload: dict) -> SimulateRequest:
     return SimulateRequest(dag, params, int(seed), policy, int(replications))
 
 
+def parse_session_request(payload: dict) -> tuple[Any, str, str]:
+    """Validate a ``POST /session`` body into ``(dag_payload, name, mode)``.
+
+    The *raw* dag payload is returned (not the parsed ``Dag``): the
+    session store derives the session token and the checkpoint contents
+    from the exact bytes the client sent, so routing and recovery cannot
+    drift from what was requested.  The payload is still fully validated
+    here — malformed dags answer a structured 400, never a 500.
+    """
+    _parse_dag(payload)  # full validation; raises invalid_dag
+    name = payload.get("name", "default")
+    if not valid_session_name(name):
+        raise errors.invalid_request(
+            "'name' must match [A-Za-z0-9._-]{1,64}"
+        )
+    mode = payload.get("mode", "incremental")
+    if mode not in SESSION_MODES:
+        raise errors.invalid_request(
+            f"unknown session mode {mode!r}; "
+            f"choose from {list(SESSION_MODES)}"
+        )
+    unknown = set(payload) - {"dag", "name", "mode"}
+    if unknown:
+        raise errors.invalid_request(
+            f"unknown request fields: {sorted(unknown)}"
+        )
+    return payload["dag"], name, mode
+
+
+def parse_advance_request(payload: dict) -> tuple[str, int, list]:
+    """Validate a ``POST /advance`` body into ``(session_id, seq, events)``.
+
+    Event *structure* is checked here (strict: exactly ``kind``/``job``
+    fields, known kinds, integer jobs); range and state checks run
+    against the session inside the store and surface as 400s too.
+    """
+    session_id = payload.get("session")
+    if not isinstance(session_id, str) or not session_id:
+        raise errors.invalid_request(
+            "missing required string field 'session'"
+        )
+    seq = payload.get("seq")
+    if isinstance(seq, bool) or not isinstance(seq, Integral):
+        raise errors.invalid_request("'seq' must be an integer")
+    if seq < 1:
+        raise errors.invalid_request("'seq' must be at least 1")
+    if "events" not in payload:
+        raise errors.invalid_request("missing required field 'events'")
+    events = payload["events"]
+    try:
+        validate_events(events)
+    except EventError as exc:
+        raise errors.invalid_request(str(exc)) from None
+    unknown = set(payload) - {"session", "seq", "events"}
+    if unknown:
+        raise errors.invalid_request(
+            f"unknown request fields: {sorted(unknown)}"
+        )
+    return session_id, int(seq), events
+
+
 # ----------------------------------------------------------------------
 # Reference implementations (what the server serves, callable in-process)
 # ----------------------------------------------------------------------
@@ -220,6 +297,25 @@ def schedule_payload(
     }
 
 
+def session_payload(summary: dict) -> dict:
+    """The ``POST /session`` / ``GET /session/{id}`` response payload.
+
+    *summary* is :meth:`~repro.live.session.LiveSession.state_summary` —
+    the session's full observable state, including the remnant
+    fingerprint the byte-identity contract is asserted on.
+    """
+    payload = {"format": WIRE_FORMAT, "kind": "session"}
+    payload.update(summary)
+    return payload
+
+
+def advance_payload(delta: dict) -> dict:
+    """The ``POST /advance`` response payload (the priority delta)."""
+    payload = {"format": WIRE_FORMAT, "kind": "advance"}
+    payload.update(delta)
+    return payload
+
+
 def _result_fields(result) -> dict:
     return {
         "execution_time": float(result.execution_time),
@@ -233,6 +329,7 @@ def _result_fields(result) -> dict:
         ),
         "n_failures": int(result.n_failures),
         "unserved_workers": int(result.unserved_workers),
+        "n_stragglers": int(result.n_stragglers),
         "stalling_probability": float(result.stalling_probability),
         "utilization": float(result.utilization),
     }
@@ -277,13 +374,15 @@ def simulate_payload(
         if policy == "prio":
             sim_policy = make_policy("oblivious", order=order)
         else:
-            sim_policy = make_policy(policy, rng=rng)
+            sim_policy = make_policy(policy, rng=rng, dag=dag)
         compiled = cache.compiled(dag) if cache is not None else dag
         result = simulate(compiled, sim_policy, params, rng, metrics=metrics)
         head["result"] = _result_fields(result)
         return head
     build = policy_factory(
-        "oblivious" if policy == "prio" else policy, order=order
+        "oblivious" if policy == "prio" else policy,
+        order=order,
+        dag=dag if policy == "prio-live" else None,
     )
     arrays = run_replications(
         dag,

@@ -58,7 +58,13 @@ from . import errors
 from .dispatch import Dispatcher, _OrphanedDeadline, compute_response
 from .errors import ServeError
 
-__all__ = ["HashRing", "ShardDied", "ShardedDispatcher", "dag_shard_key"]
+__all__ = [
+    "HashRing",
+    "ShardDied",
+    "ShardedDispatcher",
+    "dag_shard_key",
+    "routing_key",
+]
 
 log = logging.getLogger("repro.serve.shard")
 
@@ -94,6 +100,48 @@ def dag_shard_key(body: bytes) -> bytes:
         ).encode("utf-8")
     except (TypeError, ValueError):
         return body
+
+
+def routing_key(path: str, body: bytes) -> bytes:
+    """The consistent-hash key for one request.
+
+    Session-family requests (``POST /session``, ``POST /advance``,
+    ``GET /session/{id}``) route by the **session token** — the
+    canonical-JSON hash of the dag payload that
+    :func:`~repro.live.store.session_token` computes and that prefixes
+    every session id — so a session's create, every advance, and every
+    read land on the same shard, whose worker holds the live state.
+    Everything else routes by :func:`dag_shard_key`.  A session request
+    whose token cannot be extracted (malformed body, bad id shape)
+    hashes deterministically on what it carried: any shard can produce
+    its structured 400/404.
+    """
+    if path.startswith("/session/"):
+        token = path[len("/session/"):].split(".", 1)[0]
+        return b"session:" + token.encode("utf-8", "replace")
+    if path in ("/session", "/advance"):
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            return body
+        if not isinstance(payload, dict):
+            return body
+        if path == "/session":
+            if "dag" not in payload:
+                return body
+            try:
+                from ..live.store import session_token
+
+                token = session_token(payload["dag"])
+            except (TypeError, ValueError):
+                return body
+        else:
+            session_id = payload.get("session")
+            if not isinstance(session_id, str):
+                return body
+            token = session_id.split(".", 1)[0]
+        return b"session:" + token.encode("utf-8", "replace")
+    return dag_shard_key(body)
 
 
 class HashRing:
@@ -141,12 +189,19 @@ class HashRing:
 # ----------------------------------------------------------------------
 
 
-def _shard_worker_main(conn, index, cache, sim_jobs, retry, stall) -> None:
+def _shard_worker_main(
+    conn, index, cache, sim_jobs, retry, stall, session_dir=None
+) -> None:
     """A shard worker: serially serve framed requests until drained.
 
     Runs in a fresh (spawned) process.  *cache* arrives through
     :class:`~repro.perf.cache.ScheduleCache`'s config-only pickling, so
     this worker's LRU starts empty and warms on its own key subset.
+    *session_dir* backs this worker's
+    :class:`~repro.live.store.SessionStore`: sessions are routed here by
+    token, and because every advance is checkpointed under that
+    directory, a respawned worker recovers each of its sessions from
+    disk with byte-identical state.
     Messages: ``("req", rid, path, body)`` → ``("res", rid, ok,
     payload)``; ``("stats", rid)`` → ``("stats", rid, dict)``;
     ``("drain",)`` ends the loop (every previously sent request has
@@ -154,12 +209,15 @@ def _shard_worker_main(conn, index, cache, sim_jobs, retry, stall) -> None:
     """
     import signal
 
+    from ..live.store import SessionStore
+
     # The frontend owns interactive shutdown; a Ctrl-C aimed at the
     # parent must not kill workers mid-request.
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
+    sessions = SessionStore(directory=session_dir)
     served = 0
     while True:
         try:
@@ -173,6 +231,7 @@ def _shard_worker_main(conn, index, cache, sim_jobs, retry, stall) -> None:
             stats = {
                 "served": served,
                 "cache": cache.stats() if cache is not None else None,
+                "sessions": sessions.stats(),
             }
             try:
                 conn.send(("stats", message[1], stats))
@@ -189,6 +248,7 @@ def _shard_worker_main(conn, index, cache, sim_jobs, retry, stall) -> None:
                 sim_jobs=sim_jobs,
                 retry=retry,
                 stall=stall,
+                sessions=sessions,
             )
         except ServeError as exc:
             reply = ("err", rid, exc.code, exc.message, exc.headers)
@@ -247,6 +307,7 @@ class _ShardHandle:
                 self.dispatcher.sim_jobs,
                 self.dispatcher.limits.retry,
                 self.dispatcher.stall,
+                self.dispatcher.session_dir,
             ),
             name=f"repro-serve-shard-{self.index}",
             daemon=True,
@@ -425,6 +486,7 @@ class ShardedDispatcher(Dispatcher):
         self.handles = [_ShardHandle(i, self) for i in range(shards)]
         self._rid = itertools.count(1)
         self._fallback: concurrent.futures.ThreadPoolExecutor | None = None
+        self._degraded_sessions = None  # lazy SessionStore, degraded path
 
     async def start(self) -> None:
         await super().start()
@@ -481,7 +543,7 @@ class ShardedDispatcher(Dispatcher):
     # -- the compute hook ----------------------------------------------
 
     async def _compute(self, path: str, body: bytes) -> bytes:
-        index = self.ring.lookup(dag_shard_key(body))
+        index = self.ring.lookup(routing_key(path, body))
         handle = self.handles[index]
         self.metrics.counter(f"serve.shard.{index}.requests").inc()
         last: tuple[int, asyncio.Future] | None = None
@@ -534,8 +596,20 @@ class ShardedDispatcher(Dispatcher):
             ) from exc
 
     async def _compute_degraded(self, path: str, body: bytes) -> bytes:
-        """In-process fallback for a shard past its rebuild budget."""
+        """In-process fallback for a shard past its rebuild budget.
+
+        Session requests get a frontend-side store over the same
+        checkpoint directory: with persistence on, the dead shard's
+        sessions are recovered from disk and keep answering (the dead
+        worker cannot race it — it is not running).
+        """
         self.metrics.counter("serve.degraded_requests").inc()
+        if self._degraded_sessions is None:
+            from ..live.store import SessionStore
+
+            self._degraded_sessions = SessionStore(
+                directory=self.session_dir, metrics=self.metrics
+            )
         return await asyncio.wrap_future(
             self._fallback.submit(
                 compute_response,
@@ -545,5 +619,6 @@ class ShardedDispatcher(Dispatcher):
                 sim_jobs=self.sim_jobs,
                 retry=self.limits.retry,
                 stall=self.stall,
+                sessions=self._degraded_sessions,
             )
         )

@@ -28,6 +28,9 @@ conclusions call for them), two extensions are provided:
 * **worker churn** — with probability ``failure_prob`` an assigned worker
   quits partway through (after ``failure_time_fraction`` of the sampled
   runtime); the job returns to the eligible pool and must be reassigned;
+* **straggler injection** — with probability ``straggler_prob`` an
+  assignment runs ``straggler_factor`` times its sampled duration (the
+  worker is slow, not dead: the job still completes);
 * **request rollover** — ``rollover=True`` keeps unserved workers waiting
   at the server instead of losing them; they are served as soon as jobs
   become eligible.
@@ -73,9 +76,12 @@ class SimParams:
     """Knobs of the system model.
 
     ``mu_bit`` — mean batch interarrival time; ``mu_bs`` — mean batch
-    size.  ``failure_prob``/``failure_time_fraction`` and ``rollover``
-    enable the extended grid model; at their defaults the simulator is
-    exactly the paper's.
+    size.  ``failure_prob``/``failure_time_fraction``,
+    ``straggler_prob``/``straggler_factor`` and ``rollover`` enable the
+    extended grid model; at their defaults the simulator is exactly the
+    paper's.  Straggler draws happen only when ``straggler_prob > 0``,
+    so enabling the other extensions consumes the generator identically
+    whether or not this build knows about stragglers.
     """
 
     mu_bit: float
@@ -85,6 +91,8 @@ class SimParams:
     batch_size_dist: str = "geometric"
     failure_prob: float = 0.0
     failure_time_fraction: float = 0.5
+    straggler_prob: float = 0.0
+    straggler_factor: float = 10.0
     rollover: bool = False
 
     def __post_init__(self):
@@ -100,6 +108,10 @@ class SimParams:
             raise ValueError("failure_prob must be in [0, 1)")
         if not 0.0 < self.failure_time_fraction <= 1.0:
             raise ValueError("failure_time_fraction must be in (0, 1]")
+        if not 0.0 <= self.straggler_prob < 1.0:
+            raise ValueError("straggler_prob must be in [0, 1)")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be at least 1")
 
 
 def _empty_result(trace=None, metrics=None, *, kernel: bool = False) -> "SimResult":
@@ -139,6 +151,7 @@ class SimResult:
     requests_until_last_assignment: int
     n_failures: int = 0
     unserved_workers: int = 0
+    n_stragglers: int = 0
 
     @property
     def stalling_probability(self) -> float:
@@ -160,9 +173,11 @@ def make_policy(
     *,
     order=None,
     rng: np.random.Generator | None = None,
+    dag=None,
 ) -> Policy:
     """Fresh policy instance: ``"fifo"``, ``"oblivious"`` (needs *order*),
-    or ``"random"`` (needs *rng*)."""
+    ``"random"`` (needs *rng*), or ``"prio-live"`` (needs *dag*: PRIO
+    re-prioritized over the remnant after every completion)."""
     if kind == "fifo":
         return FifoPolicy()
     if kind == "oblivious":
@@ -173,6 +188,12 @@ def make_policy(
         if rng is None:
             raise ValueError("random policy needs an rng")
         return RandomPolicy(rng)
+    if kind == "prio-live":
+        if dag is None:
+            raise ValueError("prio-live policy needs the dag")
+        from ..live.policy import LivePrioPolicy
+
+        return LivePrioPolicy(dag)
     raise ValueError(f"unknown policy kind: {kind!r}")
 
 
@@ -217,6 +238,15 @@ def simulate(
     # Zero-job dags still dispatch: the kernel's shared `_empty_result`
     # epilogue records the t=0 trace snapshot and the kernel-run counter,
     # so telemetry agrees with a direct `simulate_fast` call.
+    if params.straggler_prob > 0.0:
+        # The fast kernel does not implement straggler injection; the
+        # reference loop is the only engine for that mode.
+        if kernel is True:
+            raise ValueError(
+                "kernel=True but straggler injection "
+                "(straggler_prob > 0) runs only on the reference loop"
+            )
+        use_kernel = False
     if use_kernel and len(policy) == 0:
         from ..perf.kernel import kernel_supported, simulate_fast
 
@@ -248,6 +278,8 @@ def simulate(
         rng, mean=params.runtime_mean, std=params.runtime_std
     )
     failure_prob = params.failure_prob
+    straggler_prob = params.straggler_prob
+    straggler_factor = params.straggler_factor
     rollover = params.rollover
     if runtime_scale is not None:
         runtime_scale = np.asarray(runtime_scale, dtype=np.float64)
@@ -269,6 +301,7 @@ def simulate(
     n_executed = 0
     n_running = 0
     n_failures = 0
+    n_stragglers = 0
     batches = 0
     stalled = 0
     requests = 0
@@ -298,19 +331,27 @@ def simulate(
 
     def assign(t: float, capacity: int) -> int:
         """Hand out up to *capacity* eligible jobs at time *t*."""
-        nonlocal n_assigned, n_running, makespan
+        nonlocal n_assigned, n_running, makespan, n_stragglers
         nonlocal batches_at_last, stalled_at_last, requests_at_last
         take = min(capacity, len(policy))
         if take <= 0:
             return 0
         durations = runtimes.draw(take)
+        # Draw order is part of the random-stream contract: durations,
+        # then failure flags, then straggler flags — each block skipped
+        # entirely when its mode is off.
         if failure_prob > 0.0:
             fails = rng.random(take) < failure_prob
+        if straggler_prob > 0.0:
+            slow = rng.random(take) < straggler_prob
         for i in range(take):
             job = policy.pop()
             duration = float(durations[i])
             if runtime_scale is not None:
                 duration *= float(runtime_scale[job])
+            if straggler_prob > 0.0 and slow[i]:
+                duration *= straggler_factor
+                n_stragglers += 1
             if failure_prob > 0.0 and fails[i]:
                 finish = t + duration * params.failure_time_fraction
                 heappush(completions, (finish, job, True))
@@ -340,6 +381,10 @@ def simulate(
             policy.push(job)
         else:
             n_executed += 1
+            # Completion is observed before the newly eligible children
+            # are pushed, so a reprioritizing policy ranks them against
+            # the post-completion remnant.
+            policy.on_complete(job)
             for v in children[job]:
                 remaining[v] -= 1
                 if remaining[v] == 0:
@@ -405,6 +450,7 @@ def simulate(
         metrics.counter("engine.stalled_batches").inc(stalled)
         metrics.counter("engine.requests").inc(requests)
         metrics.counter("engine.failures").inc(n_failures)
+        metrics.counter("engine.stragglers").inc(n_stragglers)
         metrics.counter("engine.wasted_workers").inc(wasted)
         metrics.gauge("engine.peak_heap").set(peak_heap)
         metrics.gauge("engine.peak_eligible").set(peak_eligible)
@@ -417,4 +463,5 @@ def simulate(
         requests_until_last_assignment=requests_at_last,
         n_failures=n_failures,
         unserved_workers=waiting,
+        n_stragglers=n_stragglers,
     )

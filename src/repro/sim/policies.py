@@ -35,6 +35,16 @@ class Policy:
     def pop(self) -> int:
         raise NotImplementedError
 
+    def on_complete(self, job: int) -> None:
+        """Observe a job completing (before its children are pushed).
+
+        A no-op for the paper's oblivious policies; reprioritizing
+        policies (:class:`repro.live.policy.LivePrioPolicy`) use it to
+        track the executed set.  The fast kernel never calls this hook,
+        which is safe exactly because :func:`repro.perf.kernel.
+        kernel_supported` admits only policies for which it is a no-op.
+        """
+
     def __len__(self) -> int:
         raise NotImplementedError
 

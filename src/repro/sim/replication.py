@@ -127,27 +127,39 @@ class PolicyFactory:
     of the worker-process pool.
     """
 
-    __slots__ = ("kind", "order")
+    __slots__ = ("kind", "order", "dag")
 
-    def __init__(self, kind: str, order: Sequence[int] | None = None):
+    def __init__(
+        self,
+        kind: str,
+        order: Sequence[int] | None = None,
+        dag: Dag | None = None,
+    ):
         self.kind = kind
         self.order = list(order) if order is not None else None
+        #: only for ``"prio-live"``; :class:`~repro.dag.graph.Dag` is
+        #: plain picklable data, so the factory still crosses the
+        #: worker-process boundary.
+        self.dag = dag
 
     def __call__(self, rng: np.random.Generator) -> Policy:
-        return make_policy(self.kind, order=self.order, rng=rng)
+        return make_policy(self.kind, order=self.order, rng=rng, dag=self.dag)
 
     def __getstate__(self):
-        return (self.kind, self.order)
+        return (self.kind, self.order, self.dag)
 
     def __setstate__(self, state):
-        self.kind, self.order = state
+        self.kind, self.order, self.dag = state
 
 
 def policy_factory(
-    kind: str, order: Sequence[int] | None = None
+    kind: str,
+    order: Sequence[int] | None = None,
+    *,
+    dag: Dag | None = None,
 ) -> Callable[[np.random.Generator], Policy]:
     """A factory producing a fresh policy per replication."""
-    return PolicyFactory(kind, order)
+    return PolicyFactory(kind, order, dag)
 
 
 def run_replications(

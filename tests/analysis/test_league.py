@@ -85,3 +85,42 @@ class TestLeague:
         )
         prio_row = next(r for r in rows if r.name == "prio")
         assert prio_row.p_beats_baseline is None
+
+
+class TestLiveEntrants:
+    def test_prio_live_competes_under_failures(self):
+        """The three-way comparison the live subsystem exists for:
+        rescheduling PRIO vs static PRIO vs FIFO under worker churn and
+        stragglers, common random numbers throughout."""
+        dag = airsn(20)
+        entrants = [
+            Entrant("prio-live", "prio-live"),
+            Entrant.from_schedule("prio", prio_schedule(dag).schedule),
+            Entrant("fifo", "fifo"),
+        ]
+        rows = league(
+            dag,
+            entrants,
+            SimParams(mu_bit=1.0, mu_bs=8.0, failure_prob=0.3,
+                      straggler_prob=0.2),
+            n_runs=12,
+            seed=5,
+        )
+        assert {r.name for r in rows} == {"prio-live", "prio", "fifo"}
+        live_row = next(r for r in rows if r.name == "prio-live")
+        fifo_row = next(r for r in rows if r.name == "fifo")
+        assert live_row.mean_execution_time <= fifo_row.mean_execution_time
+
+    def test_prio_live_parallel_matches_serial(self):
+        """The PolicyFactory carries the dag across the process boundary:
+        fanned-out replications are bit-identical to in-process ones."""
+        dag = airsn(12)
+        entrants = [Entrant("prio-live", "prio-live"),
+                    Entrant("fifo", "fifo")]
+        params = SimParams(mu_bit=1.0, mu_bs=4.0, failure_prob=0.2)
+        serial = league(dag, entrants, params, n_runs=8, seed=9, jobs=1)
+        fanned = league(dag, entrants, params, n_runs=8, seed=9, jobs=2)
+        for a, b in zip(serial, fanned):
+            assert a.name == b.name
+            assert a.mean_execution_time == b.mean_execution_time
+            assert a.mean_utilization == b.mean_utilization

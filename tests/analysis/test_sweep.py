@@ -103,3 +103,54 @@ class TestRatioSweep:
             dag, order, cfg, "x", progress=lambda d, t: calls.append((d, t))
         )
         assert calls == [(1, 1)]
+
+
+class TestFailureAndLiveSweeps:
+    def test_failure_params_reach_the_cells(self):
+        dag = airsn(8)
+        order = prio_schedule(dag).schedule
+        base = dict(mu_bits=(1.0,), mu_bss=(4.0,), p=6, q=2, seed=7)
+        clean = ratio_sweep(dag, order, SweepConfig(**base), "x")
+        churned = ratio_sweep(
+            dag, order, SweepConfig(**base, failure_prob=0.4), "x"
+        )
+        r_clean = clean.cells[0].ratios["execution_time"]
+        r_churned = churned.cells[0].ratios["execution_time"]
+        # Same seeds, different model: churn must actually change the
+        # sampled ratios, or the knob never reached the cells.
+        assert r_clean.mean != r_churned.mean
+
+    def test_live_sweep_matches_static_without_failures(self):
+        """With no failures, a PRIO-live session completes jobs in an
+        order whose every remnant re-prioritization is consistent with
+        the static PRIO schedule — the sweep runs and produces finite
+        ratios under common random numbers."""
+        dag = airsn(8)
+        order = prio_schedule(dag).schedule
+        base = dict(mu_bits=(1.0,), mu_bss=(4.0,), p=6, q=2, seed=7)
+        live = ratio_sweep(
+            dag, order, SweepConfig(**base, live=True), "x"
+        )
+        ratio = live.cells[0].ratios["execution_time"]
+        assert np.isfinite(ratio.median) and ratio.median > 0
+
+    def test_live_sweep_with_failures_runs(self):
+        dag = airsn(8)
+        order = prio_schedule(dag).schedule
+        cfg = SweepConfig(
+            mu_bits=(1.0,), mu_bss=(4.0,), p=6, q=2, seed=7,
+            live=True, failure_prob=0.3, straggler_prob=0.2,
+        )
+        result = ratio_sweep(dag, order, cfg, "x")
+        ratio = result.cells[0].ratios["execution_time"]
+        assert np.isfinite(ratio.median) and ratio.median > 0
+
+    def test_live_sweep_rejects_compiled_dag(self):
+        from repro.sim.compile import CompiledDag
+
+        dag = airsn(8)
+        order = prio_schedule(dag).schedule
+        cfg = SweepConfig(mu_bits=(1.0,), mu_bss=(4.0,), p=2, q=1,
+                          live=True)
+        with pytest.raises(TypeError, match="live sweeps"):
+            ratio_sweep(CompiledDag.from_dag(dag), order, cfg, "x")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.fifo import fifo_schedule
 from repro.core.prio import prio_schedule
-from repro.core.rescheduling import reprioritize_remnant
+from repro.core.rescheduling import RemnantError, reprioritize_remnant
 from repro.dag.validate import is_valid_schedule
 from repro.workloads.airsn import airsn
 
@@ -47,6 +47,28 @@ class TestReprioritizeRemnant:
     def test_out_of_range_rejected(self, fig3_dag):
         with pytest.raises(ValueError, match="range"):
             reprioritize_remnant(fig3_dag, [99])
+
+    def test_remnant_error_names_the_violating_ancestor(self, fig3_dag):
+        """Regression: the error used to be a bare ValueError whose only
+        payload was the message — callers (the live-session layer, the
+        serve error mapping) had to parse the text to learn *which* job
+        broke closure.  RemnantError carries both ends of the violated
+        arc as structured fields."""
+        b = fig3_dag.id_of("b")
+        with pytest.raises(RemnantError) as exc_info:
+            reprioritize_remnant(fig3_dag, [b])
+        err = exc_info.value
+        assert isinstance(err, ValueError)  # the historical contract
+        assert err.job == b
+        assert err.ancestor in set(fig3_dag.parents(b))
+        assert fig3_dag.label(err.job) in str(err)
+        assert fig3_dag.label(err.ancestor) in str(err)
+
+    def test_remnant_error_for_out_of_range_has_no_ancestor(self, fig3_dag):
+        with pytest.raises(RemnantError) as exc_info:
+            reprioritize_remnant(fig3_dag, [99])
+        assert exc_info.value.job == 99
+        assert exc_info.value.ancestor is None
 
     def test_all_executed(self, fig3_dag):
         remnant = reprioritize_remnant(fig3_dag, range(5))

@@ -1,0 +1,216 @@
+"""LiveSession semantics: atomic batches, sequence numbers, deltas."""
+
+import pytest
+
+from repro.core.prio import prio_schedule
+from repro.core.rescheduling import reprioritize_remnant
+from repro.live.session import (
+    EVENT_KINDS,
+    EventError,
+    LiveSession,
+    SequenceError,
+    validate_events,
+)
+
+
+def eligible(dag, executed):
+    return [
+        u
+        for u in range(dag.n)
+        if u not in executed
+        and all(p in executed for p in dag.parents(u))
+    ]
+
+
+def test_fresh_session_matches_full_prio(fig3_dag):
+    session = LiveSession(fig3_dag)
+    assert session.seq == 0
+    assert session.priorities == prio_schedule(fig3_dag).priorities
+    assert session.n_pending == fig3_dag.n
+
+
+def test_complete_shrinks_remnant_and_reports_delta(fig3_dag):
+    session = LiveSession(fig3_dag)
+    before = session.priorities
+    job = eligible(fig3_dag, set())[0]
+    delta = session.advance([{"kind": "complete", "job": job}])
+    assert delta["seq"] == 1
+    assert delta["recompute"] == "incremental"
+    assert delta["n_pending"] == fig3_dag.n - 1
+    after = session.priorities
+    # The delta is exactly the changed positions, keyed by *string* job
+    # id (JSON round-trips dict keys to strings; a delta replayed from a
+    # checkpoint must encode byte-identically to the original).
+    assert delta["changed"] == {
+        str(u): after[u]
+        for u in range(fig3_dag.n)
+        if after[u] != before[u]
+    }
+    assert all(isinstance(k, str) for k in delta["changed"])
+    assert after == reprioritize_remnant(fig3_dag, {job}).priorities
+
+
+def test_failure_only_batch_skips_recompute(fig3_dag):
+    session = LiveSession(fig3_dag)
+    recomputes_before = session.scheduler.recomputes
+    delta = session.advance(
+        [
+            {"kind": "fail", "job": 1},
+            {"kind": "straggler_timeout", "job": 2},
+            {"kind": "retry_exhausted", "job": 3},
+        ]
+    )
+    assert delta["recompute"] == "skipped"
+    assert delta["changed"] == {}
+    assert session.scheduler.recomputes == recomputes_before
+    summary = session.state_summary()
+    assert summary["failed"] == [1, 3]
+    assert summary["exhausted"] == [3]
+    assert summary["stragglers"] == [2]
+
+
+def test_completion_clears_straggler_flag(fig3_dag):
+    session = LiveSession(fig3_dag)
+    job = eligible(fig3_dag, set())[0]
+    session.advance([{"kind": "straggler_timeout", "job": job}])
+    assert job in session.stragglers
+    session.advance([{"kind": "complete", "job": job}])
+    assert job not in session.stragglers
+
+
+def test_batch_is_atomic(fig3_dag):
+    """A batch with one bad event changes nothing — not even the events
+    that preceded the bad one."""
+    session = LiveSession(fig3_dag)
+    job = eligible(fig3_dag, set())[0]
+    before = session.priorities
+    with pytest.raises(EventError):
+        session.advance(
+            [
+                {"kind": "complete", "job": job},
+                {"kind": "complete", "job": 999},  # out of range
+            ]
+        )
+    assert session.seq == 0
+    assert session.executed == set()
+    assert session.priorities == before
+
+
+def test_intra_batch_chain_of_completions(fig3_dag):
+    """Completing a parent and then its child in ONE batch is legal: the
+    closure check runs against the batch's scratch state."""
+    session = LiveSession(fig3_dag)
+    first = eligible(fig3_dag, set())
+    parent = next(u for u in first if fig3_dag.children(u))
+    child = next(
+        v
+        for v in fig3_dag.children(parent)
+        if all(p == parent or p in first for p in fig3_dag.parents(v))
+    )
+    others = [p for p in fig3_dag.parents(child) if p != parent]
+    events = [{"kind": "complete", "job": u} for u in others]
+    events += [
+        {"kind": "complete", "job": parent},
+        {"kind": "complete", "job": child},
+    ]
+    delta = session.advance(events)
+    assert delta["applied"] == len(events)
+    assert child in session.executed
+
+
+def test_complete_before_parent_rejected(fig3_dag):
+    session = LiveSession(fig3_dag)
+    sink = next(
+        u for u in range(fig3_dag.n)
+        if fig3_dag.is_sink(u) and fig3_dag.in_degree(u)
+    )
+    with pytest.raises(EventError, match="cannot complete before") as info:
+        session.advance([{"kind": "complete", "job": sink}])
+    assert info.value.kind == "complete"
+    assert info.value.job == sink
+
+
+def test_double_complete_and_events_on_executed_rejected(fig3_dag):
+    session = LiveSession(fig3_dag)
+    job = eligible(fig3_dag, set())[0]
+    session.advance([{"kind": "complete", "job": job}])
+    with pytest.raises(EventError, match="completed twice"):
+        session.advance([{"kind": "complete", "job": job}], seq=2)
+    with pytest.raises(EventError, match="completed job"):
+        session.advance([{"kind": "fail", "job": job}], seq=2)
+
+
+def test_sequence_errors_carry_expected_and_got(fig3_dag):
+    session = LiveSession(fig3_dag)
+    with pytest.raises(SequenceError) as info:
+        session.advance([], seq=7)
+    assert info.value.expected == 1
+    assert info.value.got == 7
+    session.advance([])  # defaulted seq
+    assert session.seq == 1
+
+
+@pytest.mark.parametrize(
+    "events",
+    [
+        "not-a-list",
+        [17],
+        [{"kind": "complete"}],
+        [{"kind": "complete", "job": 0, "extra": 1}],
+        [{"kind": "vanish", "job": 0}],
+        [{"kind": "complete", "job": "zero"}],
+        [{"kind": "complete", "job": True}],
+    ],
+)
+def test_malformed_events_rejected(events):
+    with pytest.raises(EventError):
+        validate_events(events)
+
+
+def test_validate_events_normalizes():
+    events = [{"kind": kind, "job": i} for i, kind in enumerate(EVENT_KINDS)]
+    assert validate_events(events) == [
+        (kind, i) for i, kind in enumerate(EVENT_KINDS)
+    ]
+
+
+def test_replay_rebuilds_state_with_one_recompute(fig3_dag):
+    live = LiveSession(fig3_dag)
+    batches = []
+    for seq in range(1, 4):
+        job = eligible(fig3_dag, live.executed)[0]
+        events = [{"kind": "complete", "job": job}]
+        if seq == 2:
+            events.append({"kind": "fail", "job": eligible(
+                fig3_dag, live.executed | {job})[0]})
+        live.advance(events, seq=seq)
+        batches.append((seq, events))
+
+    twin = LiveSession(fig3_dag)
+    recomputes_at_start = twin.scheduler.recomputes
+    twin.replay(batches)
+    assert twin.scheduler.recomputes == recomputes_at_start + 1
+    assert twin.seq == live.seq
+    assert twin.executed == live.executed
+    assert twin.fail_counts == live.fail_counts
+    assert twin.priorities == live.priorities
+    # Scheduler reuse counters are process-local diagnostics and differ
+    # by construction (replay recomputes once); everything else matches.
+    twin_summary, live_summary = twin.state_summary(), live.state_summary()
+    twin_summary.pop("scheduler")
+    live_summary.pop("scheduler")
+    assert twin_summary == live_summary
+
+
+def test_state_summary_fingerprints(fig3_dag):
+    session = LiveSession(fig3_dag, session_id="abc.run")
+    summary = session.state_summary()
+    assert summary["session_id"] == "abc.run"
+    assert summary["dag_fingerprint"] == fig3_dag.fingerprint()
+    assert summary["remnant_fingerprint"] == fig3_dag.fingerprint()
+    job = eligible(fig3_dag, set())[0]
+    session.advance([{"kind": "complete", "job": job}])
+    after = session.state_summary()
+    assert after["dag_fingerprint"] == fig3_dag.fingerprint()
+    remnant = reprioritize_remnant(fig3_dag, {job}).remnant
+    assert after["remnant_fingerprint"] == remnant.fingerprint()

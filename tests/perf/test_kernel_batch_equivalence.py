@@ -176,6 +176,16 @@ def test_batch_supported_predicate():
     assert not batch_supported(
         "fifo", SimParams(mu_bit=1.0, mu_bs=4.0, rollover=True)
     )
+    assert not batch_supported(
+        "fifo", SimParams(mu_bit=1.0, mu_bs=4.0, straggler_prob=0.1)
+    )
+
+
+def test_batch_refuses_straggler_injection():
+    dag = get_workload("montage-small")
+    params = SimParams(mu_bit=1.0, mu_bs=4.0, straggler_prob=0.1)
+    with pytest.raises(ValueError, match="straggler"):
+        simulate_batch(dag, "fifo", params, [np.random.default_rng(0)])
 
 
 def test_run_replications_dispatches_to_batch(monkeypatch):

@@ -135,23 +135,49 @@ def test_cyclic_dag_returns_invalid_dag(server, client, arcs):
     _assert_recovered(service, client)
 
 
-@pytest.mark.parametrize(
-    "dag_payload",
-    [
-        {"format": "wrong-format", "n": 1, "arcs": []},
-        {"format": "repro-dag-v1", "n": "three", "arcs": []},
-        {"format": "repro-dag-v1", "n": 2, "arcs": [[0]]},
-        {"format": "repro-dag-v1", "n": 2, "arcs": [["a", "b"]]},
-        {"format": "repro-dag-v1", "n": 2, "arcs": [[0, 5]]},
-        {"format": "repro-dag-v1", "n": 2, "arcs": "not-a-list"},
-        {"format": "repro-dag-v1", "n": 2, "arcs": [], "labels": [1, 2]},
-        "not-an-object",
-        42,
-    ],
-)
+#: Every class of malformed dag payload; shared by the /schedule and
+#: /session cases below — both endpoints parse the same way, so both
+#: must answer the same structured 400.
+MALFORMED_DAGS = [
+    {"format": "wrong-format", "n": 1, "arcs": []},
+    {"format": "repro-dag-v1", "n": "three", "arcs": []},
+    {"format": "repro-dag-v1", "n": "3", "arcs": []},      # numeric string
+    {"format": "repro-dag-v1", "n": 2.0, "arcs": []},      # float n
+    {"format": "repro-dag-v1", "n": True, "arcs": []},     # bool n
+    {"format": "repro-dag-v1", "n": 2, "arcs": [[0]]},
+    {"format": "repro-dag-v1", "n": 2, "arcs": [["a", "b"]]},
+    {"format": "repro-dag-v1", "n": 2, "arcs": [[True, 1]]},   # bool id
+    {"format": "repro-dag-v1", "n": 2, "arcs": [[0.0, 1]]},    # float id
+    {"format": "repro-dag-v1", "n": 2, "arcs": [[0, 5]]},
+    {"format": "repro-dag-v1", "n": 2, "arcs": [[1, 1]]},      # self-loop
+    {"format": "repro-dag-v1", "n": 2, "arcs": [[0, 1], [0, 1]]},  # dup arc
+    {"format": "repro-dag-v1", "n": 2, "arcs": [[0, 1], [1, 0]]},  # cycle
+    {"format": "repro-dag-v1", "n": 2, "arcs": "not-a-list"},
+    {"format": "repro-dag-v1", "n": 2, "arcs": [], "labels": [1, 2]},
+    {"format": "repro-dag-v1", "n": 2, "arcs": [],
+     "labels": ["a", "a"]},                                # duplicate ids
+    {"format": "repro-dag-v1", "n": 2, "arcs": [],
+     "labels": ["only-one"]},                              # label count
+    "not-an-object",
+    42,
+]
+
+
+@pytest.mark.parametrize("dag_payload", MALFORMED_DAGS)
 def test_malformed_dag_payloads_return_invalid_dag(client, dag_payload):
     response = client.post_json("/schedule", {"dag": dag_payload})
     assert (response.status, response.error_code) == (400, "invalid_dag")
+
+
+@pytest.mark.parametrize("dag_payload", MALFORMED_DAGS)
+def test_malformed_session_dags_return_invalid_dag(server, client, dag_payload):
+    """POST /session validates its dag with the same vocabulary — a bad
+    dag in a session request is a structured 400, never a 500, and no
+    session is created for it."""
+    service, _, _ = server
+    response = client.post_json("/session", {"dag": dag_payload})
+    assert (response.status, response.error_code) == (400, "invalid_dag")
+    _assert_recovered(service, client)
 
 
 @PROPERTY

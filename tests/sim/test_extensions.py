@@ -67,6 +67,58 @@ class TestWorkerChurn:
         assert result.requests_until_last_assignment >= result.n_jobs
 
 
+class TestStragglers:
+    def test_stragglers_zero_by_default(self, diamond):
+        assert run(diamond).n_stragglers == 0
+
+    def test_stragglers_counted_and_deterministic(self):
+        a = run(fork_join(12), straggler_prob=0.5, seed=5)
+        b = run(fork_join(12), straggler_prob=0.5, seed=5)
+        assert a == b
+        assert a.n_stragglers > 0
+        assert a.n_jobs == 14
+
+    def test_stragglers_slow_execution(self):
+        d = fork_join(20)
+        clean = np.mean([run(d, seed=s).execution_time for s in range(8)])
+        slowed = np.mean(
+            [
+                run(d, straggler_prob=0.3, straggler_factor=20.0,
+                    seed=s).execution_time
+                for s in range(8)
+            ]
+        )
+        assert slowed > clean
+
+    def test_injection_is_rng_neutral_when_off(self):
+        """straggler_prob=0 must not perturb the draw stream: results
+        with the feature compiled in but disabled are byte-identical to
+        the historical engine (the same contract failure_prob keeps)."""
+        explicit = run(fork_join(10), failure_prob=0.2, seed=4,
+                       straggler_prob=0.0)
+        implicit = run(fork_join(10), failure_prob=0.2, seed=4)
+        assert explicit == implicit
+
+    def test_composes_with_churn(self):
+        result = run(
+            chain(8), failure_prob=0.4, straggler_prob=0.4, seed=6
+        )
+        assert result.n_failures > 0
+        assert result.n_stragglers > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="straggler_prob"):
+            SimParams(mu_bit=1.0, mu_bs=1.0, straggler_prob=1.0)
+        with pytest.raises(ValueError, match="straggler_factor"):
+            SimParams(mu_bit=1.0, mu_bs=1.0, straggler_factor=0.5)
+
+    def test_kernel_refuses_straggler_injection(self, diamond):
+        rng = np.random.default_rng(0)
+        params = SimParams(mu_bit=1.0, mu_bs=4.0, straggler_prob=0.3)
+        with pytest.raises(ValueError, match="straggler"):
+            simulate(diamond, make_policy("fifo"), params, rng, kernel=True)
+
+
 class TestRollover:
     def test_rollover_never_slower(self):
         # Waiting workers can only help relative to losing them.

@@ -219,6 +219,94 @@ class TestRunCommand:
         assert "JOB one touch.sub DONE" in rescue.read_text()
 
 
+class TestAdvanceCommand:
+    """`prio advance`: event files against a checkpointed live session."""
+
+    def _events(self, tmp_path, name, events):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(events))
+        return path
+
+    def _oracle(self, fig3_file, executed_labels):
+        from repro.core.rescheduling import reprioritize_remnant
+        from repro.dagman.parser import parse_dagman_file
+
+        dag = parse_dagman_file(str(fig3_file)).to_dag()
+        labels = {dag.label(u): u for u in range(dag.n)}
+        executed = {labels[name] for name in executed_labels}
+        priorities = reprioritize_remnant(dag, executed).priorities
+        return [
+            f'VARS {dag.label(u)} jobpriority="{priorities[u]}"'
+            for u in sorted(range(dag.n), key=lambda u: -priorities[u])
+            if priorities[u] > 0
+        ]
+
+    def test_creates_session_and_emits_rescue_vars(
+        self, fig3_file, tmp_path, capsys
+    ):
+        events = self._events(
+            tmp_path, "batch1.json", [{"kind": "complete", "label": "c"}]
+        )
+        code = main([
+            "advance", str(events),
+            "--session-dir", str(tmp_path / "sessions"),
+            "--dag", str(fig3_file), "--name", "run1",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "created session" in captured.err
+        assert "1 events applied" in captured.err
+        assert captured.out.splitlines() == self._oracle(fig3_file, {"c"})
+
+    def test_session_persists_across_invocations(
+        self, fig3_file, tmp_path, capsys
+    ):
+        sessions = str(tmp_path / "sessions")
+        batch1 = self._events(
+            tmp_path, "batch1.json", [{"kind": "complete", "label": "c"}]
+        )
+        batch2 = self._events(
+            tmp_path, "batch2.json",
+            [{"kind": "fail", "label": "a"},
+             {"kind": "complete", "label": "a"}],
+        )
+        args = ["--session-dir", sessions, "--dag", str(fig3_file)]
+        assert main(["advance", str(batch1)] + args) == 0
+        capsys.readouterr()
+        # Second invocation is a fresh process in spirit: the session is
+        # recovered from the checkpoint, seq defaults to the next batch.
+        assert main(["advance", str(batch2)] + args) == 0
+        captured = capsys.readouterr()
+        assert "created session" not in captured.err
+        assert "seq 2" in captured.err
+        assert captured.out.splitlines() == self._oracle(
+            fig3_file, {"c", "a"}
+        )
+
+    def test_needs_session_or_dag(self, tmp_path, capsys):
+        events = self._events(tmp_path, "batch.json", [])
+        code = main([
+            "advance", str(events), "--session-dir", str(tmp_path / "s"),
+        ])
+        assert code == 2
+        assert "need --session or --dag" in capsys.readouterr().err
+
+    def test_illegal_event_exits_2(self, fig3_file, tmp_path, capsys):
+        events = self._events(
+            tmp_path, "bad.json", [{"kind": "complete", "label": "b"}]
+        )
+        code = main([
+            "advance", str(events),
+            "--session-dir", str(tmp_path / "sessions"),
+            "--dag", str(fig3_file),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: job b cannot complete before its parent a" in err
+
+
 class TestProfileCommand:
     def test_prints_stage_breakdown(self, capsys):
         assert main(["profile", "--workload", "airsn-small", "--runs", "2"]) == 0
