@@ -55,7 +55,15 @@ from .dagman import (
     parse_dagman_text,
     run_workflow,
 )
-from .sim import ExecutionTrace, SimParams, make_policy, simulate
+from .sim import (
+    ExecutionTrace,
+    SimParams,
+    UnknownPolicyError,
+    cli_policy_names,
+    make_policy,
+    policy_names,
+    simulate,
+)
 from .theory import (
     eligibility_profile,
     fig2_catalog,
@@ -76,8 +84,10 @@ __all__ = [
     "SimParams",
     "SweepConfig",
     "TelemetryRecorder",
+    "UnknownPolicyError",
     "__version__",
     "airsn",
+    "cli_policy_names",
     "dag_shape",
     "eligibility_curves",
     "eligibility_profile",
@@ -89,6 +99,7 @@ __all__ = [
     "is_ic_optimal",
     "lint_dagman",
     "make_policy",
+    "policy_names",
     "max_eligibility",
     "measure_overhead",
     "montage",

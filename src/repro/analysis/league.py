@@ -3,26 +3,46 @@ point, common random numbers.
 
 The paper compares two algorithms; the library has more (PRIO, FIFO,
 RANDOM, topological-combine PRIO, catalog-less PRIO, exact-bipartite
-PRIO...).  A league run measures them side by side under identical worker
-arrivals and reports means with paired-difference significance against a
-chosen baseline (the sign test of :mod:`repro.stats.tests`).
+PRIO, upward-rank, DAGPS...).  A league run measures them side by side
+under identical worker arrivals and reports means with paired-difference
+significance against a chosen baseline (the sign test of
+:mod:`repro.stats.tests`).
+
+:func:`grand_league` scales the comparison into a tournament: every
+requested policy × every dag in a workload map — the paper's registry
+workloads *and* the arena-built synthetic families of
+:mod:`repro.workloads.synthetic` at 10^5+ jobs — with per-replication
+common-random-number contests aggregated into win rates and the one-time
+scheduling cost (order computation) reported separately from simulation
+time, mirroring the paper's amortization argument.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from collections.abc import Sequence
+import time
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
 from ..dag.graph import Dag
 from ..sim.compile import CompiledDag
 from ..sim.engine import SimParams
+from ..sim.policies import policy_spec
 from ..sim.replication import MetricArrays, policy_factory, run_replications
 from ..stats.tests import sign_test
 from ._ckpt import CollectingLogger, result_from_row, result_to_row
 
-__all__ = ["Entrant", "LeagueRow", "league", "render_league"]
+__all__ = [
+    "Entrant",
+    "LeagueRow",
+    "league",
+    "render_league",
+    "GrandCell",
+    "GrandLeagueResult",
+    "grand_league",
+    "render_grand_league",
+]
 
 
 @dataclass(frozen=True)
@@ -196,6 +216,203 @@ def league(
         )
     rows.sort(key=lambda r: r.mean_execution_time)
     return rows
+
+
+@dataclass(frozen=True)
+class GrandCell:
+    """One (workload, policy) cell of a grand tournament."""
+
+    workload: str
+    n_jobs: int
+    policy: str
+    mean_execution_time: float
+    mean_utilization: float
+    mean_stalling: float
+    #: Fraction of this workload's replications this policy won under
+    #: common random numbers (strict minimum execution time; exact ties
+    #: split the win equally among the tied policies), in [0, 1].
+    win_rate: float
+    #: One-time scheduling cost: wall-clock seconds to derive the
+    #: policy's order/factory for this dag (the cost the paper amortizes
+    #: over the whole computation).  ~0 for order-free policies.
+    order_seconds: float
+    #: Wall-clock seconds for the whole replication batch.
+    sim_seconds: float
+
+
+@dataclass(frozen=True)
+class GrandLeagueResult:
+    """All cells of a grand tournament, plus the cells that could not run."""
+
+    cells: tuple[GrandCell, ...]
+    n_runs: int
+    seed: int
+    #: ``(workload, policy)`` pairs skipped because the policy cannot run
+    #: on that dag form (``prio``/``prio-live`` need the object
+    #: :class:`~repro.dag.graph.Dag`; arena-built synthetic dags only
+    #: exist as :class:`~repro.sim.compile.CompiledDag`).
+    skipped: tuple[tuple[str, str], ...] = field(default=())
+
+    def policies(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for c in self.cells:
+            seen.setdefault(c.policy)
+        return tuple(seen)
+
+    def workloads(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for c in self.cells:
+            seen.setdefault(c.workload)
+        return tuple(seen)
+
+    def win_rates(self) -> dict[str, float]:
+        """Mean win rate per policy across the workloads it competed in."""
+        totals: dict[str, list[float]] = {}
+        for c in self.cells:
+            totals.setdefault(c.policy, []).append(c.win_rate)
+        return {p: float(np.mean(v)) for p, v in totals.items()}
+
+
+def _grand_factory(kind: str, dag, cache):
+    """A policy factory for *kind* over *dag*, or ``None`` if impossible.
+
+    ``prio`` and ``prio-live`` consume the object dag (the PRIO pipeline
+    walks labels and components), so they sit out workloads that only
+    exist in compiled (arena) form.  Static orders resolve through
+    *cache* when one is given, so tournament rounds over the same
+    structure share them.
+    """
+    spec = policy_spec(kind)
+    if isinstance(dag, CompiledDag) and kind in ("prio", "prio-live"):
+        return None
+    if spec.static_order is not None:
+        if cache is not None and isinstance(dag, Dag):
+            return policy_factory(kind, order=cache.schedule(dag, kind))
+        return policy_factory(kind, dag=dag)
+    if kind == "prio-live":
+        return policy_factory(kind, dag=dag)
+    return policy_factory(kind)
+
+
+def grand_league(
+    workloads: Mapping[str, Dag | CompiledDag],
+    policies: Sequence[str],
+    params: SimParams,
+    *,
+    n_runs: int = 16,
+    seed: int = 0,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+) -> GrandLeagueResult:
+    """Race *policies* across every dag in *workloads*.
+
+    Within one workload every policy replays the same *n_runs* seed
+    streams (common random numbers — identical worker arrivals), so each
+    replication is a matched contest: the policy with the strictly
+    smallest execution time takes the win, exact ties split it.  Cells
+    report per-policy means, win rates, the one-time scheduling cost and
+    the simulation wall clock; static-permutation policies ride the
+    batched kernel automatically, which is what makes 10^5-job dags
+    tractable inside a tournament loop.
+
+    *workloads* maps display names to dags — object dags
+    (:class:`~repro.dag.graph.Dag`) or arena-built compiled dags
+    (:class:`~repro.sim.compile.CompiledDag`); ``prio``/``prio-live``
+    sit out compiled-only workloads (recorded in ``skipped``).
+    *progress*, when given, is called with ``(done_cells, total_cells)``.
+    *cache* (a :class:`~repro.perf.cache.ScheduleCache`) memoizes orders
+    and compiled dags across rounds.
+    """
+    policies = list(policies)
+    if not policies:
+        raise ValueError("need at least one policy")
+    if len(set(policies)) != len(policies):
+        raise ValueError("policy names must be unique")
+    for kind in policies:
+        policy_spec(kind)  # raises UnknownPolicyError early, pre-run
+    total = len(workloads) * len(policies)
+    done = 0
+    cells: list[GrandCell] = []
+    skipped: list[tuple[str, str]] = []
+    for wname, dag in workloads.items():
+        if cache is not None:
+            compiled = cache.compiled(dag)
+        elif isinstance(dag, CompiledDag):
+            compiled = dag
+        else:
+            compiled = CompiledDag.from_dag(dag)
+        times: dict[str, np.ndarray] = {}
+        stats: dict[str, tuple[MetricArrays, float, float]] = {}
+        for kind in policies:
+            t0 = time.perf_counter()
+            factory = _grand_factory(kind, dag, cache)
+            order_seconds = time.perf_counter() - t0
+            done += 1
+            if factory is None:
+                skipped.append((wname, kind))
+                if progress is not None:
+                    progress(done, total)
+                continue
+            t0 = time.perf_counter()
+            m = run_replications(
+                compiled, factory, params, n_runs, seed=seed, jobs=jobs
+            )
+            sim_seconds = time.perf_counter() - t0
+            times[kind] = m.execution_time
+            stats[kind] = (m, order_seconds, sim_seconds)
+            if progress is not None:
+                progress(done, total)
+        if not times:
+            continue
+        # Matched contests: stack the competitors' execution times and
+        # split each replication's win among the policies attaining the
+        # minimum.
+        matrix = np.stack([times[k] for k in times])
+        wins = matrix == matrix.min(axis=0, keepdims=True)
+        share = wins / wins.sum(axis=0, keepdims=True)
+        for row, kind in enumerate(times):
+            m, order_seconds, sim_seconds = stats[kind]
+            cells.append(
+                GrandCell(
+                    workload=wname,
+                    n_jobs=compiled.n,
+                    policy=kind,
+                    mean_execution_time=float(m.execution_time.mean()),
+                    mean_utilization=float(m.utilization.mean()),
+                    mean_stalling=float(m.stalling_probability.mean()),
+                    win_rate=float(share[row].mean()),
+                    order_seconds=order_seconds,
+                    sim_seconds=sim_seconds,
+                )
+            )
+    return GrandLeagueResult(
+        cells=tuple(cells),
+        n_runs=n_runs,
+        seed=seed,
+        skipped=tuple(skipped),
+    )
+
+
+def render_grand_league(result: GrandLeagueResult) -> str:
+    """Text table: one block per workload, best execution time first."""
+    lines = [
+        f"{'workload':<24s} {'policy':<14s} {'jobs':>8s} {'exec time':>10s} "
+        f"{'win rate':>9s} {'order s':>8s} {'sim s':>7s}"
+    ]
+    for wname in result.workloads():
+        block = [c for c in result.cells if c.workload == wname]
+        block.sort(key=lambda c: c.mean_execution_time)
+        for c in block:
+            lines.append(
+                f"{c.workload:<24s} {c.policy:<14s} {c.n_jobs:>8d} "
+                f"{c.mean_execution_time:>10.2f} {c.win_rate:>9.3f} "
+                f"{c.order_seconds:>8.3f} {c.sim_seconds:>7.2f}"
+            )
+    if result.skipped:
+        pairs = ", ".join(f"{w}:{p}" for w, p in result.skipped)
+        lines.append(f"skipped (needs object dag): {pairs}")
+    return "\n".join(lines)
 
 
 def render_league(rows: list[LeagueRow]) -> str:

@@ -50,9 +50,14 @@ def _format_mu(value: float) -> str:
 
 def render_sweep(result: SweepResult) -> str:
     """Figure-style rendering: one section per mu_BIT, one row per mu_BS."""
+    config = result.config
+    if getattr(config, "live", False):
+        numerator = "PRIO-LIVE"
+    else:
+        numerator = getattr(config, "policy", "prio").upper()
     lines = [
-        f"PRIO/FIFO performance ratios for {result.workload} "
-        f"(p={result.config.p}, q={result.config.q}, 95% CI)",
+        f"{numerator}/FIFO performance ratios for {result.workload} "
+        f"(p={config.p}, q={config.q}, 95% CI)",
     ]
     header = (
         f"{'mu_BS':>8s} | "

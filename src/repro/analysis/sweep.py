@@ -36,6 +36,7 @@ from ..sim.parallel import (
     resolve_parallel,
     run_chunk,
 )
+from ..sim.policies import policy_spec
 from ..sim.replication import MetricArrays, policy_factory, run_replications
 from ..stats.ratio import RatioStatistics, ratio_statistics
 from ..stats.sampling import sampling_distribution_from_values
@@ -94,6 +95,14 @@ class SweepConfig:
     #: PRIO-with-rescheduling / FIFO, so static-vs-live is two sweeps
     #: over identical seed streams.
     live: bool = False
+    #: The numerator policy (any registered kind from
+    #: :func:`repro.sim.policies.policy_names`): the ratio becomes
+    #: policy / FIFO.  ``"prio"`` (the default) keeps the paper's sweep;
+    #: static-permutation kinds (``upward-rank``, ``dagps``) derive their
+    #: order from the dag, other kinds ignore ``prio_order`` entirely.
+    #: Mutually exclusive with ``live`` (which pins PRIO-with-
+    #: rescheduling as the numerator).
+    policy: str = "prio"
     #: Common random numbers: give PRIO and FIFO identical seed streams
     #: (identical batch arrivals) and compare *matched* samples x_i / y_i
     #: instead of the paper's all-pairs x_i / y_j (all-pairs would destroy
@@ -427,7 +436,13 @@ def ratio_sweep(
     with or without it.
     """
     par = resolve_parallel(jobs, parallel)
-    if config.live and isinstance(dag, CompiledDag):
+    if config.live and config.policy != "prio":
+        raise ValueError(
+            "live sweeps pin PRIO-with-rescheduling as the numerator; "
+            "drop live or keep the default policy"
+        )
+    live = config.live or config.policy == "prio-live"
+    if live and isinstance(dag, CompiledDag):
         raise TypeError(
             "live sweeps need the Dag itself (the rescheduler reuses "
             "its structure), not a CompiledDag"
@@ -436,10 +451,16 @@ def ratio_sweep(
         cache.compiled(dag) if cache is not None else CompiledDag.from_dag(dag)
     )
     count = config.p * config.q
-    if config.live:
+    if live:
         prio_factory = policy_factory("prio-live", dag=dag)
-    else:
+    elif config.policy == "prio":
         prio_factory = policy_factory("oblivious", order=list(prio_order))
+    elif policy_spec(config.policy).static_order is not None:
+        # upward-rank / dagps: the order comes from the dag, not from the
+        # caller's PRIO schedule.
+        prio_factory = policy_factory(config.policy, dag=dag)
+    else:
+        prio_factory = policy_factory(config.policy)
     fifo_factory = policy_factory("fifo")
     specs = _cell_specs(config)
     total = len(specs)

@@ -62,6 +62,7 @@ from .core.tool import prioritize_dagman_file
 from .dag.graph import Dag
 from .dagman.parser import parse_dagman_file
 from .sim.engine import SimParams, make_policy, simulate
+from .sim.policies import cli_policy_names, policy_spec
 from .workloads.registry import get_workload, workload_names
 
 __all__ = ["main"]
@@ -476,9 +477,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         straggler_factor=args.straggler_factor,
     )
     rng = np.random.default_rng(args.seed)
-    if args.algorithm == "prio":
-        order = cached_schedule(dag, "prio", cache=_schedule_cache(args))
-        policy = make_policy("oblivious", order=order)
+    if policy_spec(args.algorithm).static_order is not None:
+        # Static-permutation policies (prio, upward-rank, dagps) resolve
+        # their order through the schedule cache — policy name == cache
+        # algorithm name.
+        order = cached_schedule(
+            dag, args.algorithm, cache=_schedule_cache(args)
+        )
+        policy = make_policy(args.algorithm, order=order)
     else:
         policy = make_policy(args.algorithm, rng=rng, dag=dag)
     result = simulate(dag, policy, params, rng)
@@ -507,7 +513,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         straggler_prob=args.straggler_prob,
         straggler_factor=args.straggler_factor,
         live=args.live,
+        policy=args.policy,
     )
+    if args.live and args.policy != "prio":
+        raise CliError(
+            "--live pins PRIO-with-rescheduling as the numerator; "
+            "drop --live or --policy"
+        )
     from .perf.cache import cached_schedule
 
     cache = _schedule_cache(args)
@@ -580,6 +592,22 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _league_entrant(kind, dag, cache):
+    """One league entrant for a registered policy kind.
+
+    Static-order kinds race their cached total order (so the schedule is
+    computed once, not once per replication); dynamic kinds race live.
+    """
+    from .analysis.league import Entrant
+    from .perf.cache import cached_schedule
+
+    if policy_spec(kind).static_order is not None:
+        return Entrant.from_schedule(
+            kind, cached_schedule(dag, kind, cache=cache)
+        )
+    return Entrant(kind, kind)
+
+
 def _cmd_league(args: argparse.Namespace) -> int:
     from .analysis.league import Entrant, league, render_league
     from .sim.engine import SimParams
@@ -588,18 +616,37 @@ def _cmd_league(args: argparse.Namespace) -> int:
 
     dag, name = _load_dag(args.dag)
     cache = _schedule_cache(args)
-    entrants = [
-        Entrant.from_schedule(
-            "prio", cached_schedule(dag, "prio", cache=cache)
-        ),
-        Entrant.from_schedule(
-            "prio-topological",
-            cached_schedule(dag, "prio", cache=cache, combine="topological"),
-        ),
-        Entrant("prio-live", "prio-live"),
-        Entrant("random", "random"),
-        Entrant("fifo", "fifo"),
-    ]
+    if args.policy:
+        chosen = list(dict.fromkeys(args.policy))
+        bad = [k for k in chosen if k not in cli_policy_names()]
+        if bad:
+            raise CliError(
+                f"unknown policy {bad[0]!r}; choose from "
+                f"{', '.join(cli_policy_names())}"
+            )
+        entrants = [_league_entrant(k, dag, cache) for k in chosen]
+    else:
+        # Default roster: every CLI-visible registry policy, plus the
+        # prio-topological ablation (a prio variant, not a registry kind).
+        entrants = [
+            _league_entrant(k, dag, cache) for k in cli_policy_names()
+        ]
+        entrants.insert(
+            1,
+            Entrant.from_schedule(
+                "prio-topological",
+                cached_schedule(
+                    dag, "prio", cache=cache, combine="topological"
+                ),
+            ),
+        )
+    # league() defaults its baseline to the *last* entrant; the roster is
+    # now in registry order, so pin the paper's FIFO baseline explicitly
+    # whenever it races (a --policy roster without fifo keeps the
+    # last-entrant default).
+    baseline = (
+        "fifo" if any(e.name == "fifo" for e in entrants) else None
+    )
     from .obs.progress import ProgressMeter
 
     checkpoint = _open_checkpoint(
@@ -638,6 +685,7 @@ def _cmd_league(args: argparse.Namespace) -> int:
                     straggler_prob=args.straggler_prob,
                     straggler_factor=args.straggler_factor,
                 ),
+                baseline=baseline,
                 n_runs=args.runs,
                 seed=args.seed,
                 jobs=args.jobs,
@@ -1134,7 +1182,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "-a",
         "--algorithm",
-        choices=("prio", "fifo", "random", "prio-live"),
+        # Derived from the policy registry: registering a policy in
+        # repro.sim.policies is the only step needed to expose it here.
+        choices=cli_policy_names(),
         default="prio",
     )
     p.add_argument("--mu-bit", type=float, default=1.0)
@@ -1165,6 +1215,15 @@ def build_parser() -> argparse.ArgumentParser:
             "replace the static PRIO side with live rescheduling "
             "(re-prioritize the remnant after every completion); the "
             "ratio becomes live-PRIO / FIFO"
+        ),
+    )
+    p.add_argument(
+        "--policy",
+        choices=cli_policy_names(),
+        default="prio",
+        help=(
+            "numerator policy for the ratio (choices come from the "
+            "policy registry); the ratio becomes policy / FIFO"
         ),
     )
     _add_jobs_argument(p)
@@ -1217,6 +1276,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("league", help="compare all policies side by side")
     _add_dag_argument(p)
+    p.add_argument(
+        "--policy",
+        action="append",
+        metavar="NAME",
+        help=(
+            "restrict the roster to these registry policies (repeatable); "
+            "default races every CLI-visible policy plus prio-topological"
+        ),
+    )
     p.add_argument("--mu-bit", type=float, default=1.0)
     p.add_argument("--mu-bs", type=float, default=16.0)
     p.add_argument("--runs", type=int, default=24)

@@ -70,13 +70,32 @@ def _compute_topological(dag: Dag, **kwargs) -> list[int]:
     return dag.topological_order()
 
 
+def _compute_upward_rank(dag: Dag, **kwargs) -> list[int]:
+    from ..sim.rank import upward_rank_order
+
+    return upward_rank_order(dag, **kwargs)
+
+
+def _compute_dagps(dag: Dag, **kwargs) -> list[int]:
+    from ..sim.rank import dagps_order
+
+    return dagps_order(dag, **kwargs)
+
+
 #: Algorithm name -> ``fn(dag, **kwargs) -> order``.  ``prio`` accepts the
-#: full :func:`repro.core.prio.prio_schedule` knob set (every knob is part
-#: of the cache key, so ablation variants never collide).
+#: full :func:`repro.core.prio.prio_schedule` knob set; ``upward-rank``
+#: and ``dagps`` accept the :mod:`repro.sim.rank` knobs (``weights``,
+#: ``troublesome_quantile``).  Every knob is part of the cache key, so
+#: ablation variants never collide — and because the *algorithm name* is
+#: part of the key too, each policy's identity keys its own entries: the
+#: same dag under ``prio``, ``upward-rank`` and ``dagps`` occupies three
+#: distinct cache slots.
 _ALGORITHMS: dict[str, Callable[..., list[int]]] = {
     "prio": _compute_prio,
     "fifo": _compute_fifo,
     "topological": _compute_topological,
+    "upward-rank": _compute_upward_rank,
+    "dagps": _compute_dagps,
 }
 
 

@@ -42,7 +42,13 @@ import numpy as np
 
 from ..sim.arrivals import BatchArrivals
 from ..sim.compile import CompiledDag
-from ..sim.policies import FifoPolicy, ObliviousPolicy, Policy
+from ..sim.policies import (
+    DagpsPolicy,
+    FifoPolicy,
+    ObliviousPolicy,
+    Policy,
+    UpwardRankPolicy,
+)
 from ..sim.runtime import RuntimeSampler
 
 from ..sim.engine import SimResult, _empty_result
@@ -50,13 +56,32 @@ from ..sim.engine import SimResult, _empty_result
 __all__ = ["kernel_supported", "simulate_fast"]
 
 
-def kernel_supported(policy: Policy) -> bool:
-    """Whether *policy* can be compiled by the fast kernel.
+#: Policy types the kernel can compile.  Exact-type membership on purpose:
+#: an arbitrary subclass may override ``push``/``pop`` semantics, and the
+#: kernel inlines them.  :class:`UpwardRankPolicy` and :class:`DagpsPolicy`
+#: are admitted explicitly because they are pure static permutations —
+#: they customize only ``__init__`` (computing the order) and inherit the
+#: frontier operations verbatim, which the assertion below pins.
+_KERNEL_POLICY_TYPES = (
+    FifoPolicy,
+    ObliviousPolicy,
+    UpwardRankPolicy,
+    DagpsPolicy,
+)
 
-    Exact-type checks on purpose: a subclass may override ``push``/``pop``
-    semantics, and the kernel inlines them.
-    """
-    return type(policy) is FifoPolicy or type(policy) is ObliviousPolicy
+for _cls in (UpwardRankPolicy, DagpsPolicy):
+    for _op in ("push", "pop", "on_complete", "__len__"):
+        assert _op not in _cls.__dict__, (
+            f"{_cls.__name__}.{_op} overridden; the fast kernel inlines "
+            "ObliviousPolicy frontier semantics, so this class must not be "
+            "in _KERNEL_POLICY_TYPES"
+        )
+del _cls, _op
+
+
+def kernel_supported(policy: Policy) -> bool:
+    """Whether *policy* can be compiled by the fast kernel."""
+    return type(policy) in _KERNEL_POLICY_TYPES
 
 
 def simulate_fast(
@@ -128,7 +153,7 @@ def simulate_fast(
     # starts with every source job in ascending id order — exactly the
     # reference engine's initial pushes.
     frontier = compiled.initial_frontier()
-    if type(policy) is ObliviousPolicy:
+    if isinstance(policy, ObliviousPolicy):
         rank = policy._rank
         job_of_rank = policy._job_of_rank
         heap: list[int] = sorted(rank[u] for u in frontier)

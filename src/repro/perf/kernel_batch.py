@@ -65,8 +65,12 @@ module.
 by :func:`repro.sim.replication.run_replications` and
 :func:`repro.sim.parallel.run_chunk`.  It engages only when
 
-* the policy factory advertises ``kind`` in ``("fifo", "oblivious")``
-  (the policies whose construction ignores the replication generator);
+* the policy factory advertises a kernel dispatch class (``batch_kind``,
+  resolved from the policy registry: ``"fifo"``, or ``"oblivious"`` for
+  any static-permutation kind — ``oblivious``, ``prio``, ``upward-rank``,
+  ``dagps``; the policies whose construction ignores the replication
+  generator).  Kinds with no dispatch class (``random``, ``prio-live``)
+  take the documented per-replication reference fallback instead;
 * kernel dispatch is enabled (``REPRO_NO_KERNEL`` unset — the same escape
   hatch as the scalar kernel); and
 * the caller is not collecting telemetry: per-event counters
@@ -92,9 +96,34 @@ from .kernel import simulate_fast
 
 __all__ = ["batch_supported", "dispatch_batch", "simulate_batch"]
 
-#: Policy kinds whose construction ignores the replication generator and
-#: whose pop order the batch kernel can reconstruct exactly.
+#: Kernel dispatch classes the batch loop implements natively: policy
+#: kinds whose construction ignores the replication generator and whose
+#: pop order the batch kernel can reconstruct exactly.  Registered
+#: static-permutation policies (``prio``, ``upward-rank``, ``dagps``)
+#: normalize onto ``"oblivious"`` via their
+#: :attr:`~repro.sim.policies.PolicySpec.batch_kind`.
 _POLICY_KINDS = ("fifo", "oblivious")
+
+
+def _normalize_kind(kind: str | None) -> str | None:
+    """Map a policy kind onto its kernel dispatch class (or ``None``).
+
+    ``"fifo"``/``"oblivious"`` pass through; any other registered kind
+    resolves through its spec's ``batch_kind`` (``None`` for policies the
+    batch kernel cannot compile — random draws, live reprioritization).
+    Unregistered kinds are ``None``.
+    """
+    if kind in _POLICY_KINDS:
+        return kind
+    if kind is None:
+        return None
+    from ..sim.policies import UnknownPolicyError, policy_spec
+
+    try:
+        spec = policy_spec(kind)
+    except UnknownPolicyError:
+        return None
+    return spec.batch_kind if spec.batch_kind in _POLICY_KINDS else None
 
 #: Budget of per-job state cells (R * n) per slab.  A cell of the paper
 #: sweep can ask for tens of thousands of replications of a
@@ -115,7 +144,7 @@ def batch_supported(kind: str, params) -> bool:
     :func:`~repro.perf.kernel.simulate_fast`.
     """
     return (
-        kind in _POLICY_KINDS
+        _normalize_kind(kind) is not None
         and params.failure_prob == 0.0
         and params.straggler_prob == 0.0
         and not params.rollover
@@ -131,7 +160,13 @@ def dispatch_batch(compiled, build_policy, params, runtime_scale, seed_seqs):
     caller must use the per-replication path.  See the module docstring
     for the exact dispatch rules.
     """
-    kind = getattr(build_policy, "kind", None)
+    # Factories advertise their kernel dispatch class via ``batch_kind``
+    # (:class:`repro.sim.replication.PolicyFactory` resolves it from the
+    # policy registry); plain factories without the attribute fall back to
+    # a literal ``kind`` in the native set.
+    kind = getattr(build_policy, "batch_kind", None)
+    if kind is None:
+        kind = getattr(build_policy, "kind", None)
     if kind not in _POLICY_KINDS:
         return None
     if params.straggler_prob > 0.0:
@@ -167,13 +202,16 @@ def simulate_batch(
     Each replication is bit-identical to
     ``simulate(dag, make_policy(kind, order=order), params, rng)`` run
     serially with its own generator (see the module docstring for why).
-    *kind* must be ``"fifo"`` or ``"oblivious"``; *order* is the
+    *kind* must be ``"fifo"``, ``"oblivious"``, or a registered
+    static-permutation kind (``"prio"``, ``"upward-rank"``, ``"dagps"``)
+    — those reduce to the oblivious dispatch class; *order* is the
     oblivious schedule and is validated once for the whole batch.
     """
-    if kind not in _POLICY_KINDS:
+    native = _normalize_kind(kind)
+    if native is None:
         raise ValueError(
             f"batch kernel does not support policy kind {kind!r}; "
-            f"choose from {_POLICY_KINDS}"
+            f"supported kinds reduce to {_POLICY_KINDS}"
         )
     if params.straggler_prob > 0.0:
         raise ValueError(
@@ -186,7 +224,7 @@ def simulate_batch(
     if n == 0:
         return [_empty_result() for _ in rngs]
 
-    if kind == "oblivious":
+    if native == "oblivious":
         # One policy construction validates the order permutation for the
         # whole batch; only its precomputed rank tables are read.
         policy = make_policy(kind, order=order)
@@ -227,7 +265,7 @@ def simulate_batch(
         results.extend(
             _batch_sync(
                 compiled,
-                kind,
+                native,
                 params,
                 rngs[start: start + slab],
                 rank,

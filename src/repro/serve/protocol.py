@@ -43,6 +43,7 @@ from ..live.session import EventError, validate_events
 from ..live.store import valid_session_name
 from ..perf.cache import ScheduleCache, cached_schedule, schedule_algorithms
 from ..sim.engine import SimParams, make_policy, simulate
+from ..sim.policies import cli_policy_names, policy_spec
 from ..sim.replication import policy_factory, run_replications
 from . import errors
 
@@ -65,8 +66,9 @@ __all__ = [
 
 WIRE_FORMAT = "repro-serve-v1"
 
-#: Policies ``POST /simulate`` accepts (mirrors ``prio simulate -a``).
-POLICIES = ("prio", "fifo", "random", "prio-live")
+#: Policies ``POST /simulate`` accepts (mirrors ``prio simulate -a``:
+#: every CLI-visible kind in the policy registry).
+POLICIES = cli_policy_names()
 
 #: Scheduler modes ``POST /session`` accepts.
 SESSION_MODES = ("incremental", "full")
@@ -367,12 +369,14 @@ def simulate_payload(
         "fingerprint": dag.fingerprint(),
     }
     order = None
-    if policy == "prio":
-        order = cached_schedule(dag, "prio", cache=cache)
+    if policy_spec(policy).static_order is not None:
+        # Static-order kinds resolve their total order once, through the
+        # schedule cache — policy identity keys the cache entry.
+        order = cached_schedule(dag, policy, cache=cache)
     if replications == 1:
         rng = np.random.default_rng(seed)
-        if policy == "prio":
-            sim_policy = make_policy("oblivious", order=order)
+        if order is not None:
+            sim_policy = make_policy(policy, order=order)
         else:
             sim_policy = make_policy(policy, rng=rng, dag=dag)
         compiled = cache.compiled(dag) if cache is not None else dag
@@ -380,7 +384,7 @@ def simulate_payload(
         head["result"] = _result_fields(result)
         return head
     build = policy_factory(
-        "oblivious" if policy == "prio" else policy,
+        policy,
         order=order,
         dag=dag if policy == "prio-live" else None,
     )

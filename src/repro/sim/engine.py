@@ -53,7 +53,13 @@ import numpy as np
 from ..dag.graph import Dag
 from .arrivals import BatchArrivals
 from .compile import CompiledDag
-from .policies import FifoPolicy, ObliviousPolicy, Policy, RandomPolicy
+from .policies import (
+    FifoPolicy,
+    ObliviousPolicy,
+    Policy,
+    RandomPolicy,
+    make_policy,
+)
 from .runtime import RuntimeSampler
 
 __all__ = ["SimParams", "SimResult", "simulate", "make_policy"]
@@ -166,35 +172,6 @@ class SimResult:
         if self.requests_until_last_assignment == 0:
             return 0.0
         return self.n_jobs / self.requests_until_last_assignment
-
-
-def make_policy(
-    kind: str,
-    *,
-    order=None,
-    rng: np.random.Generator | None = None,
-    dag=None,
-) -> Policy:
-    """Fresh policy instance: ``"fifo"``, ``"oblivious"`` (needs *order*),
-    ``"random"`` (needs *rng*), or ``"prio-live"`` (needs *dag*: PRIO
-    re-prioritized over the remnant after every completion)."""
-    if kind == "fifo":
-        return FifoPolicy()
-    if kind == "oblivious":
-        if order is None:
-            raise ValueError("oblivious policy needs a job order")
-        return ObliviousPolicy(order)
-    if kind == "random":
-        if rng is None:
-            raise ValueError("random policy needs an rng")
-        return RandomPolicy(rng)
-    if kind == "prio-live":
-        if dag is None:
-            raise ValueError("prio-live policy needs the dag")
-        from ..live.policy import LivePrioPolicy
-
-        return LivePrioPolicy(dag)
-    raise ValueError(f"unknown policy kind: {kind!r}")
 
 
 def simulate(

@@ -1,5 +1,7 @@
 """Scheduling regimens: how the server picks among eligible jobs.
 
+The policy zoo:
+
 * :class:`ObliviousPolicy` — the paper's oblivious algorithm: a fixed total
   order *P* over all jobs; the server always hands out the eligible job
   smallest under *P*.  Instantiated with the PRIO schedule it **is** the
@@ -8,10 +10,25 @@
   newly eligible jobs join the tail.
 * :class:`RandomPolicy` — an extra baseline (not in the paper's headline
   figures): serve a uniformly random eligible job.
+* :class:`UpwardRankPolicy` — HEFT-style weighted upward rank (arXiv
+  1903.01154): serve by decreasing length of the heaviest chain the job
+  heads (see :func:`repro.sim.rank.upward_rank_order`).
+* :class:`DagpsPolicy` — DAGPS/Graphene-style packing order (arXiv
+  1604.07371): troublesome (heaviest-path) jobs first, then their
+  ancestors, descendants, and the rest (see
+  :func:`repro.sim.rank.dagps_order`).
+* ``"prio-live"`` (:class:`repro.live.policy.LivePrioPolicy`) — PRIO
+  recomputed over the remnant dag after every completion.
+
+Every policy is registered in a :class:`PolicySpec` table;
+:func:`make_policy` builds instances by name, :func:`policy_names` /
+:func:`cli_policy_names` enumerate the registry (the CLI and the serving
+tier derive their ``--policy`` choices from it, so registering a policy
+here is the *only* step needed to expose it everywhere).
 
 A policy instance holds the eligible-and-unassigned set for one simulation;
-create a fresh one per run (or use the factory helpers in
-:mod:`repro.sim.engine`).
+create a fresh one per run (or use :func:`repro.sim.replication.
+policy_factory`).
 """
 
 from __future__ import annotations
@@ -19,11 +36,26 @@ from __future__ import annotations
 import heapq
 import operator
 from collections import deque
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Policy", "ObliviousPolicy", "FifoPolicy", "RandomPolicy"]
+__all__ = [
+    "Policy",
+    "ObliviousPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "UpwardRankPolicy",
+    "DagpsPolicy",
+    "PolicySpec",
+    "UnknownPolicyError",
+    "make_policy",
+    "policy_names",
+    "cli_policy_names",
+    "policy_spec",
+    "register_policy",
+]
 
 
 class Policy:
@@ -125,3 +157,279 @@ class RandomPolicy(Policy):
 
     def __len__(self) -> int:
         return len(self._jobs)
+
+
+class UpwardRankPolicy(ObliviousPolicy):
+    """Serve by decreasing weighted upward rank (HEFT-style).
+
+    A static-permutation policy: the order is
+    :func:`repro.sim.rank.upward_rank_order` of the dag (ties broken by
+    ascending job id), computed once at construction and then served
+    exactly like :class:`ObliviousPolicy`.  Because nothing beyond the
+    order differs, the fast kernel and the batched kernel run it
+    bit-identically to the reference engine.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, dag=None, *, order: Sequence[int] | None = None, weights=None):
+        if order is None:
+            if dag is None:
+                raise ValueError(
+                    "upward-rank policy needs the dag (or a precomputed order)"
+                )
+            from .rank import upward_rank_order
+
+            order = upward_rank_order(dag, weights)
+        super().__init__(order)
+
+
+class DagpsPolicy(ObliviousPolicy):
+    """DAGPS-style packing-aware order: troublesome subgraph first.
+
+    A static-permutation policy over :func:`repro.sim.rank.dagps_order`
+    (troublesome set, then ancestors, descendants, rest; decreasing
+    upward rank within each group, ascending job id on ties).  Like
+    :class:`UpwardRankPolicy` it reduces to :class:`ObliviousPolicy`
+    with a precomputed order, so both kernels run it bit-identically.
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        dag=None,
+        *,
+        order: Sequence[int] | None = None,
+        weights=None,
+        troublesome_quantile: float = 0.75,
+    ):
+        if order is None:
+            if dag is None:
+                raise ValueError(
+                    "dagps policy needs the dag (or a precomputed order)"
+                )
+            from .rank import dagps_order
+
+            order = dagps_order(
+                dag, weights, troublesome_quantile=troublesome_quantile
+            )
+        super().__init__(order)
+
+
+# --------------------------------------------------------------------------
+# Policy registry
+
+
+class UnknownPolicyError(ValueError):
+    """An unregistered policy name was requested.
+
+    Subclasses :class:`ValueError` (the historical type raised by
+    :func:`make_policy`); carries the offending ``kind`` and the valid
+    ``choices`` so CLI/serve layers can render them without re-querying
+    the registry.
+    """
+
+    def __init__(self, kind: str, choices: Sequence[str]):
+        self.kind = kind
+        self.choices = tuple(choices)
+        super().__init__(
+            f"unknown policy kind: {kind!r}; choose from {list(self.choices)}"
+        )
+
+
+def _prio_order(dag) -> list[int]:
+    from ..perf.cache import cached_schedule
+
+    return cached_schedule(dag, "prio")
+
+
+def _upward_rank_order(dag) -> list[int]:
+    from .rank import upward_rank_order
+
+    return upward_rank_order(dag)
+
+
+def _dagps_order(dag) -> list[int]:
+    from .rank import dagps_order
+
+    return dagps_order(dag)
+
+
+def _build_fifo(*, order, rng, dag) -> Policy:
+    return FifoPolicy()
+
+
+def _build_oblivious(*, order, rng, dag) -> Policy:
+    if order is None:
+        raise ValueError("oblivious policy needs a job order")
+    return ObliviousPolicy(order)
+
+
+def _build_random(*, order, rng, dag) -> Policy:
+    if rng is None:
+        raise ValueError("random policy needs an rng")
+    return RandomPolicy(rng)
+
+
+def _build_prio(*, order, rng, dag) -> Policy:
+    if order is None:
+        if dag is None:
+            raise ValueError("prio policy needs the dag (or a precomputed order)")
+        order = _prio_order(dag)
+    return ObliviousPolicy(order)
+
+
+def _build_prio_live(*, order, rng, dag) -> Policy:
+    if dag is None:
+        raise ValueError("prio-live policy needs the dag")
+    from ..live.policy import LivePrioPolicy
+
+    return LivePrioPolicy(dag)
+
+
+def _build_upward_rank(*, order, rng, dag) -> Policy:
+    return UpwardRankPolicy(dag, order=order)
+
+
+def _build_dagps(*, order, rng, dag) -> Policy:
+    return DagpsPolicy(dag, order=order)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Registry entry for one policy kind.
+
+    ``build(order=..., rng=..., dag=...)`` constructs a fresh instance
+    (raising :class:`ValueError` when a required ingredient is missing).
+    ``static_order``, when set, derives the policy's full priority
+    permutation from a dag alone — the marker that the policy is
+    *oblivious* in the paper's sense and can be precomputed, cached by
+    :class:`repro.perf.cache.ScheduleCache`, and run by the batched
+    kernel.  ``batch_kind`` names the kernel dispatch class (``"fifo"``,
+    ``"oblivious"``, or ``None`` for policies the kernels cannot compile
+    — those take the documented per-replication reference fallback).
+    ``cli`` controls whether the name is offered as a user-facing
+    ``--policy`` choice (``"oblivious"`` is builder-level: it requires an
+    explicit order, so it stays out of the CLI menus).
+    """
+
+    name: str
+    summary: str
+    build: Callable[..., Policy]
+    cli: bool = True
+    static_order: Callable[..., list[int]] | None = None
+    batch_kind: str | None = None
+
+    def needs_dag_for_order(self) -> bool:
+        """Whether ``static_order`` exists but requires a dag to run."""
+        return self.static_order is not None
+
+
+_REGISTRY: dict[str, PolicySpec] = {}
+
+
+def register_policy(spec: PolicySpec) -> PolicySpec:
+    """Add *spec* to the registry (name must be unused)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"policy {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def policy_names() -> tuple[str, ...]:
+    """Every registered policy kind, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def cli_policy_names() -> tuple[str, ...]:
+    """Registered kinds exposed as user-facing ``--policy`` choices."""
+    return tuple(name for name, spec in _REGISTRY.items() if spec.cli)
+
+
+def policy_spec(kind: str) -> PolicySpec:
+    """The :class:`PolicySpec` for *kind*; :class:`UnknownPolicyError` if
+    unregistered."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise UnknownPolicyError(kind, policy_names()) from None
+
+
+def make_policy(
+    kind: str,
+    *,
+    order=None,
+    rng: np.random.Generator | None = None,
+    dag=None,
+) -> Policy:
+    """Fresh policy instance by registered kind.
+
+    ``"fifo"``, ``"oblivious"`` (needs *order*), ``"random"`` (needs
+    *rng*), ``"prio"`` / ``"upward-rank"`` / ``"dagps"`` (need *dag*
+    unless a precomputed *order* is given), or ``"prio-live"`` (needs
+    *dag*: PRIO re-prioritized over the remnant after every completion).
+    Unknown kinds raise :class:`UnknownPolicyError` listing the valid
+    choices.
+    """
+    return policy_spec(kind).build(order=order, rng=rng, dag=dag)
+
+
+register_policy(
+    PolicySpec(
+        name="prio",
+        summary="the paper's PRIO schedule, served obliviously",
+        build=_build_prio,
+        static_order=_prio_order,
+        batch_kind="oblivious",
+    )
+)
+register_policy(
+    PolicySpec(
+        name="fifo",
+        summary="DAGMan order: first eligible, first served",
+        build=_build_fifo,
+        batch_kind="fifo",
+    )
+)
+register_policy(
+    PolicySpec(
+        name="random",
+        summary="uniformly random eligible job (baseline)",
+        build=_build_random,
+    )
+)
+register_policy(
+    PolicySpec(
+        name="prio-live",
+        summary="PRIO recomputed over the remnant after each completion",
+        build=_build_prio_live,
+    )
+)
+register_policy(
+    PolicySpec(
+        name="upward-rank",
+        summary="HEFT-style weighted upward rank, decreasing",
+        build=_build_upward_rank,
+        static_order=_upward_rank_order,
+        batch_kind="oblivious",
+    )
+)
+register_policy(
+    PolicySpec(
+        name="dagps",
+        summary="DAGPS-style packing: troublesome subgraph first",
+        build=_build_dagps,
+        static_order=_dagps_order,
+        batch_kind="oblivious",
+    )
+)
+register_policy(
+    PolicySpec(
+        name="oblivious",
+        summary="fixed caller-supplied priority order",
+        build=_build_oblivious,
+        cli=False,
+        batch_kind="oblivious",
+    )
+)

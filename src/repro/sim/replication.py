@@ -125,6 +125,15 @@ class PolicyFactory:
     from the same reproducible stream as the rest of its simulation.  A
     plain class (not a closure) so instances survive the pickling boundary
     of the worker-process pool.
+
+    Static-permutation kinds (``prio``, ``upward-rank``, ``dagps`` — any
+    registered spec with a ``static_order``) given a *dag* but no *order*
+    compute their order **eagerly, once per factory**: every replication
+    then shares the precomputed permutation (the paper's amortization
+    argument), worker processes receive the order instead of re-deriving
+    it, and :attr:`batch_kind` can advertise the batched kernel's
+    oblivious dispatch class.  The dag itself is dropped after the order
+    is derived — the permutation fully determines the policy.
     """
 
     __slots__ = ("kind", "order", "dag")
@@ -137,10 +146,40 @@ class PolicyFactory:
     ):
         self.kind = kind
         self.order = list(order) if order is not None else None
-        #: only for ``"prio-live"``; :class:`~repro.dag.graph.Dag` is
-        #: plain picklable data, so the factory still crosses the
-        #: worker-process boundary.
+        if self.order is None and dag is not None:
+            spec = self._spec()
+            if spec is not None and spec.static_order is not None:
+                self.order = list(spec.static_order(dag))
+                dag = None
+        #: only for dag-consuming kinds (``"prio-live"``);
+        #: :class:`~repro.dag.graph.Dag` is plain picklable data, so the
+        #: factory still crosses the worker-process boundary.
         self.dag = dag
+
+    def _spec(self):
+        from .policies import UnknownPolicyError, policy_spec
+
+        try:
+            return policy_spec(self.kind)
+        except UnknownPolicyError:
+            return None
+
+    @property
+    def batch_kind(self) -> str | None:
+        """Kernel dispatch class for the batched kernel (or ``None``).
+
+        ``"fifo"`` for FIFO; ``"oblivious"`` for any static-permutation
+        kind whose order is materialized on this factory; ``None`` when
+        the batched kernel must not engage (random draws, live
+        reprioritization, unregistered kinds, or a static kind whose
+        order could not be precomputed).
+        """
+        spec = self._spec()
+        if spec is None:
+            return None
+        if spec.batch_kind == "oblivious" and self.order is None:
+            return None
+        return spec.batch_kind
 
     def __call__(self, rng: np.random.Generator) -> Policy:
         return make_policy(self.kind, order=self.order, rng=rng, dag=self.dag)
@@ -158,7 +197,10 @@ def policy_factory(
     *,
     dag: Dag | None = None,
 ) -> Callable[[np.random.Generator], Policy]:
-    """A factory producing a fresh policy per replication."""
+    """A factory producing a fresh policy per replication.
+
+    For static-permutation kinds, pass either a precomputed *order* or
+    the *dag* to derive it from (see :class:`PolicyFactory`)."""
     return PolicyFactory(kind, order, dag)
 
 

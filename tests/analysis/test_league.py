@@ -1,12 +1,20 @@
 """Tests for the policy league harness."""
 
+import numpy as np
 import pytest
 
-from repro.analysis.league import Entrant, league, render_league
+from repro.analysis.league import (
+    Entrant,
+    grand_league,
+    league,
+    render_grand_league,
+    render_league,
+)
 from repro.core.fifo import fifo_schedule
 from repro.core.prio import prio_schedule
 from repro.sim.engine import SimParams
 from repro.workloads.airsn import airsn
+from repro.workloads.synthetic import arena_family
 
 
 @pytest.fixture(scope="module")
@@ -111,6 +119,25 @@ class TestLiveEntrants:
         fifo_row = next(r for r in rows if r.name == "fifo")
         assert live_row.mean_execution_time <= fifo_row.mean_execution_time
 
+    def test_registry_policies_compete(self):
+        """The new registered static kinds race through ``league`` via the
+        same ``Entrant.from_schedule`` path as PRIO."""
+        from repro.sim.rank import dagps_order, upward_rank_order
+
+        dag = airsn(15)
+        entrants = [
+            Entrant.from_schedule("prio", prio_schedule(dag).schedule),
+            Entrant.from_schedule("upward-rank", upward_rank_order(dag)),
+            Entrant.from_schedule("dagps", dagps_order(dag)),
+            Entrant("fifo", "fifo"),
+        ]
+        rows = league(
+            dag, entrants, SimParams(mu_bit=1.0, mu_bs=8.0), n_runs=6, seed=2
+        )
+        assert {r.name for r in rows} == {
+            "prio", "upward-rank", "dagps", "fifo"
+        }
+
     def test_prio_live_parallel_matches_serial(self):
         """The PolicyFactory carries the dag across the process boundary:
         fanned-out replications are bit-identical to in-process ones."""
@@ -124,3 +151,92 @@ class TestLiveEntrants:
             assert a.name == b.name
             assert a.mean_execution_time == b.mean_execution_time
             assert a.mean_utilization == b.mean_utilization
+
+
+class TestGrandLeague:
+    @pytest.fixture(scope="class")
+    def result(self):
+        workloads = {
+            "airsn-20": airsn(20),
+            "chain-bundle-64": arena_family("chain-bundle", 64),
+        }
+        return grand_league(
+            workloads,
+            ["prio", "fifo", "upward-rank", "dagps"],
+            SimParams(mu_bit=1.0, mu_bs=8.0),
+            n_runs=8,
+            seed=4,
+        )
+
+    def test_cell_grid_minus_skips(self, result):
+        # prio sits out the compiled-only arena workload.
+        assert len(result.cells) == 2 * 4 - 1
+        assert result.skipped == (("chain-bundle-64", "prio"),)
+        assert result.workloads() == ("airsn-20", "chain-bundle-64")
+        assert set(result.policies()) == {
+            "prio", "fifo", "upward-rank", "dagps"
+        }
+
+    def test_win_rates_sum_to_one_per_workload(self, result):
+        for wname in result.workloads():
+            block = [c for c in result.cells if c.workload == wname]
+            assert sum(c.win_rate for c in block) == pytest.approx(1.0)
+            for c in block:
+                assert 0.0 <= c.win_rate <= 1.0
+
+    def test_cell_metrics_are_sane(self, result):
+        for c in result.cells:
+            assert c.n_jobs > 0
+            assert c.mean_execution_time > 0
+            assert 0 < c.mean_utilization <= 1
+            assert 0 <= c.mean_stalling <= 1
+            assert c.order_seconds >= 0
+            assert c.sim_seconds >= 0
+
+    def test_deterministic_under_fixed_seed(self, result):
+        again = grand_league(
+            {
+                "airsn-20": airsn(20),
+                "chain-bundle-64": arena_family("chain-bundle", 64),
+            },
+            ["prio", "fifo", "upward-rank", "dagps"],
+            SimParams(mu_bit=1.0, mu_bs=8.0),
+            n_runs=8,
+            seed=4,
+        )
+        for a, b in zip(result.cells, again.cells):
+            assert (a.workload, a.policy) == (b.workload, b.policy)
+            assert a.mean_execution_time == b.mean_execution_time
+            assert a.win_rate == b.win_rate
+
+    def test_win_rate_aggregation(self, result):
+        rates = result.win_rates()
+        assert set(rates) == {"prio", "fifo", "upward-rank", "dagps"}
+        for rate in rates.values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_render(self, result):
+        text = render_grand_league(result)
+        assert "chain-bundle-64" in text
+        assert "skipped (needs object dag): chain-bundle-64:prio" in text
+        assert "win rate" in text
+
+    def test_validation(self):
+        params = SimParams(mu_bit=1.0, mu_bs=4.0)
+        with pytest.raises(ValueError, match="at least one"):
+            grand_league({"a": airsn(5)}, [], params)
+        with pytest.raises(ValueError, match="unique"):
+            grand_league({"a": airsn(5)}, ["fifo", "fifo"], params)
+        with pytest.raises(ValueError, match="unknown policy"):
+            grand_league({"a": airsn(5)}, ["lifo"], params, n_runs=2)
+
+    def test_progress_callback(self):
+        calls = []
+        grand_league(
+            {"a": airsn(5)},
+            ["fifo", "random"],
+            SimParams(mu_bit=1.0, mu_bs=4.0),
+            n_runs=2,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls[-1] == (2, 2)

@@ -83,7 +83,9 @@ def test_unknown_algorithm_raises(dag):
         cache.schedule(dag, "quantum")
     with pytest.raises(ValueError, match="unknown schedule algorithm"):
         cached_schedule(dag, "quantum")
-    assert set(schedule_algorithms()) == {"prio", "fifo", "topological"}
+    assert set(schedule_algorithms()) == {
+        "prio", "fifo", "topological", "upward-rank", "dagps"
+    }
 
 
 def test_max_entries_validation():

@@ -23,6 +23,7 @@ from repro.perf import batch_supported, simulate_batch
 from repro.perf import kernel_batch
 from repro.sim.compile import CompiledDag
 from repro.sim.engine import SimParams, make_policy, simulate
+from repro.sim.policies import policy_spec
 from repro.sim.replication import policy_factory, run_replications
 from repro.workloads.registry import get_workload
 
@@ -30,13 +31,21 @@ from .strategies import dags, sim_params
 
 WORKLOADS = ("airsn-small", "inspiral-small", "montage-small", "sdss-small")
 
+#: Registered kinds that reduce to the oblivious dispatch class.
+STATIC_KINDS = ("prio", "upward-rank", "dagps")
+
+
+def _order_for(dag, kind):
+    if kind == "oblivious":
+        return prio_schedule(dag).schedule
+    spec = policy_spec(kind)
+    return spec.static_order(dag) if spec.static_order is not None else None
+
 
 def _assert_batch_matches_serial(dag, kind, params, count, seed, scale=None):
     """Batched results and generator end states == serial, rep by rep."""
     compiled = CompiledDag.from_dag(dag)
-    order = (
-        prio_schedule(dag).schedule if kind == "oblivious" else None
-    )
+    order = _order_for(dag, kind)
     seqs = np.random.SeedSequence(seed).spawn(count)
     batch_rngs = [np.random.default_rng(s) for s in seqs]
     batched = simulate_batch(
@@ -73,8 +82,25 @@ def test_batch_matches_serial_on_random_dags(dag, params, seed, kind, scaled):
     _assert_batch_matches_serial(dag, kind, params, 4, seed, scale=scale)
 
 
+@settings(deadline=None, max_examples=25)
+@given(
+    dags(),
+    sim_params(),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.sampled_from(STATIC_KINDS),
+)
+def test_batch_matches_serial_for_registered_static_kinds(
+    dag, params, seed, kind
+):
+    """Registered static-permutation kinds reduce to the oblivious
+    dispatch class bit-identically, replication by replication."""
+    _assert_batch_matches_serial(dag, kind, params, 3, seed)
+
+
 @pytest.mark.parametrize("workload", WORKLOADS)
-@pytest.mark.parametrize("kind", ["fifo", "oblivious"])
+@pytest.mark.parametrize(
+    "kind", ["fifo", "oblivious", "upward-rank", "dagps"]
+)
 def test_batch_matches_serial_on_paper_workloads(workload, kind):
     dag = get_workload(workload)
     params = SimParams(mu_bit=1.0, mu_bs=16.0)
@@ -94,7 +120,8 @@ def test_batch_falls_back_identically_outside_batch_sync(params):
     """Churn/rollover take the per-replication fallback — still exact."""
     dag = get_workload("airsn-small")
     assert not batch_supported("fifo", params)
-    for kind in ("fifo", "oblivious"):
+    assert not batch_supported("upward-rank", params)
+    for kind in ("fifo", "oblivious", "upward-rank", "dagps"):
         _assert_batch_matches_serial(dag, kind, params, 3, seed=7)
 
 
@@ -169,7 +196,11 @@ def test_batch_supported_predicate():
     ok = SimParams(mu_bit=1.0, mu_bs=4.0)
     assert batch_supported("fifo", ok)
     assert batch_supported("oblivious", ok)
+    for kind in STATIC_KINDS:
+        assert batch_supported(kind, ok), kind
     assert not batch_supported("random", ok)
+    assert not batch_supported("prio-live", ok)
+    assert not batch_supported("not-a-policy", ok)
     assert not batch_supported(
         "fifo", SimParams(mu_bit=1.0, mu_bs=4.0, failure_prob=0.1)
     )
@@ -215,3 +246,48 @@ def test_run_replications_dispatches_to_batch(monkeypatch):
         batched.stalling_probability, serial.stalling_probability
     )
     assert np.array_equal(batched.utilization, serial.utilization)
+
+
+@pytest.mark.parametrize("kind", ["upward-rank", "dagps"])
+def test_run_replications_dispatches_new_kinds_to_batch(monkeypatch, kind):
+    """New static kinds ride the batched kernel through the replication
+    layer, bit-identical to the forced-reference path."""
+    dag = get_workload("montage-small")
+    params = SimParams(mu_bit=1.0, mu_bs=8.0)
+    calls = []
+    real = kernel_batch.simulate_batch
+
+    def spy(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(kernel_batch, "simulate_batch", spy)
+    batched = run_replications(
+        dag, policy_factory(kind, dag=dag), params, count=5, seed=13
+    )
+    assert calls, "batched kernel was never dispatched"
+
+    monkeypatch.setenv("REPRO_NO_KERNEL", "1")
+    serial = run_replications(
+        dag, policy_factory(kind, dag=dag), params, count=5, seed=13
+    )
+    assert np.array_equal(batched.execution_time, serial.execution_time)
+    assert np.array_equal(batched.utilization, serial.utilization)
+
+
+def test_run_replications_falls_back_for_dynamic_kinds(monkeypatch):
+    """Kinds with no kernel dispatch class (random, prio-live) take the
+    documented per-replication reference fallback — no batch dispatch."""
+    dag = get_workload("montage-small")
+    params = SimParams(mu_bit=1.0, mu_bs=8.0)
+    calls = []
+
+    def spy(*args, **kwargs):  # pragma: no cover - must never run
+        calls.append(1)
+        raise AssertionError("dynamic kind dispatched to the batch kernel")
+
+    monkeypatch.setattr(kernel_batch, "simulate_batch", spy)
+    for build in (policy_factory("random"), policy_factory("prio-live", dag=dag)):
+        assert build.batch_kind is None
+        run_replications(dag, build, params, count=2, seed=5)
+    assert not calls

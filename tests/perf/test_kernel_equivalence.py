@@ -20,7 +20,14 @@ from repro.obs.metrics import MetricsRegistry
 from repro.perf import kernel_supported, simulate_fast
 from repro.sim.compile import CompiledDag
 from repro.sim.engine import SimParams, make_policy, simulate
-from repro.sim.policies import FifoPolicy, ObliviousPolicy, RandomPolicy
+from repro.sim.policies import (
+    DagpsPolicy,
+    FifoPolicy,
+    ObliviousPolicy,
+    RandomPolicy,
+    UpwardRankPolicy,
+    policy_spec,
+)
 from repro.sim.trace import ExecutionTrace
 from repro.workloads.registry import get_workload
 
@@ -71,11 +78,39 @@ def test_kernel_matches_reference_on_random_dags(dag, params, seed, scaled):
         _assert_identical(results, traces)
 
 
+@given(dags(), sim_params(), st.integers(min_value=0, max_value=2**32 - 1))
+def test_kernel_matches_reference_for_registered_static_kinds(
+    dag, params, seed
+):
+    """The new static-permutation policies hold the same bit-identity
+    contract as ``oblivious`` — results, traces, and generator end state."""
+    for kind in ("upward-rank", "dagps"):
+        order = policy_spec(kind).static_order(dag)
+        rngs = [np.random.default_rng(seed) for _ in range(2)]
+        results, traces = [], []
+        for kernel, rng in zip((False, True), rngs):
+            policy = make_policy(kind, order=order)
+            trace = ExecutionTrace()
+            results.append(
+                simulate(dag, policy, params, rng, kernel=kernel, trace=trace)
+            )
+            traces.append(trace)
+        _assert_identical(results, traces)
+        assert rngs[0].bit_generator.state == rngs[1].bit_generator.state
+
+
 @pytest.mark.parametrize("workload", WORKLOADS)
-@pytest.mark.parametrize("kind", ["fifo", "oblivious"])
+@pytest.mark.parametrize(
+    "kind", ["fifo", "oblivious", "upward-rank", "dagps"]
+)
 def test_kernel_matches_reference_on_paper_workloads(workload, kind):
     dag = get_workload(workload)
-    order = prio_schedule(dag).schedule if kind == "oblivious" else None
+    if kind == "oblivious":
+        order = prio_schedule(dag).schedule
+    elif policy_spec(kind).static_order is not None:
+        order = policy_spec(kind).static_order(dag)
+    else:
+        order = None
     params = SimParams(mu_bit=1.0, mu_bs=16.0)
     results, traces = _run_both(dag, kind, order, params, seed=20060427)
     _assert_identical(results, traces)
@@ -121,12 +156,18 @@ def test_kernel_emits_the_same_engine_counters(diamond):
 def test_kernel_supported_is_exact_type(rng):
     assert kernel_supported(FifoPolicy())
     assert kernel_supported(ObliviousPolicy([0, 1]))
+    assert kernel_supported(UpwardRankPolicy(order=[0, 1]))
+    assert kernel_supported(DagpsPolicy(order=[0, 1]))
     assert not kernel_supported(RandomPolicy(rng))
 
     class CustomFifo(FifoPolicy):
         pass
 
+    class CustomRank(UpwardRankPolicy):
+        pass
+
     assert not kernel_supported(CustomFifo())
+    assert not kernel_supported(CustomRank(order=[0, 1]))
 
 
 def test_kernel_true_insists(diamond, rng):

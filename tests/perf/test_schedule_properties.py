@@ -19,7 +19,12 @@ from .strategies import dags
 def test_every_algorithm_emits_a_permutation_in_topological_order(dag, algorithm):
     order = ScheduleCache().schedule(dag, algorithm)
     assert sorted(order) == list(range(dag.n))  # a permutation of the jobs
-    assert is_valid_schedule(dag, order)  # in dependency order
+    # DAGPS is a total *priority* order, not a topological one: the
+    # simulator's eligibility gating enforces precedence at run time
+    # (pinned in tests/sim/test_policy_invariants.py).  Every other
+    # algorithm's order must be directly executable.
+    if algorithm != "dagps":
+        assert is_valid_schedule(dag, order)  # in dependency order
 
 
 @given(dags())
