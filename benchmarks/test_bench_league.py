@@ -44,7 +44,9 @@ from repro.workloads.synthetic import arena_family
 RESULTS = Path(__file__).parent / "results"
 
 REGISTRY_WORKLOADS = (
-    "airsn-small", "inspiral-small", "montage-small", "sdss-small"
+    "airsn-small", "inspiral-small", "montage-small", "sdss-small",
+    # Ingested corpora (generated DAGMan trees through the importer).
+    "nipype-small", "cax-small",
 )
 POLICIES = ("prio", "fifo", "random", "upward-rank", "dagps")
 

@@ -3,6 +3,8 @@
 Subcommands::
 
     prio      instrument a DAGMan input file with jobpriority macros
+    import    flatten a nested DAGMan tree (SPLICE / SUBDAG EXTERNAL)
+              into one workload: summary, flat .dag, JSON, simulation
     schedule  print the PRIO (or FIFO) schedule of a workload or .dag file
     decompose show the building blocks and recognized families of a dag
     dot       export a dag (with PRIO priorities) as Graphviz DOT
@@ -73,12 +75,18 @@ class CliError(Exception):
 
 
 def _load_dag(spec: str) -> tuple[Dag, str]:
-    """Resolve a workload name or a .dag file path to a dag."""
+    """Resolve a workload name or a .dag file path to a dag.
+
+    ``.dag`` paths go through the importer, so nested SPLICE / SUBDAG
+    EXTERNAL trees flatten transparently for every subcommand.
+    """
     if spec.endswith(".dag"):
+        from .dagman.importer import DagmanImportError, import_dagman_file
+
         try:
-            return parse_dagman_file(spec).to_dag(), spec
-        except OSError as exc:
-            raise CliError(f"cannot read {spec}: {exc.strerror or exc}") from None
+            return import_dagman_file(spec).dag, spec
+        except DagmanImportError as exc:
+            raise CliError(str(exc)) from None
     try:
         return get_workload(spec), spec
     except KeyError as exc:
@@ -779,21 +787,78 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_import(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .dagman.importer import DagmanImportError, import_dagman_file
+
+    path = Path(args.dagfile)
+    try:
+        imported = import_dagman_file(
+            path,
+            expand_subdags=not args.no_subdags,
+            rescue=args.rescue,
+            rescue_file=args.rescue_file,
+        )
+    except DagmanImportError as exc:
+        raise CliError(str(exc)) from None
+    dag = imported.dag
+    if args.prioritize:
+        from .core.tool import prioritize_dagman
+
+        prioritize_dagman(imported.flat, respect_done=True)
+    done = sum(1 for m in imported.meta.values() if m.done)
+    depth = max((m.depth for m in imported.meta.values()), default=0)
+    print(f"imported            : {imported.root}")
+    print(f"files read          : {len(imported.sources)}")
+    print(f"jobs                : {dag.n}" + (f" ({done} done)" if done else ""))
+    print(f"dependencies        : {dag.narcs}")
+    print(f"max nesting depth   : {depth}")
+    print(f"fingerprint         : {imported.fingerprint()}")
+    if args.output:
+        Path(args.output).write_text(imported.render())
+        print(f"flattened dag       : {args.output}", file=sys.stderr)
+    if args.json:
+        payload = imported.to_json()
+        if args.prioritize:
+            payload["priorities"] = {
+                name: imported.flat.get_priority(name)
+                for name in imported.flat.jobs
+            }
+        Path(args.json).write_text(_json.dumps(payload, indent=2) + "\n")
+        print(f"json artifact       : {args.json}", file=sys.stderr)
+    if args.simulate:
+        params = SimParams(mu_bit=args.mu_bit, mu_bs=args.mu_bs)
+        rng = np.random.default_rng(args.seed)
+        order = prio_schedule(dag).schedule
+        result = simulate(dag, make_policy("prio", order=order), params, rng)
+        print(f"execution time      : {result.execution_time:.3f}")
+        print(f"stalling probability: {result.stalling_probability:.4f}")
+        print(f"utilization         : {result.utilization:.4f}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from .dagman.lint import lint_dagman
+    from .dagman.lint import lint_dagman, lint_dagman_tree
 
     path = Path(args.dagfile)
-    dagman = parse_dagman_file(path)
-    findings = lint_dagman(
-        dagman, root=path.parent if args.check_jsdfs else None
-    )
+    if args.recursive:
+        findings = lint_dagman_tree(path)
+        label = f"{path.name} (tree)"
+    else:
+        dagman = parse_dagman_file(path)
+        findings = lint_dagman(
+            dagman, root=path.parent if args.check_jsdfs else None
+        )
+        label = f"{path.name} ({len(dagman.jobs)} jobs)"
     for finding in findings:
         print(finding)
     errors = sum(1 for f in findings if f.severity == "error")
     if not findings:
-        print(f"{path.name}: clean ({len(dagman.jobs)} jobs)")
+        print(f"clean: {label}")
     return 1 if errors else 0
 
 
@@ -820,13 +885,18 @@ def _cmd_rounds(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from .dagman.importer import DagmanImportError, import_dagman_file
     from .dagman.runner import JobState, SubprocessExecutor, run_workflow
-    from .dagman.splice import flatten_dagman_file
 
     path = Path(args.dagfile)
     dagman = parse_dagman_file(path)
     if dagman.splices:
-        dagman = flatten_dagman_file(path)
+        # Splices are inlined at submit time; SUBDAG EXTERNAL nodes stay
+        # opaque (a real DAGMan would hand them to a nested instance).
+        try:
+            dagman = import_dagman_file(path, expand_subdags=False).flat
+        except DagmanImportError as exc:
+            raise CliError(str(exc)) from None
     if args.prioritize:
         from .core.tool import prioritize_dagman
 
@@ -1131,6 +1201,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_prio)
 
+    p = sub.add_parser(
+        "import",
+        help="flatten a nested DAGMan tree into one workload",
+    )
+    p.add_argument("dagfile", help="root .dag of the workflow tree")
+    p.add_argument("-o", "--output", help="write the flattened .dag here")
+    p.add_argument(
+        "--json", help="write the flattened dag and job metadata as JSON"
+    )
+    p.add_argument(
+        "--prioritize",
+        action="store_true",
+        help="instrument the flattened dag with prio priorities",
+    )
+    p.add_argument(
+        "--rescue",
+        action="store_true",
+        help="apply each file's newest rescue companion (DONE markers)",
+    )
+    p.add_argument(
+        "--rescue-file", help="explicit rescue file for the root dag"
+    )
+    p.add_argument(
+        "--no-subdags",
+        action="store_true",
+        help="keep SUBDAG EXTERNAL nodes opaque instead of expanding them",
+    )
+    p.add_argument(
+        "--simulate",
+        action="store_true",
+        help="also run one simulated execution of the flattened dag",
+    )
+    p.add_argument("--mu-bit", type=float, default=1.0)
+    p.add_argument("--mu-bs", type=float, default=16.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_import)
+
     p = sub.add_parser("schedule", help="print a schedule")
     _add_dag_argument(p)
     p.add_argument(
@@ -1302,6 +1409,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-jsdfs",
         action="store_true",
         help="also verify referenced submit description files exist",
+    )
+    p.add_argument(
+        "-r",
+        "--recursive",
+        action="store_true",
+        help=(
+            "follow SPLICE / SUBDAG EXTERNAL references and lint the "
+            "whole tree (include cycles, missing files, undefined macros)"
+        ),
     )
     p.set_defaults(func=_cmd_lint)
 

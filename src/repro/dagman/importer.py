@@ -1,0 +1,653 @@
+"""Importer: resolve a DAGMan file *tree* into one flat workload dag.
+
+Real generated workflows are rarely a single file.  nipype's
+``CondorDAGManPlugin`` writes one ``.dag`` plus a submit file per node;
+XENON1T/cax writes an *outer* production dag whose nodes are ``SUBDAG
+EXTERNAL`` references to per-run *inner* dags living in per-run
+directories, parameterized through ``VARS`` macros.  To prioritize such a
+workflow as one computation, the whole tree must be flattened into a
+single :class:`repro.dag.graph.Dag`.
+
+:func:`import_dagman_file` (and the loader-injectable
+:func:`import_dagman_tree` for in-memory trees) does exactly that:
+
+* **Nested includes** — ``SPLICE`` and ``SUBDAG EXTERNAL`` declarations
+  are resolved recursively.  Inner job names are namespaced with the
+  include node's name (``run_0001+merge``, composing as
+  ``outer+inner+job`` across levels), arcs *to* an include attach to the
+  inner dag's sources and arcs *from* it leave from the inner dag's
+  sinks — DAGMan's splice semantics, applied uniformly.  Self- and
+  mutual file inclusion is detected and reported with the offending
+  chain; ``expand_subdags=False`` keeps ``SUBDAG EXTERNAL`` nodes opaque
+  (one job each, how the outer DAGMan schedules them at runtime).
+* **DIR scoping** — an include node's ``DIR`` prefixes every inner job's
+  working directory, composing across levels, so submit files keep
+  resolving from the root file's directory.
+* **VARS macro substitution** — ``$(name)`` references in submit-file
+  and ``DIR`` strings are expanded from the node's ``VARS`` (include
+  nodes pass their macros down as defaults; inner definitions win).
+  Undefined references are left verbatim for ``lint`` to flag — except
+  in include-file references, where an unresolved macro is a hard
+  import error (there is no file to read).
+* **Rescue awareness** — with ``rescue=True`` each file's newest rescue
+  companion (``<file>.rescue``, ``<file>.rescue001``...) is applied:
+  jobs it marks ``DONE`` (either format: full dag with ``DONE`` flags,
+  or standalone ``DONE name`` lines) come out flagged done, and a done
+  include node marks its whole flattened subtree done.
+* **Metadata carried through** — per flat job: merged ``VARS``, the
+  effective ``RETRY`` budget (an include node's retry count applies to
+  each flattened inner job), ``SCRIPT`` hooks, NOOP/DONE flags and the
+  declaring source file, so ``prio`` instrumentation and the runner see
+  the same information a per-file DAGMan stack would.
+
+The result is deterministic: flat job ids follow declaration order
+(jobs before splices within each file, includes expanded depth-first at
+their declaration point), so two imports of the same tree — whatever
+the on-disk path order or root naming — produce byte-identical
+flattened renders and the same :meth:`ImportedWorkflow.fingerprint`.
+"""
+
+from __future__ import annotations
+
+import posixpath
+import re
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..dag.graph import CycleError, Dag
+from .model import JOBPRIORITY_MACRO, DagmanFile, JobDecl
+from .parser import DagmanParseError, parse_dagman_text
+
+__all__ = [
+    "DagmanImportError",
+    "JobMeta",
+    "ImportedWorkflow",
+    "MAX_IMPORT_DEPTH",
+    "import_dagman_file",
+    "import_dagman_tree",
+]
+
+#: Include-nesting ceiling; beyond this the tree is assumed degenerate.
+MAX_IMPORT_DEPTH = 64
+
+_MACRO_RE = re.compile(r"\$\((\w[\w.\-+]*)\)")
+_RESCUE_SUFFIX_RE = re.compile(r"\.rescue(\d*)$")
+
+
+class DagmanImportError(ValueError):
+    """An unresolvable workflow tree: missing or cyclic includes, macro
+    references without a definition in an include path, name clashes
+    after namespacing, or a dependency cycle in the flattened dag."""
+
+
+@dataclass
+class JobMeta:
+    """Resolved per-job metadata of one flattened job."""
+
+    name: str
+    submit_file: str
+    directory: str | None
+    vars: dict[str, str]
+    retries: int
+    done: bool
+    noop: bool
+    is_data: bool
+    is_subdag: bool
+    source: str
+    depth: int
+
+
+@dataclass
+class ImportedWorkflow:
+    """A DAGMan tree flattened into one dag plus its job metadata."""
+
+    dag: Dag
+    flat: DagmanFile
+    meta: dict[str, JobMeta]
+    sources: tuple[str, ...]
+    root: str
+
+    @property
+    def n_jobs(self) -> int:
+        return self.dag.n
+
+    @property
+    def n_arcs(self) -> int:
+        return self.dag.narcs
+
+    def fingerprint(self) -> str:
+        """Canonical content hash of the flattened dag (label-invariant,
+        id-sensitive — see :meth:`repro.dag.graph.Dag.fingerprint`)."""
+        return self.dag.fingerprint()
+
+    def render(self) -> str:
+        """The flattened workflow as DAGMan input text (reparseable)."""
+        return self.flat.render()
+
+    def to_json(self) -> dict:
+        """JSON-ready payload: the dag, per-job metadata, provenance."""
+        from ..dag.io_json import dag_to_json
+
+        return {
+            "format": "repro-import-v1",
+            "fingerprint": self.fingerprint(),
+            "root": self.root,
+            "sources": list(self.sources),
+            "dag": dag_to_json(self.dag),
+            "jobs": {
+                name: {
+                    "submit_file": m.submit_file,
+                    "directory": m.directory,
+                    "vars": dict(m.vars),
+                    "retries": m.retries,
+                    "done": m.done,
+                    "noop": m.noop,
+                    "subdag": m.is_subdag,
+                    "source": m.source,
+                    "depth": m.depth,
+                }
+                for name, m in self.meta.items()
+            },
+        }
+
+
+def _expand(text: str, macros: Mapping[str, str]) -> str:
+    """Expand ``$(name)`` from *macros*; undefined references stay
+    verbatim (lint reports them; condor would expand them empty)."""
+
+    def repl(match: re.Match) -> str:
+        name = match.group(1)
+        if name in macros:
+            return macros[name]
+        return match.group(0)
+
+    return _MACRO_RE.sub(repl, text)
+
+
+def _join_dir(scope: str | None, directory: str | None) -> str | None:
+    if not directory:
+        return scope
+    if not scope:
+        return directory
+    return posixpath.join(scope, directory)
+
+
+def _quote_vars(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _statement_order(dagman: DagmanFile) -> list[str]:
+    """Unit names (jobs *and* splices) in true statement order.
+
+    The parser holds jobs and splices in separate insertion-ordered maps;
+    the preserved raw lines recover how the two interleave, so flattened
+    node ids depend only on where a unit is declared, not on whether it
+    is a JOB, a SUBDAG or a SPLICE.
+    """
+    order = []
+    for raw in dagman.lines:
+        tokens = raw.split()
+        if not tokens:
+            continue
+        keyword = tokens[0].upper()
+        if keyword in ("JOB", "DATA", "SPLICE") and len(tokens) >= 2:
+            order.append(tokens[1])
+        elif keyword == "SUBDAG" and len(tokens) >= 3:
+            order.append(tokens[2])
+    # A DagmanFile built programmatically (not through the parser) has no
+    # lines; fall back to map order: jobs first, then splices.
+    known = set(order)
+    for name in list(dagman.jobs) + list(dagman.splices):
+        if name not in known:
+            order.append(name)
+    return order
+
+
+class _Resolver:
+    """Recursive flattening over an injected file reader.
+
+    ``read(key)`` returns file text or None when missing; ``resolve(base,
+    ref)`` canonicalizes an include reference against the directory of
+    the including file's *key*; ``display(key)`` is the human-facing
+    name used in errors and metadata; ``find_rescue(key)`` returns the
+    key of the newest rescue companion, or None.
+    """
+
+    def __init__(
+        self,
+        *,
+        read: Callable[[str], str | None],
+        resolve: Callable[[str, str], str],
+        display: Callable[[str], str],
+        find_rescue: Callable[[str], str | None],
+        expand_subdags: bool = True,
+        rescue: bool = False,
+        max_depth: int = MAX_IMPORT_DEPTH,
+    ):
+        self._read = read
+        self._resolve = resolve
+        self._display = display
+        self._find_rescue = find_rescue
+        self._expand_subdags = expand_subdags
+        self._rescue = rescue
+        self._max_depth = max_depth
+        self.flat = DagmanFile()
+        self.meta: dict[str, JobMeta] = {}
+        self.sources: list[str] = []
+        self._arc_seen: set[tuple[str, str]] = set()
+
+    # -- file access ----------------------------------------------------
+
+    def _parse(self, key: str, chain: tuple[str, ...]) -> DagmanFile:
+        text = self._read(key)
+        if text is None:
+            raise DagmanImportError(
+                f"cannot read workflow file {self._display(key)!r}"
+                + (f" (included from {self._display(chain[-1])})" if chain else "")
+            )
+        try:
+            parsed = parse_dagman_text(text)
+        except DagmanParseError as exc:
+            raise DagmanImportError(
+                f"{self._display(key)}: {exc}"
+            ) from exc
+        self.sources.append(self._display(key))
+        return parsed
+
+    def _rescue_done(self, key: str) -> set[str]:
+        """Job names the newest rescue companion of *key* marks DONE."""
+        if not self._rescue:
+            return set()
+        rescue_key = self._find_rescue(key)
+        if rescue_key is None:
+            return set()
+        text = self._read(rescue_key)
+        if text is None:
+            return set()
+        try:
+            parsed = parse_dagman_text(text)
+        except DagmanParseError as exc:
+            raise DagmanImportError(
+                f"{self._display(rescue_key)}: {exc}"
+            ) from exc
+        self.sources.append(self._display(rescue_key))
+        done = set(parsed.done_names)
+        done.update(n for n, d in parsed.jobs.items() if d.done)
+        return done
+
+    # -- flattening -----------------------------------------------------
+
+    def run(self, root_key: str) -> None:
+        self._flatten(root_key, prefix="", scope_dir=None, inherited={},
+                      inherited_retry=0, force_done=False, depth=0,
+                      chain=(root_key,))
+        self._render_lines()
+
+    def _flatten(
+        self,
+        key: str,
+        *,
+        prefix: str,
+        scope_dir: str | None,
+        inherited: dict[str, str],
+        inherited_retry: int,
+        force_done: bool,
+        depth: int,
+        chain: tuple[str, ...],
+    ) -> tuple[list[str], list[str]]:
+        """Flatten the file at *key* into ``self.flat``.
+
+        Returns the flat names of the file's sources and sinks (for
+        attaching the including file's arcs).
+        """
+        if depth > self._max_depth:
+            raise DagmanImportError(
+                f"include nesting deeper than {self._max_depth} at "
+                f"{self._display(key)} — is the tree recursive?"
+            )
+        dagman = self._parse(key, chain[:-1])
+        rescue_done = self._rescue_done(key)
+
+        # Units in true statement order (JOB/DATA/SUBDAG and SPLICE are
+        # parsed into separate maps; the preserved lines recover the
+        # interleaving) — each unit resolves to >= 0 flat jobs, at its
+        # declaration point, so ids don't depend on statement *kind*.
+        unit_sources: dict[str, list[str]] = {}
+        unit_sinks: dict[str, list[str]] = {}
+
+        for name in _statement_order(dagman):
+            node_vars = {**inherited, **dagman.vars_.get(name, {})}
+            node_retry = max(inherited_retry, dagman.retries.get(name, 0))
+            flat_name = prefix + name
+            decl = dagman.jobs.get(name)
+            if decl is None:  # SPLICE
+                spl = dagman.splices[name]
+                src, snk = self._descend(
+                    key, name, spl.file, spl.directory,
+                    node_vars, node_retry,
+                    force_done or name in rescue_done,
+                    flat_name, scope_dir, depth, chain,
+                )
+                unit_sources[name], unit_sinks[name] = src, snk
+                continue
+            node_done = force_done or decl.done or name in rescue_done
+            if decl.is_subdag and self._expand_subdags:
+                src, snk = self._descend(
+                    key, name, decl.submit_file, decl.directory,
+                    node_vars, node_retry, node_done, flat_name,
+                    scope_dir, depth, chain,
+                )
+                unit_sources[name], unit_sinks[name] = src, snk
+                continue
+            self._emit_job(
+                flat_name, decl, key,
+                directory=_join_dir(scope_dir, _expand(
+                    decl.directory, {**node_vars, "JOB": flat_name}
+                ) if decl.directory else None),
+                submit_file=_expand(
+                    decl.submit_file, {**node_vars, "JOB": flat_name}
+                ),
+                vars_=node_vars,
+                retries=node_retry,
+                done=node_done,
+                scripts={
+                    when: cmd
+                    for (job, when), cmd in dagman.scripts.items()
+                    if job == name
+                },
+                depth=depth,
+            )
+            unit_sources[name] = unit_sinks[name] = [flat_name]
+
+        # Arcs: cross products of the endpoint units' sinks x sources.
+        for p, c in dagman.arcs:
+            for endpoint in (p, c):
+                if endpoint not in unit_sources:
+                    raise DagmanImportError(
+                        f"{self._display(key)}: dependency references "
+                        f"undeclared name {endpoint!r}"
+                    )
+            for pp in unit_sinks[p]:
+                for cc in unit_sources[c]:
+                    arc = (pp, cc)
+                    if arc not in self._arc_seen:
+                        self._arc_seen.add(arc)
+                        self.flat.arcs.append(arc)
+
+        # This file's boundary, as seen by its includer: units with no
+        # local parent contribute their sources, units with no local
+        # child their sinks (an empty include contributes nothing).
+        has_parent = {c for _, c in dagman.arcs}
+        has_child = {p for p, _ in dagman.arcs}
+        file_sources = [
+            f for name in unit_sources
+            if name not in has_parent
+            for f in unit_sources[name]
+        ]
+        file_sinks = [
+            f for name in unit_sinks
+            if name not in has_child
+            for f in unit_sinks[name]
+        ]
+        return file_sources, file_sinks
+
+    def _descend(
+        self,
+        key: str,
+        name: str,
+        ref: str,
+        directory: str | None,
+        node_vars: dict[str, str],
+        node_retry: int,
+        node_done: bool,
+        flat_name: str,
+        scope_dir: str | None,
+        depth: int,
+        chain: tuple[str, ...],
+    ) -> tuple[list[str], list[str]]:
+        """Recurse into the include node *name* referencing *ref*."""
+        macros = {**node_vars, "JOB": flat_name}
+        expanded_ref = _expand(ref, macros)
+        unresolved = _MACRO_RE.findall(expanded_ref)
+        if unresolved:
+            raise DagmanImportError(
+                f"{self._display(key)}: include {name!r} references "
+                f"undefined macro(s) {sorted(set(unresolved))} in "
+                f"{ref!r}"
+            )
+        target = self._resolve(key, expanded_ref)
+        if target in chain:
+            loop = [self._display(k) for k in chain] + [self._display(target)]
+            raise DagmanImportError(
+                "recursive include: " + " -> ".join(loop)
+            )
+        sub_dir = _expand(directory, macros) if directory else None
+        return self._flatten(
+            target,
+            prefix=flat_name + "+",
+            scope_dir=_join_dir(scope_dir, sub_dir),
+            inherited=node_vars,
+            inherited_retry=node_retry,
+            force_done=node_done,
+            depth=depth + 1,
+            chain=chain + (target,),
+        )
+
+    def _emit_job(
+        self,
+        flat_name: str,
+        decl: JobDecl,
+        key: str,
+        *,
+        directory: str | None,
+        submit_file: str,
+        vars_: dict[str, str],
+        retries: int,
+        done: bool,
+        scripts: dict[str, str],
+        depth: int,
+    ) -> None:
+        if flat_name in self.flat.jobs:
+            raise DagmanImportError(
+                f"job name clash after flattening: {flat_name!r} "
+                f"(declared again in {self._display(key)})"
+            )
+        self.flat.jobs[flat_name] = JobDecl(
+            name=flat_name,
+            submit_file=submit_file,
+            directory=directory,
+            noop=decl.noop,
+            done=done,
+            is_data=decl.is_data,
+            is_subdag=decl.is_subdag,
+        )
+        if vars_:
+            self.flat.vars_[flat_name] = dict(vars_)
+        if retries > 0:
+            self.flat.retries[flat_name] = retries
+        for when, cmd in scripts.items():
+            self.flat.scripts[(flat_name, when)] = cmd
+        self.meta[flat_name] = JobMeta(
+            name=flat_name,
+            submit_file=submit_file,
+            directory=directory,
+            vars=dict(vars_),
+            retries=retries,
+            done=done,
+            noop=decl.noop,
+            is_data=decl.is_data,
+            is_subdag=decl.is_subdag,
+            source=self._display(key),
+            depth=depth,
+        )
+
+    # -- rendering ------------------------------------------------------
+
+    def _render_lines(self) -> None:
+        """Fill ``flat.lines`` so the flat file reparses to the same
+        structure (and ``set_priority`` replaces, not duplicates)."""
+        flat = self.flat
+        lines: list[str] = []
+        for name, decl in flat.jobs.items():
+            if decl.is_subdag:
+                parts = ["SUBDAG", "EXTERNAL", name, decl.submit_file]
+            else:
+                parts = [
+                    "DATA" if decl.is_data else "JOB",
+                    name,
+                    decl.submit_file,
+                ]
+            if decl.directory:
+                parts += ["DIR", decl.directory]
+            if decl.noop:
+                parts.append("NOOP")
+            if decl.done:
+                parts.append("DONE")
+            lines.append(" ".join(parts))
+        for p, c in flat.arcs:
+            lines.append(f"PARENT {p} CHILD {c}")
+        for name, count in flat.retries.items():
+            lines.append(f"RETRY {name} {count}")
+        for (name, when), cmd in flat.scripts.items():
+            lines.append(f"SCRIPT {when.upper()} {name} {cmd}")
+        for name, macros in flat.vars_.items():
+            for macro, value in macros.items():
+                if macro == JOBPRIORITY_MACRO:
+                    flat._jobpriority_lines[name] = len(lines)
+                lines.append(f'VARS {name} {macro}="{_quote_vars(value)}"')
+        flat.lines = lines
+
+
+def _finish(resolver: _Resolver, root_display: str) -> ImportedWorkflow:
+    try:
+        dag = resolver.flat.to_dag()
+    except CycleError as exc:
+        raise DagmanImportError(
+            f"flattened workflow contains a dependency cycle: {exc}"
+        ) from exc
+    return ImportedWorkflow(
+        dag=dag,
+        flat=resolver.flat,
+        meta=resolver.meta,
+        sources=tuple(dict.fromkeys(resolver.sources)),
+        root=root_display,
+    )
+
+
+def import_dagman_tree(
+    tree: Mapping[str, str],
+    root: str = "workflow.dag",
+    *,
+    expand_subdags: bool = True,
+    rescue: bool = False,
+    max_depth: int = MAX_IMPORT_DEPTH,
+) -> ImportedWorkflow:
+    """Flatten an **in-memory** workflow tree.
+
+    *tree* maps POSIX-style relative paths to file text; *root* names
+    the top-level dag.  Include references resolve relative to the
+    including file's directory within the mapping.  This is the loader
+    the corpus generators and the property suites use — no filesystem,
+    fully deterministic.
+    """
+    files = dict(tree)
+    if root not in files:
+        raise DagmanImportError(f"root {root!r} not in tree")
+
+    def read(key: str) -> str | None:
+        return files.get(key)
+
+    def resolve(base: str, ref: str) -> str:
+        return posixpath.normpath(posixpath.join(posixpath.dirname(base), ref))
+
+    def find_rescue(key: str) -> str | None:
+        return _newest_rescue(
+            [k for k in files if k.startswith(key + ".rescue")], key
+        )
+
+    resolver = _Resolver(
+        read=read,
+        resolve=resolve,
+        display=lambda key: key,
+        find_rescue=find_rescue,
+        expand_subdags=expand_subdags,
+        rescue=rescue,
+        max_depth=max_depth,
+    )
+    resolver.run(root)
+    return _finish(resolver, root)
+
+
+def import_dagman_file(
+    path: str | Path,
+    *,
+    expand_subdags: bool = True,
+    rescue: bool = False,
+    rescue_file: str | Path | None = None,
+    max_depth: int = MAX_IMPORT_DEPTH,
+) -> ImportedWorkflow:
+    """Flatten the on-disk workflow tree rooted at *path*.
+
+    Include references resolve relative to the file that states them.
+    With ``rescue=True`` each file's newest rescue companion is applied;
+    ``rescue_file=`` overrides the root's companion explicitly.
+    """
+    root = Path(path).resolve()
+    root_dir = root.parent
+    override = (
+        str(Path(rescue_file).resolve()) if rescue_file is not None else None
+    )
+
+    def read(key: str) -> str | None:
+        try:
+            return Path(key).read_text()
+        except OSError:
+            return None
+
+    def resolve(base: str, ref: str) -> str:
+        return str((Path(base).parent / ref).resolve())
+
+    def display(key: str) -> str:
+        try:
+            return str(Path(key).relative_to(root_dir))
+        except ValueError:
+            return key
+
+    def find_rescue(key: str) -> str | None:
+        if override is not None and key == str(root):
+            return override
+        target = Path(key)
+        candidates = [
+            str(p)
+            for p in target.parent.glob(target.name + ".rescue*")
+            if p.is_file()
+        ]
+        return _newest_rescue(candidates, key)
+
+    resolver = _Resolver(
+        read=read,
+        resolve=resolve,
+        display=display,
+        find_rescue=find_rescue,
+        expand_subdags=expand_subdags,
+        rescue=rescue or rescue_file is not None,
+        max_depth=max_depth,
+    )
+    resolver.run(str(root))
+    return _finish(resolver, display(str(root)))
+
+
+def _newest_rescue(candidates: list[str], key: str) -> str | None:
+    """The highest-numbered rescue companion (DAGMan keeps a series:
+    ``.rescue001`` .. ``.rescue999``; the runner writes ``.rescue``)."""
+    best: tuple[int, str] | None = None
+    for cand in candidates:
+        suffix = cand[len(key):]
+        m = _RESCUE_SUFFIX_RE.fullmatch(suffix)
+        if not m:
+            continue
+        number = int(m.group(1)) if m.group(1) else 0
+        if best is None or number > best[0]:
+            best = (number, cand)
+    return best[1] if best else None

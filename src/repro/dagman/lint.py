@@ -13,31 +13,44 @@ workflow for the problems that otherwise surface only when
 * jobs with no path to a sink/source — disconnected islands worth a look
   in a workflow that is supposed to be one computation.
 
+:func:`lint_dagman_tree` extends the same checks across a *nested*
+workflow (``SPLICE``/``SUBDAG EXTERNAL`` trees) without raising:
+unreadable or recursively-included files, ``DIR`` targets that do not
+exist on disk, and ``$(macro)`` references that no ``VARS`` statement
+(own or inherited) ever defines all come back as structured findings
+instead of crashing the importer.
+
 Findings carry a severity: ``error`` (DAGMan would refuse or wedge) or
 ``warning`` (legal but suspicious).
 """
 
 from __future__ import annotations
 
+import posixpath
+from collections.abc import Mapping
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..dag.graph import CycleError, DagBuilder
+from .importer import MAX_IMPORT_DEPTH, _expand, _join_dir, _MACRO_RE
 from .model import DagmanFile
+from .parser import DagmanParseError, parse_dagman_text
 
-__all__ = ["Finding", "lint_dagman"]
+__all__ = ["Finding", "lint_dagman", "lint_dagman_tree"]
 
 
 @dataclass(frozen=True)
 class Finding:
-    """One lint finding."""
+    """One lint finding; ``where`` names the file for tree-wide lints."""
 
     severity: str  # "error" | "warning"
     code: str
     message: str
+    where: str | None = None
 
     def __str__(self) -> str:
-        return f"{self.severity}: [{self.code}] {self.message}"
+        base = f"{self.severity}: [{self.code}] {self.message}"
+        return f"{base} (in {self.where})" if self.where else base
 
 
 def lint_dagman(
@@ -132,4 +145,235 @@ def lint_dagman(
             )
         )
 
+    return findings
+
+
+def lint_dagman_tree(
+    source: str | Path | Mapping[str, str],
+    root: str = "workflow.dag",
+    *,
+    max_depth: int = MAX_IMPORT_DEPTH,
+) -> list[Finding]:
+    """Lint a nested workflow tree; never raises on tree defects.
+
+    *source* is either the path of the root ``.dag`` file on disk or an
+    in-memory mapping of relative paths to file text (then *root* names
+    the entry file, as in :func:`~repro.dagman.importer.import_dagman_tree`).
+
+    On top of the per-file :func:`lint_dagman` checks (reported with
+    ``where`` set to the file), the tree walk reports:
+
+    * ``missing-include`` — a ``SPLICE``/``SUBDAG EXTERNAL`` reference
+      that cannot be read;
+    * ``include-cycle`` — self- or mutual file inclusion, with the chain;
+    * ``include-depth`` — nesting beyond *max_depth*;
+    * ``parse-error`` — an included file that does not parse;
+    * ``undefined-macro`` — a ``$(name)`` reference no ``VARS`` ever
+      defines (an *error* in include-file references, which then cannot
+      resolve; a *warning* in submit-file/DIR strings, which condor
+      would expand to the empty string);
+    * ``missing-dir`` — a ``DIR`` whose directory does not exist on disk
+      (skipped for in-memory trees).
+    """
+    findings: list[Finding] = []
+    seen_findings: set[tuple[str, str, str, str | None]] = set()
+
+    def add(severity: str, code: str, message: str, where: str | None) -> None:
+        key = (severity, code, message, where)
+        if key not in seen_findings:
+            seen_findings.add(key)
+            findings.append(Finding(severity, code, message, where))
+
+    if isinstance(source, Mapping):
+        files = dict(source)
+        root_dir: Path | None = None
+        root_key = root
+
+        def read(key: str) -> str | None:
+            return files.get(key)
+
+        def resolve(base: str, ref: str) -> str:
+            return posixpath.normpath(
+                posixpath.join(posixpath.dirname(base), ref)
+            )
+
+        def display(key: str) -> str:
+            return key
+
+    else:
+        root_path = Path(source).resolve()
+        root_dir = root_path.parent
+        root_key = str(root_path)
+
+        def read(key: str) -> str | None:
+            try:
+                return Path(key).read_text()
+            except OSError:
+                return None
+
+        def resolve(base: str, ref: str) -> str:
+            return str((Path(base).parent / ref).resolve())
+
+        def display(key: str) -> str:
+            try:
+                return str(Path(key).relative_to(root_dir))
+            except ValueError:
+                return key
+
+    def leftover_macros(text: str) -> list[str]:
+        return sorted(set(_MACRO_RE.findall(text)))
+
+    def check_dir(directory: str | None, scope: str | None, who: str) -> None:
+        if root_dir is None or not directory:
+            return
+        if _MACRO_RE.search(directory):
+            return  # unresolved macros reported separately
+        composed = _join_dir(scope, directory)
+        if composed and not (root_dir / composed).is_dir():
+            add(
+                "warning",
+                "missing-dir",
+                f"{who}: DIR target {composed!r} does not exist",
+                None,
+            )
+
+    def descend(
+        key: str,
+        who: str,
+        ref: str,
+        directory: str | None,
+        macros: dict[str, str],
+        inherited: dict[str, str],
+        scope: str | None,
+        chain: tuple[str, ...],
+        depth: int,
+    ) -> None:
+        expanded_ref = _expand(ref, macros)
+        missing = leftover_macros(expanded_ref)
+        if missing:
+            add(
+                "error",
+                "undefined-macro",
+                f"{who} references undefined macro(s) "
+                f"{missing} in {ref!r}",
+                display(key),
+            )
+            return
+        sub_dir = _expand(directory, macros) if directory else None
+        check_dir(sub_dir, scope, who)
+        target = resolve(key, expanded_ref)
+        if target in chain:
+            loop = [display(k) for k in chain] + [display(target)]
+            add(
+                "error",
+                "include-cycle",
+                "recursive include: " + " -> ".join(loop),
+                display(key),
+            )
+            return
+        if depth + 1 > max_depth:
+            add(
+                "error",
+                "include-depth",
+                f"include nesting deeper than {max_depth}",
+                display(key),
+            )
+            return
+        walk(
+            target,
+            scope=_join_dir(scope, sub_dir),
+            inherited=inherited,
+            chain=chain + (target,),
+            depth=depth + 1,
+            includer=display(key),
+        )
+
+    def walk(
+        key: str,
+        *,
+        scope: str | None,
+        inherited: dict[str, str],
+        chain: tuple[str, ...],
+        depth: int,
+        includer: str | None,
+    ) -> None:
+        text = read(key)
+        if text is None:
+            add(
+                "error",
+                "missing-include",
+                f"cannot read workflow file {display(key)!r}",
+                includer,
+            )
+            return
+        try:
+            dagman = parse_dagman_text(text)
+        except DagmanParseError as exc:
+            add("error", "parse-error", str(exc), display(key))
+            return
+        for finding in lint_dagman(dagman):
+            add(
+                finding.severity,
+                finding.code,
+                finding.message,
+                display(key),
+            )
+        for name, decl in dagman.jobs.items():
+            node_vars = {**inherited, **dagman.vars_.get(name, {})}
+            macros = {**node_vars, "JOB": name}
+            if decl.is_subdag:
+                descend(
+                    key,
+                    f"SUBDAG {name!r}",
+                    decl.submit_file,
+                    decl.directory,
+                    macros,
+                    node_vars,
+                    scope,
+                    chain,
+                    depth,
+                )
+                continue
+            for what, value in (
+                ("submit file", decl.submit_file),
+                ("DIR", decl.directory),
+            ):
+                if not value:
+                    continue
+                missing = leftover_macros(_expand(value, macros))
+                if missing:
+                    add(
+                        "warning",
+                        "undefined-macro",
+                        f"job {name!r} {what} references undefined "
+                        f"macro(s) {missing} in {value!r}",
+                        display(key),
+                    )
+            check_dir(
+                _expand(decl.directory, macros) if decl.directory else None,
+                scope,
+                f"job {name!r}",
+            )
+        for name, spl in dagman.splices.items():
+            node_vars = {**inherited, **dagman.vars_.get(name, {})}
+            descend(
+                key,
+                f"SPLICE {name!r}",
+                spl.file,
+                spl.directory,
+                {**node_vars, "JOB": name},
+                node_vars,
+                scope,
+                chain,
+                depth,
+            )
+
+    walk(
+        root_key,
+        scope=None,
+        inherited={},
+        chain=(root_key,),
+        depth=0,
+        includer=None,
+    )
     return findings

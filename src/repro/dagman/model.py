@@ -22,7 +22,13 @@ JOBPRIORITY_MACRO = "jobpriority"
 
 @dataclass
 class JobDecl:
-    """One ``JOB`` (or legacy ``DATA``) statement."""
+    """One ``JOB`` (or legacy ``DATA``) statement.
+
+    ``SUBDAG EXTERNAL`` declarations are also held as a :class:`JobDecl`
+    (the outer DAGMan schedules them as one node) with ``is_subdag`` set,
+    so the importer can tell a nested workflow reference apart from a
+    plain job whose submit file happens to end in ``.dag``.
+    """
 
     name: str
     submit_file: str
@@ -30,6 +36,7 @@ class JobDecl:
     noop: bool = False
     done: bool = False
     is_data: bool = False
+    is_subdag: bool = False
 
 
 @dataclass
@@ -58,6 +65,10 @@ class DagmanFile:
     retries: dict[str, int] = field(default_factory=dict)
     #: SCRIPT hooks: (job name, "pre"|"post") -> shell command line
     scripts: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: names from standalone ``DONE name`` statements (DAGMan's partial
+    #: rescue-file format), in statement order; names of jobs declared in
+    #: the same file additionally get their ``JobDecl.done`` flag set
+    done_names: list[str] = field(default_factory=list)
     lines: list[str] = field(default_factory=list)
     #: line index of each job's VARS statement defining jobpriority, if any
     _jobpriority_lines: dict[str, int] = field(default_factory=dict)

@@ -67,6 +67,8 @@ def parse_dagman_text(text: str) -> DagmanFile:
             _parse_splice(result, tokens, line_no)
         elif keyword == "SUBDAG":
             _parse_subdag(result, tokens, line_no)
+        elif keyword == "DONE":
+            _parse_done(result, tokens, line_no)
         elif keyword in (
             "PRIORITY",
             "CONFIG",
@@ -82,7 +84,6 @@ def parse_dagman_text(text: str) -> DagmanFile:
             "ENV",
             "INCLUDE",
             "PRE_SKIP",
-            "DONE",
         ):
             # Recognized but structurally irrelevant to scheduling; the raw
             # line is already preserved in result.lines.
@@ -214,7 +215,7 @@ def _parse_subdag(result: DagmanFile, tokens: list[str], line_no: int) -> None:
     name, file = tokens[2], tokens[3]
     if name in result.jobs or name in result.splices:
         raise DagmanParseError(f"duplicate job name {name!r}", line_no)
-    decl = JobDecl(name=name, submit_file=file)
+    decl = JobDecl(name=name, submit_file=file, is_subdag=True)
     rest = tokens[4:]
     if rest:
         if len(rest) == 2 and rest[0].upper() == "DIR":
@@ -224,6 +225,19 @@ def _parse_subdag(result: DagmanFile, tokens: list[str], line_no: int) -> None:
                 f"unexpected SUBDAG tokens {rest!r}", line_no
             )
     result.jobs[name] = decl
+
+
+def _parse_done(result: DagmanFile, tokens: list[str], line_no: int) -> None:
+    # DONE JobName: DAGMan's partial rescue-file format.  The name is
+    # recorded whether or not the job is declared in this file (rescue
+    # files are parsed standalone, without the JOB statements); declared
+    # jobs additionally get their decl flagged.
+    if len(tokens) != 2:
+        raise DagmanParseError("DONE needs exactly one job name", line_no)
+    name = tokens[1]
+    result.done_names.append(name)
+    if name in result.jobs:
+        result.jobs[name].done = True
 
 
 def _parse_vars(

@@ -1,0 +1,211 @@
+"""Real-world corpus generators: DAGMan trees as pipeline tools emit them.
+
+The paper's four dags are hand-built objects; real DAGMan input arrives
+as *files*, written by workflow generators.  This module emulates the two
+families used as ingestion targets (see SNIPPETS.md):
+
+* :func:`nipype_tree` — the shape nipype's ``CondorDAGManPlugin`` writes
+  for a neuroimaging study: **one flat dag** plus one job-submit
+  description file per node, rendered from a submit template
+  (``universe = vanilla``, per-node ``executable``/``output``/``error``/
+  ``log``, ``getenv = True``).  Per-subject preprocessing chains fan out
+  of a shared spec job and fan back into group-level merge/report jobs.
+* :func:`cax_tree` — the XENON1T/cax production layout: an **outer** dag
+  with one ``SUBDAG EXTERNAL`` node per run from the run list, each in
+  its own ``DIR`` with per-run ``VARS`` (run id, pax version) and a
+  ``RETRY`` budget, referencing an **inner** per-run dag that fans chunk
+  processing out of a stage-in job and back into merge/upload.
+
+Both generators return an in-memory tree (``{relative path: text}``) —
+the input format of :func:`repro.dagman.importer.import_dagman_tree` —
+and :func:`write_tree` materializes one on disk for the CLI and the
+conformance benches.  :func:`nipype_workflow` / :func:`cax_workflow`
+import the generated tree straight to a :class:`repro.dag.graph.Dag`;
+``repro.workloads.registry`` exposes them as ``nipype-*`` / ``cax-*``
+workload names so every sweep, league and serve bench can run on
+ingested corpora.
+
+Everything here is deterministic: same parameters, same bytes, same
+fingerprint.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..dag.graph import Dag
+from ..dagman.importer import import_dagman_tree
+
+__all__ = [
+    "nipype_tree",
+    "cax_tree",
+    "write_tree",
+    "nipype_workflow",
+    "cax_workflow",
+    "NIPYPE_ROOT",
+    "CAX_ROOT",
+]
+
+#: Root file name of a generated nipype-style tree.
+NIPYPE_ROOT = "workflow.dag"
+#: Root file name of a generated cax-style tree.
+CAX_ROOT = "production.dag"
+
+#: The CondorDAGManPlugin default submit template, per-node.
+_NIPYPE_SUBMIT = """\
+universe = vanilla
+notification = Never
+executable = {node}.sh
+arguments = --subject {subject}
+output = {node}.out
+error = {node}.err
+log = workflow.log
+getenv = True
+queue
+"""
+
+_CAX_SUBMIT = """\
+universe = vanilla
+executable = /usr/bin/env
+arguments = cax --run $(run) --version $(pax_version) --task {task}
+output = {task}.out
+error = {task}.err
+log = run.log
+queue
+"""
+
+#: Per-subject preprocessing stages, in pipeline order (a depth-d chain
+#: takes the first d).
+_NIPYPE_STAGES = (
+    "realign",
+    "coregister",
+    "segment",
+    "normalize",
+    "smooth",
+    "modelspec",
+    "estimate",
+    "contrast",
+)
+
+
+def nipype_tree(subjects: int = 6, depth: int = 4) -> dict[str, str]:
+    """A nipype-style study: flat dag, per-node submit files.
+
+    *subjects* preprocessing chains of *depth* stages (1..8) hang off a
+    shared ``specify_model`` job and join into ``merge`` -> ``report``.
+    """
+    if not 1 <= depth <= len(_NIPYPE_STAGES):
+        raise ValueError(
+            f"depth must be in 1..{len(_NIPYPE_STAGES)}, got {depth}"
+        )
+    if subjects < 1:
+        raise ValueError(f"need at least one subject, got {subjects}")
+    stages = _NIPYPE_STAGES[:depth]
+    tree: dict[str, str] = {}
+    lines = ["# generated: nipype CondorDAGManPlugin layout"]
+
+    def add_job(node: str, subject: str) -> None:
+        lines.append(f"JOB {node} {node}.sub")
+        tree[f"{node}.sub"] = _NIPYPE_SUBMIT.format(node=node, subject=subject)
+
+    add_job("specify_model", "group")
+    for s in range(subjects):
+        subject = f"s{s + 1:03d}"
+        for stage in stages:
+            add_job(f"{stage}_{subject}", subject)
+    add_job("merge", "group")
+    add_job("report", "group")
+
+    for s in range(subjects):
+        subject = f"s{s + 1:03d}"
+        lines.append(f"PARENT specify_model CHILD {stages[0]}_{subject}")
+        for above, below in zip(stages, stages[1:]):
+            lines.append(f"PARENT {above}_{subject} CHILD {below}_{subject}")
+        lines.append(f"PARENT {stages[-1]}_{subject} CHILD merge")
+    lines.append("PARENT merge CHILD report")
+    tree[NIPYPE_ROOT] = "\n".join(lines) + "\n"
+    return tree
+
+
+def cax_tree(
+    runs: int = 5,
+    chunks: int = 4,
+    pax_version: str = "v6.1.1",
+    retries: int = 3,
+) -> dict[str, str]:
+    """A cax-style production: outer dag of per-run ``SUBDAG EXTERNAL``.
+
+    The outer dag stages the run list in, then one subdag per run (own
+    ``DIR``, per-run ``VARS``, a ``RETRY`` budget), then a final
+    ``massive_cax`` bookkeeping job.  Each inner dag stages raw data in,
+    processes *chunks* chunks in parallel (submit files parameterized by
+    the inherited ``$(run)`` / ``$(pax_version)`` macros), merges and
+    uploads.
+    """
+    if runs < 1 or chunks < 1:
+        raise ValueError(
+            f"need at least one run and one chunk, got {runs}, {chunks}"
+        )
+    outer = ["# generated: cax outer/inner production layout"]
+    outer.append("JOB stage_runlist stage_runlist.sub")
+    tree: dict[str, str] = {
+        "stage_runlist.sub": _CAX_SUBMIT.format(task="stage_runlist"),
+        "massive_cax.sub": _CAX_SUBMIT.format(task="massive_cax"),
+    }
+    run_names = []
+    for r in range(runs):
+        run = f"run_{r:04d}"
+        run_names.append(run)
+        outer.append(f"SUBDAG EXTERNAL {run} {run}/inner.dag DIR {run}")
+        outer.append(f'VARS {run} run="{r}" pax_version="{pax_version}"')
+        if retries > 0:
+            outer.append(f"RETRY {run} {retries}")
+
+        inner = ["JOB stage_in stage_in.sub"]
+        for c in range(chunks):
+            inner.append(f"JOB chunk_{c:03d} process_$(pax_version).sub")
+        inner.append("JOB merge merge.sub")
+        inner.append("JOB upload upload.sub")
+        chunk_names = " ".join(f"chunk_{c:03d}" for c in range(chunks))
+        inner.append(f"PARENT stage_in CHILD {chunk_names}")
+        inner.append(f"PARENT {chunk_names} CHILD merge")
+        inner.append("PARENT merge CHILD upload")
+        tree[f"{run}/inner.dag"] = "\n".join(inner) + "\n"
+        for task in ("stage_in", "merge", "upload"):
+            tree[f"{run}/{task}.sub"] = _CAX_SUBMIT.format(task=task)
+        tree[f"{run}/process_{pax_version}.sub"] = _CAX_SUBMIT.format(
+            task="process"
+        )
+    outer.append("JOB massive_cax massive_cax.sub")
+    outer.append(f"PARENT stage_runlist CHILD {' '.join(run_names)}")
+    outer.append(f"PARENT {' '.join(run_names)} CHILD massive_cax")
+    tree[CAX_ROOT] = "\n".join(outer) + "\n"
+    return tree
+
+
+def write_tree(tree: dict[str, str], directory: str | Path) -> Path:
+    """Materialize an in-memory tree under *directory*; returns the
+    root ``.dag`` path (the entry whose name matches a known root, else
+    the first ``.dag`` file)."""
+    directory = Path(directory)
+    for rel, text in tree.items():
+        path = directory / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    for rel in tree:
+        if rel in (NIPYPE_ROOT, CAX_ROOT):
+            return directory / rel
+    for rel in tree:  # fall back: first top-level .dag file
+        if rel.endswith(".dag") and "/" not in rel:
+            return directory / rel
+    raise ValueError("tree contains no top-level .dag file")
+
+
+def nipype_workflow(subjects: int = 6, depth: int = 4) -> Dag:
+    """The flattened dag of a generated nipype-style tree."""
+    return import_dagman_tree(nipype_tree(subjects, depth), NIPYPE_ROOT).dag
+
+
+def cax_workflow(runs: int = 5, chunks: int = 4) -> Dag:
+    """The flattened dag of a generated cax-style tree."""
+    return import_dagman_tree(cax_tree(runs, chunks), CAX_ROOT).dag

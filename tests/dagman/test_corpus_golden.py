@@ -1,0 +1,131 @@
+"""Golden conformance tests over the committed DAGMan corpus.
+
+The fixtures under ``tests/dagman/corpus/`` are small hand-written trees
+in the two ingestion-target layouts (nipype flat study, cax outer/inner
+production).  Job counts, edge lists and flatten fingerprints are pinned
+here byte-stable: any importer change that renames flat ids, reorders
+declarations or alters arc expansion fails these tests loudly instead of
+silently invalidating every cached schedule keyed by fingerprint.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.dagman.importer import import_dagman_file
+from repro.workloads.corpus import cax_workflow, nipype_workflow
+
+CORPUS = Path(__file__).parent / "corpus"
+
+NIPYPE_FINGERPRINT = (
+    "3f4e923ef136ce03c43eacffe34308ecb5be1007055ee067924ba32a7608d353"
+)
+CAX_FINGERPRINT = (
+    "4f6c2d15fa3d870063326cc5c510f2eb479ed7048816fbdbbf36d48c53d848d7"
+)
+#: Registry-default generator fingerprints (nipype-small / cax-small).
+NIPYPE_SMALL_FINGERPRINT = (
+    "8f357aa536e6c5c3dd58be198433ce30dc871b96397d4ebc11fd2e5a8b41af1e"
+)
+CAX_SMALL_FINGERPRINT = (
+    "cbc26a4873b0249ff531592538c5f67a14057a3955d9969cac0483ababc360b5"
+)
+
+
+class TestNipypeCorpus:
+    def test_flattened_shape(self):
+        w = import_dagman_file(CORPUS / "nipype" / "workflow.dag")
+        assert w.n_jobs == 7
+        assert w.n_arcs == 7
+        assert list(w.flat.jobs) == [
+            "specify_model",
+            "realign_s001",
+            "smooth_s001",
+            "realign_s002",
+            "smooth_s002",
+            "merge",
+            "report",
+        ]
+        assert w.flat.arcs == [
+            ("specify_model", "realign_s001"),
+            ("specify_model", "realign_s002"),
+            ("realign_s001", "smooth_s001"),
+            ("realign_s002", "smooth_s002"),
+            ("smooth_s001", "merge"),
+            ("smooth_s002", "merge"),
+            ("merge", "report"),
+        ]
+
+    def test_fingerprint_pinned(self):
+        w = import_dagman_file(CORPUS / "nipype" / "workflow.dag")
+        assert w.fingerprint() == NIPYPE_FINGERPRINT
+
+    def test_retry_carried(self):
+        w = import_dagman_file(CORPUS / "nipype" / "workflow.dag")
+        assert w.flat.retries == {"report": 1}
+
+
+class TestCaxCorpus:
+    def test_flattened_shape(self):
+        w = import_dagman_file(CORPUS / "cax" / "production.dag")
+        assert w.n_jobs == 12
+        assert w.n_arcs == 14
+        assert list(w.flat.jobs) == [
+            "stage_runlist",
+            "run_0000+stage_in",
+            "run_0000+chunk_000",
+            "run_0000+chunk_001",
+            "run_0000+merge",
+            "run_0000+upload",
+            "run_0001+stage_in",
+            "run_0001+chunk_000",
+            "run_0001+chunk_001",
+            "run_0001+merge",
+            "run_0001+upload",
+            "massive_cax",
+        ]
+        # The outer arcs attach to inner sources (stage_in) and sinks
+        # (upload); none reference the subdag node names.
+        assert ("stage_runlist", "run_0000+stage_in") in w.flat.arcs
+        assert ("run_0001+upload", "massive_cax") in w.flat.arcs
+
+    def test_fingerprint_pinned(self):
+        w = import_dagman_file(CORPUS / "cax" / "production.dag")
+        assert w.fingerprint() == CAX_FINGERPRINT
+
+    def test_vars_macro_expansion(self):
+        w = import_dagman_file(CORPUS / "cax" / "production.dag")
+        meta = w.meta["run_0000+chunk_000"]
+        assert meta.submit_file == "process_v6.1.1.sub"
+        assert meta.vars == {"run": "0", "pax_version": "v6.1.1"}
+        assert meta.directory == "run_0000"
+        assert meta.retries == 3
+
+    def test_rescue_marks_first_run_done(self):
+        w = import_dagman_file(
+            CORPUS / "cax" / "production.dag", rescue=True
+        )
+        done = sorted(n for n, m in w.meta.items() if m.done)
+        assert done == [
+            "run_0000+chunk_000",
+            "run_0000+chunk_001",
+            "run_0000+merge",
+            "run_0000+stage_in",
+            "run_0000+upload",
+            "stage_runlist",
+        ]
+        # Rescue markers change job state, never dag structure.
+        assert w.fingerprint() == CAX_FINGERPRINT
+
+
+class TestGeneratorFingerprints:
+    """The registry's default corpus shapes are byte-stable too — they
+    key the schedule cache for every bench that runs on them."""
+
+    def test_nipype_small(self):
+        assert (
+            nipype_workflow(6, 4).fingerprint() == NIPYPE_SMALL_FINGERPRINT
+        )
+
+    def test_cax_small(self):
+        assert cax_workflow(5, 4).fingerprint() == CAX_SMALL_FINGERPRINT

@@ -1,0 +1,136 @@
+"""Property suite: import round-trips over random nested workflow trees.
+
+Random multi-file trees (SPLICE and SUBDAG EXTERNAL includes, DIR
+scoping, VARS, RETRY, random forward arcs) must satisfy:
+
+* **fingerprint identity** — parse → flatten → ``prio`` instrumentation
+  → render → parse → flatten reproduces the same dag fingerprint and
+  the same flat job ids (the fingerprint keys the schedule cache, so
+  any drift here silently invalidates cached schedules);
+* **fixpoint** — re-importing a flattened render reproduces the render
+  byte for byte;
+* **determinism** — the importer's output does not depend on the order
+  the tree's files are supplied (on disk: directory listing order).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st
+
+from repro.core.tool import prioritize_dagman
+from repro.dagman.importer import import_dagman_tree
+from repro.dagman.parser import parse_dagman_text
+
+
+@st.composite
+def workflow_trees(draw) -> dict[str, str]:
+    """A random acyclic multi-file tree rooted at ``f0.dag``.
+
+    File ``fi`` may include only files ``fj`` with j > i, so include
+    cycles are impossible by construction; every file declares at least
+    one plain job, so the flattened dag is never empty.
+    """
+    n_files = draw(st.integers(min_value=1, max_value=4))
+    files: dict[str, str] = {}
+    for i in range(n_files - 1, -1, -1):
+        lines: list[str] = []
+        units: list[str] = []
+        for j in range(draw(st.integers(min_value=1, max_value=3))):
+            name = f"j{j}"
+            units.append(name)
+            suffix = draw(st.sampled_from(["", " DIR jobdir", " NOOP"]))
+            submit = draw(
+                st.sampled_from([f"{name}.sub", f"{name}_$(p).sub"])
+            )
+            lines.append(f"JOB {name} {submit}{suffix}")
+            if draw(st.booleans()):
+                lines.append(
+                    f'VARS {name} p="{draw(st.integers(0, 9))}"'
+                )
+        deeper = list(range(i + 1, n_files))
+        if deeper:
+            for k in range(draw(st.integers(min_value=0, max_value=2))):
+                target = draw(st.sampled_from(deeper))
+                kind = draw(
+                    st.sampled_from(["SPLICE", "SUBDAG EXTERNAL"])
+                )
+                name = f"s{k}"
+                units.append(name)
+                dir_clause = (
+                    f" DIR d{k}" if draw(st.booleans()) else ""
+                )
+                lines.append(f"{kind} {name} f{target}.dag{dir_clause}")
+                if draw(st.booleans()):
+                    lines.append(f'VARS {name} p="{k}"')
+                if draw(st.booleans()):
+                    lines.append(
+                        f"RETRY {name} {draw(st.integers(1, 3))}"
+                    )
+        for a in range(len(units)):
+            for b in range(a + 1, len(units)):
+                if draw(st.booleans()):
+                    lines.append(
+                        f"PARENT {units[a]} CHILD {units[b]}"
+                    )
+        files[f"f{i}.dag"] = "\n".join(lines) + "\n"
+    return files
+
+
+@given(workflow_trees())
+def test_flatten_export_reparse_fingerprint_identity(files):
+    w = import_dagman_tree(files, "f0.dag")
+    # "prio export": instrument the flattened file in place, as the
+    # import CLI's --prioritize -o path does.
+    prioritize_dagman(w.flat)
+    text = w.flat.render()
+    again = import_dagman_tree({"flat.dag": text}, "flat.dag")
+    assert again.fingerprint() == w.fingerprint()
+    assert list(again.flat.jobs) == list(w.flat.jobs)
+    assert again.flat.arcs == w.flat.arcs
+
+
+@given(workflow_trees())
+def test_flat_render_is_a_fixpoint(files):
+    w = import_dagman_tree(files, "f0.dag")
+    text = w.render()
+    again = import_dagman_tree({"flat.dag": text}, "flat.dag")
+    assert again.render() == text
+
+
+@given(workflow_trees())
+def test_reparse_preserves_metadata(files):
+    w = import_dagman_tree(files, "f0.dag")
+    again = parse_dagman_text(w.render())
+    assert again.vars_ == w.flat.vars_
+    assert again.retries == w.flat.retries
+    assert {n: d.noop for n, d in again.jobs.items()} == {
+        n: d.noop for n, d in w.flat.jobs.items()
+    }
+    assert {n: d.directory for n, d in again.jobs.items()} == {
+        n: d.directory for n, d in w.flat.jobs.items()
+    }
+
+
+@given(workflow_trees(), st.randoms(use_true_random=False))
+def test_importer_deterministic_across_path_orderings(files, rnd):
+    items = list(files.items())
+    rnd.shuffle(items)
+    a = import_dagman_tree(files, "f0.dag")
+    b = import_dagman_tree(dict(items), "f0.dag")
+    assert a.fingerprint() == b.fingerprint()
+    assert a.render() == b.render()
+    assert list(a.meta) == list(b.meta)
+
+
+@given(workflow_trees())
+def test_priorities_survive_the_round_trip(files):
+    w = import_dagman_tree(files, "f0.dag")
+    result = prioritize_dagman(w.flat)
+    again = parse_dagman_text(w.flat.render())
+    for name in w.flat.jobs:
+        assert again.get_priority(name) == w.flat.get_priority(name)
+    assert result.priorities  # the tool did assign something

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dagman.lint import lint_dagman
+from repro.dagman.lint import lint_dagman, lint_dagman_tree
 from repro.dagman.parser import parse_dagman_text
 
 CLEAN = """\
@@ -79,6 +79,107 @@ class TestLint:
         assert text.startswith("error:") and "ghost" in text
 
 
+class TestLintTree:
+    """Tree-wide lint: nested include defects come back as findings,
+    never as crashes."""
+
+    def test_clean_tree(self):
+        tree = {
+            "root.dag": "JOB a a.sub\nSPLICE s inner.dag\n"
+            "PARENT a CHILD s\n",
+            "inner.dag": "JOB x x.sub\n",
+        }
+        assert lint_dagman_tree(tree, "root.dag") == []
+
+    def test_self_include_cycle(self):
+        tree = {"root.dag": "SPLICE s root.dag\n"}
+        findings = lint_dagman_tree(tree, "root.dag")
+        assert codes(findings) == ["include-cycle"]
+        assert findings[0].severity == "error"
+        assert "root.dag -> root.dag" in findings[0].message
+
+    def test_mutual_include_cycle(self):
+        tree = {
+            "a.dag": "SUBDAG EXTERNAL x b.dag\n",
+            "b.dag": "SPLICE y a.dag\n",
+        }
+        findings = lint_dagman_tree(tree, "a.dag")
+        assert codes(findings) == ["include-cycle"]
+        assert "a.dag -> b.dag -> a.dag" in findings[0].message
+
+    def test_missing_include(self):
+        tree = {"root.dag": "SPLICE s gone.dag\n"}
+        findings = lint_dagman_tree(tree, "root.dag")
+        assert codes(findings) == ["missing-include"]
+        assert findings[0].where == "root.dag"
+
+    def test_undefined_macro_in_include_ref_is_error(self):
+        tree = {"root.dag": "SUBDAG EXTERNAL s run_$(run)/x.dag\n"}
+        findings = lint_dagman_tree(tree, "root.dag")
+        assert codes(findings) == ["undefined-macro"]
+        assert findings[0].severity == "error"
+
+    def test_undefined_macro_in_submit_is_warning(self):
+        tree = {"root.dag": "JOB a chunk_$(chunk).sub\n"}
+        findings = lint_dagman_tree(tree, "root.dag")
+        assert codes(findings) == ["undefined-macro"]
+        assert findings[0].severity == "warning"
+
+    def test_defined_macro_not_flagged(self):
+        tree = {
+            "root.dag": 'JOB a chunk_$(chunk).sub\nVARS a chunk="3"\n'
+        }
+        assert lint_dagman_tree(tree, "root.dag") == []
+
+    def test_inherited_macro_not_flagged(self):
+        tree = {
+            "root.dag": 'SPLICE s inner.dag\nVARS s run="7"\n',
+            "inner.dag": "JOB a chunk_$(run).sub\n",
+        }
+        assert lint_dagman_tree(tree, "root.dag") == []
+
+    def test_missing_dir_on_disk(self, tmp_path):
+        (tmp_path / "root.dag").write_text("JOB a a.sub DIR nowhere\n")
+        findings = lint_dagman_tree(tmp_path / "root.dag")
+        assert codes(findings) == ["missing-dir"]
+        assert findings[0].severity == "warning"
+
+    def test_present_dir_on_disk(self, tmp_path):
+        (tmp_path / "somewhere").mkdir()
+        (tmp_path / "root.dag").write_text("JOB a a.sub DIR somewhere\n")
+        assert lint_dagman_tree(tmp_path / "root.dag") == []
+
+    def test_dir_check_skipped_in_memory(self):
+        tree = {"root.dag": "JOB a a.sub DIR nowhere\n"}
+        assert lint_dagman_tree(tree, "root.dag") == []
+
+    def test_per_file_findings_carry_where(self):
+        tree = {
+            "root.dag": "SPLICE s inner.dag\n",
+            "inner.dag": "JOB a a.sub\nPARENT a CHILD ghost\n",
+        }
+        findings = lint_dagman_tree(tree, "root.dag")
+        assert "undeclared-job" in codes(findings)
+        who = [f for f in findings if f.code == "undeclared-job"][0]
+        assert who.where == "inner.dag"
+        assert "(in inner.dag)" in str(who)
+
+    def test_parse_error_is_a_finding(self):
+        tree = {
+            "root.dag": "SPLICE s inner.dag\n",
+            "inner.dag": "FROBNICATE x\n",
+        }
+        findings = lint_dagman_tree(tree, "root.dag")
+        assert codes(findings) == ["parse-error"]
+
+    def test_depth_limit_finding(self):
+        tree = {"d0.dag": "JOB leaf leaf.sub\n"}
+        for i in range(1, 6):
+            tree[f"d{i}.dag"] = f"SPLICE s d{i - 1}.dag\n"
+        findings = lint_dagman_tree(tree, "d5.dag", max_depth=3)
+        assert "include-depth" in codes(findings)
+
+
 class TestLintCli:
     def test_clean_exit_zero(self, tmp_path, capsys):
         from repro.cli import main
@@ -103,3 +204,18 @@ class TestLintCli:
         path.write_text(CLEAN)
         assert main(["lint", str(path), "--check-jsdfs"]) == 0
         assert "missing-jsdf" in capsys.readouterr().out
+
+    def test_recursive_clean(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "w.dag").write_text("SPLICE s inner.dag\n")
+        (tmp_path / "inner.dag").write_text("JOB a a.sub\n")
+        assert main(["lint", str(tmp_path / "w.dag"), "-r"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_recursive_cycle_exit_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "w.dag").write_text("SPLICE s w.dag\n")
+        assert main(["lint", str(tmp_path / "w.dag"), "-r"]) == 1
+        assert "include-cycle" in capsys.readouterr().out

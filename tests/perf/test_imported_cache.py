@@ -1,0 +1,88 @@
+"""Fingerprint / schedule-cache coverage for *imported* dags.
+
+The schedule cache is content-addressed by ``Dag.fingerprint()``; these
+tests pin the properties the importer must uphold for imported workloads
+to be first-class cache citizens: disk and in-memory imports of the same
+tree share a fingerprint (and therefore cache entries), an instrumented
+flat file still maps to the same entry, and structurally different trees
+never collide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prio import prio_schedule
+from repro.dagman.importer import import_dagman_file, import_dagman_tree
+from repro.perf import ScheduleCache, cached_schedule
+from repro.workloads.corpus import (
+    CAX_ROOT,
+    cax_tree,
+    nipype_tree,
+    NIPYPE_ROOT,
+    write_tree,
+)
+
+
+@pytest.fixture
+def tree() -> dict[str, str]:
+    return cax_tree(runs=2, chunks=2)
+
+
+def test_disk_and_memory_imports_share_cache_entries(tree, tmp_path):
+    root = write_tree(tree, tmp_path)
+    cache = ScheduleCache()
+    order = cache.schedule(import_dagman_file(root).dag, "prio")
+    again = cache.schedule(import_dagman_tree(tree, CAX_ROOT).dag, "prio")
+    assert order == again
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_instrumented_render_maps_to_same_entry(tree):
+    from repro.core.tool import prioritize_dagman
+
+    w = import_dagman_tree(tree, CAX_ROOT)
+    cache = ScheduleCache()
+    cache.schedule(w.dag, "prio")
+    prioritize_dagman(w.flat)  # instrumentation rewrites VARS only
+    again = import_dagman_tree({"flat.dag": w.render()}, "flat.dag")
+    cache.schedule(again.dag, "prio")
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_different_shapes_never_collide(tree):
+    a = import_dagman_tree(tree, CAX_ROOT)
+    b = import_dagman_tree(cax_tree(runs=2, chunks=3), CAX_ROOT)
+    c = import_dagman_tree(nipype_tree(2, 2), NIPYPE_ROOT)
+    assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+
+
+def test_subdag_mode_changes_fingerprint(tree):
+    expanded = import_dagman_tree(tree, CAX_ROOT)
+    opaque = import_dagman_tree(tree, CAX_ROOT, expand_subdags=False)
+    assert expanded.fingerprint() != opaque.fingerprint()
+
+
+def test_cached_schedule_on_imported_dag_is_correct(tree):
+    dag = import_dagman_tree(tree, CAX_ROOT).dag
+    assert cached_schedule(dag, "prio", cache=None) == (
+        prio_schedule(dag).schedule
+    )
+    cache = ScheduleCache()
+    assert cached_schedule(dag, "prio", cache=cache) == (
+        prio_schedule(dag).schedule
+    )
+    assert cached_schedule(dag, "prio", cache=cache) == (
+        prio_schedule(dag).schedule
+    )
+    assert cache.hits == 1
+
+
+def test_disk_cache_round_trip(tree, tmp_path):
+    dag = import_dagman_tree(tree, CAX_ROOT).dag
+    first = ScheduleCache(directory=tmp_path / "cache")
+    order = first.schedule(dag, "prio")
+    # A fresh process (new in-memory tier) hits the disk tier.
+    second = ScheduleCache(directory=tmp_path / "cache")
+    assert second.schedule(dag, "prio") == order
+    assert second.disk_hits == 1

@@ -360,13 +360,90 @@ class TestSweepTelemetry:
         assert cells[0]["mu_bs"] == 8.0
 
 
+class TestImportCommand:
+    @pytest.fixture
+    def cax_root(self, tmp_path):
+        from repro.workloads.corpus import cax_tree, write_tree
+
+        return write_tree(cax_tree(runs=2, chunks=2), tmp_path)
+
+    def test_summary(self, cax_root, capsys):
+        assert main(["import", str(cax_root)]) == 0
+        out = capsys.readouterr().out
+        assert "jobs                : 12" in out
+        assert "fingerprint" in out
+        assert "max nesting depth   : 1" in out
+
+    def test_flat_output_reimports_identically(
+        self, cax_root, tmp_path, capsys
+    ):
+        flat = tmp_path / "flat.dag"
+        assert main(["import", str(cax_root), "-o", str(flat)]) == 0
+        first = capsys.readouterr().out
+        assert main(["import", str(flat)]) == 0
+        second = capsys.readouterr().out
+        fp = [l for l in first.splitlines() if "fingerprint" in l]
+        assert fp == [l for l in second.splitlines() if "fingerprint" in l]
+
+    def test_prioritize_writes_jobpriority(self, cax_root, tmp_path, capsys):
+        flat = tmp_path / "flat.dag"
+        assert (
+            main(["import", str(cax_root), "--prioritize", "-o", str(flat)])
+            == 0
+        )
+        assert "jobpriority" in flat.read_text()
+
+    def test_json_artifact(self, cax_root, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "flat.json"
+        assert main(["import", str(cax_root), "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro-import-v1"
+        assert len(payload["jobs"]) == 12
+        assert payload["dag"]["n"] == 12
+
+    def test_simulate(self, cax_root, capsys):
+        assert main(["import", str(cax_root), "--simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "utilization" in out
+
+    def test_no_subdags(self, cax_root, capsys):
+        assert main(["import", str(cax_root), "--no-subdags"]) == 0
+        assert "jobs                : 4" in capsys.readouterr().out
+
+    def test_rescue_flag(self, cax_root, capsys):
+        cax_root.with_name("production.dag.rescue001").write_text(
+            "DONE stage_runlist\n"
+        )
+        assert main(["import", str(cax_root), "--rescue"]) == 0
+        assert "(1 done)" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["import", str(tmp_path / "absent.dag")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_include_cycle_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "loop.dag"
+        path.write_text("SPLICE s loop.dag\n")
+        assert main(["import", str(path)]) == 2
+        assert "recursive include" in capsys.readouterr().err
+
+    def test_nested_tree_works_everywhere(self, cax_root, capsys):
+        # _load_dag goes through the importer: nested trees are accepted
+        # by any dag-taking subcommand.
+        assert main(["schedule", str(cax_root)]) == 0
+        assert "stage_runlist" in capsys.readouterr().out
+
+
 class TestHelpSurface:
     @pytest.mark.parametrize(
         "command",
         [
             "prio", "schedule", "decompose", "dot", "curves", "simulate",
             "sweep", "regions", "overhead", "rounds", "league", "lint",
-            "export", "run", "report", "profile", "calibrate",
+            "export", "run", "report", "profile", "calibrate", "import",
         ],
     )
     def test_every_subcommand_has_help(self, command, capsys):

@@ -1,0 +1,132 @@
+"""Tests for the real-world corpus generators (repro.workloads.corpus)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dagman.importer import import_dagman_file, import_dagman_tree
+from repro.dagman.lint import lint_dagman_tree
+from repro.workloads.corpus import (
+    CAX_ROOT,
+    NIPYPE_ROOT,
+    cax_tree,
+    cax_workflow,
+    nipype_tree,
+    nipype_workflow,
+    write_tree,
+)
+from repro.workloads.registry import get_workload
+
+
+class TestNipypeTree:
+    def test_job_count(self):
+        # spec + subjects*depth + merge + report
+        dag = nipype_workflow(subjects=3, depth=2)
+        assert dag.n == 1 + 3 * 2 + 2
+
+    def test_every_node_has_a_submit_file(self):
+        tree = nipype_tree(subjects=2, depth=2)
+        w = import_dagman_tree(tree, NIPYPE_ROOT)
+        for meta in w.meta.values():
+            assert meta.submit_file in tree
+
+    def test_flat_layout_no_nesting(self):
+        tree = nipype_tree()
+        w = import_dagman_tree(tree, NIPYPE_ROOT)
+        assert all(m.depth == 0 for m in w.meta.values())
+        assert w.sources == (NIPYPE_ROOT,)
+
+    def test_single_join_structure(self):
+        dag = nipype_workflow(subjects=4, depth=3)
+        # One source (specify_model), one sink (report).
+        assert len(dag.sources()) == 1
+        assert len(dag.sinks()) == 1
+
+    def test_deterministic(self):
+        assert nipype_tree(5, 3) == nipype_tree(5, 3)
+        assert (
+            nipype_workflow(5, 3).fingerprint()
+            == nipype_workflow(5, 3).fingerprint()
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            nipype_tree(subjects=0)
+        with pytest.raises(ValueError):
+            nipype_tree(depth=0)
+        with pytest.raises(ValueError):
+            nipype_tree(depth=99)
+
+
+class TestCaxTree:
+    def test_job_count(self):
+        # stage_runlist + runs*(stage_in + chunks + merge + upload) + massive
+        dag = cax_workflow(runs=3, chunks=2)
+        assert dag.n == 1 + 3 * (2 + 3) + 1
+
+    def test_nested_layout(self):
+        tree = cax_tree(runs=2, chunks=2)
+        w = import_dagman_tree(tree, CAX_ROOT)
+        inner = [m for m in w.meta.values() if m.depth == 1]
+        assert len(inner) == 2 * (2 + 3)
+        assert {m.directory for m in inner} == {"run_0000", "run_0001"}
+
+    def test_vars_flow_into_inner_jobs(self):
+        tree = cax_tree(runs=2, chunks=1, pax_version="v9")
+        w = import_dagman_tree(tree, CAX_ROOT)
+        meta = w.meta["run_0001+chunk_000"]
+        assert meta.vars == {"run": "1", "pax_version": "v9"}
+        assert meta.submit_file == "process_v9.sub"
+        assert meta.retries == 3
+
+    def test_generated_tree_lints_clean_in_memory(self):
+        assert lint_dagman_tree(cax_tree(2, 2), CAX_ROOT) == []
+        assert lint_dagman_tree(nipype_tree(2, 2), NIPYPE_ROOT) == []
+
+    def test_deterministic(self):
+        assert cax_tree(4, 3) == cax_tree(4, 3)
+        assert (
+            cax_workflow(4, 3).fingerprint()
+            == cax_workflow(4, 3).fingerprint()
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            cax_tree(runs=0)
+        with pytest.raises(ValueError):
+            cax_tree(chunks=0)
+
+
+class TestWriteTree:
+    def test_on_disk_import_matches_in_memory(self, tmp_path):
+        tree = cax_tree(runs=2, chunks=2)
+        root = write_tree(tree, tmp_path)
+        assert root == tmp_path / CAX_ROOT
+        on_disk = import_dagman_file(root)
+        in_memory = import_dagman_tree(tree, CAX_ROOT)
+        assert on_disk.fingerprint() == in_memory.fingerprint()
+        assert on_disk.render() == in_memory.render()
+
+    def test_on_disk_tree_lints_clean(self, tmp_path):
+        root = write_tree(cax_tree(runs=2, chunks=2), tmp_path)
+        assert lint_dagman_tree(root) == []
+
+    def test_rejects_tree_without_root(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_tree({"readme.txt": "hi\n"}, tmp_path)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["nipype-small", "nipype-medium", "cax-small", "cax-medium"]
+    )
+    def test_corpus_names_resolve(self, name):
+        dag = get_workload(name)
+        assert dag.n > 0
+        assert dag.fingerprint() == get_workload(name).fingerprint()
+
+    def test_medium_is_larger(self):
+        assert (
+            get_workload("nipype-medium").n > get_workload("nipype-small").n
+        )
+        assert get_workload("cax-medium").n > get_workload("cax-small").n
